@@ -1,0 +1,94 @@
+// Ablation study (DESIGN.md): which of TuFast's three modes earns its
+// place? Runs the RM and RW micro-workloads with each sub-scheduler
+// disabled:
+//   full     - H -> O -> L (the paper's design);
+//   no-H     - every transaction starts optimistic (what a size-oblivious
+//              software HyTM would do);
+//   no-O     - H falls straight to locks (what a classic HTM+lock
+//              elision design does, cf. HSync but with per-vertex locks);
+//   L-only   - pure 2PL (the paper's L mode for everything).
+//
+// Also validates the paper's comparison between manual single-mode
+// parallelization and the hybrid: the full pipeline should never be the
+// worst, and each ablation should lose on the workload that stresses its
+// missing mode.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/datasets.h"
+#include "bench_support/micro_workload.h"
+#include "bench_support/reporting.h"
+#include "htm/emulated_htm.h"
+#include "htm/native_htm.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+template <typename Htm>
+double Throughput(const Graph& graph, ThreadPool& pool,
+                  typename TuFastScheduler<Htm>::Config config,
+                  MicroWorkloadKind kind, uint64_t txns) {
+  Htm htm;
+  TuFastScheduler<Htm> tm(htm, graph.NumVertices(), config);
+  std::vector<TmWord> values(graph.NumVertices(), 0);
+  MicroWorkloadOptions options;
+  options.kind = kind;
+  options.transactions_per_thread = txns;
+  return RunMicroWorkload(tm, pool, graph, values, options).TxnPerSec();
+}
+
+template <typename Htm>
+void RunAblation(const BenchFlags& flags, ThreadPool& pool,
+                 const char* backend) {
+  const uint64_t txns = flags.quick ? 1500 : 6000;
+  const auto spec = BenchDatasets(flags.scale)[1];  // twitter-s.
+  const Graph graph = GenerateDataset(spec);
+
+  using Config = typename TuFastScheduler<Htm>::Config;
+  Config full;
+  Config no_h = full;
+  no_h.enable_h_mode = false;
+  Config no_o = full;
+  no_o.enable_o_mode = false;
+  Config l_only = full;
+  l_only.enable_h_mode = false;
+  l_only.enable_o_mode = false;
+
+  ReportTable table({"workload", "full H+O+L", "no-H (O+L)", "no-O (H+L)",
+                     "L only"});
+  for (const auto kind :
+       {MicroWorkloadKind::kReadMostly, MicroWorkloadKind::kReadWrite}) {
+    const char* name =
+        kind == MicroWorkloadKind::kReadMostly ? "RM" : "RW";
+    table.AddRow(
+        {name,
+         ReportTable::Num(Throughput<Htm>(graph, pool, full, kind, txns)),
+         ReportTable::Num(Throughput<Htm>(graph, pool, no_h, kind, txns)),
+         ReportTable::Num(Throughput<Htm>(graph, pool, no_o, kind, txns)),
+         ReportTable::Num(
+             Throughput<Htm>(graph, pool, l_only, kind, txns))});
+  }
+  table.Print(std::string("Ablation — txn/s with modes disabled (") +
+              spec.name + ", " + backend + ")");
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv, /*default=*/0.25);
+  ThreadPool pool(flags.threads);
+  if (NativeHtm::Supported()) {
+    RunAblation<NativeHtm>(flags, pool, "native RTM");
+  }
+  RunAblation<EmulatedHtm>(flags, pool, "emulated");
+  std::printf(
+      "expected shape: the full pipeline is never worst; no-H loses most "
+      "(the cheap path carries ~95%% of transactions); L-only loses on "
+      "both workloads.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tufast
+
+int main(int argc, char** argv) { return tufast::Main(argc, argv); }

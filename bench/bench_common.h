@@ -1,0 +1,40 @@
+#ifndef TUFAST_BENCH_BENCH_COMMON_H_
+#define TUFAST_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tufast {
+
+/// Minimal flag parsing shared by the bench binaries:
+///   --scale=<f>    dataset scale factor (default per bench)
+///   --threads=<n>  worker threads (default 4)
+///   --quick        shrink everything for smoke runs
+struct BenchFlags {
+  double scale = 1.0;
+  int threads = 4;
+  bool quick = false;
+
+  static BenchFlags Parse(int argc, char** argv, double default_scale) {
+    BenchFlags flags;
+    flags.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--scale=", 8) == 0) {
+        flags.scale = std::atof(arg + 8);
+      } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+        flags.threads = std::atoi(arg + 10);
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        flags.quick = true;
+        flags.scale = default_scale * 0.2;
+      }
+    }
+    if (flags.threads < 1) flags.threads = 1;
+    return flags;
+  }
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_BENCH_BENCH_COMMON_H_

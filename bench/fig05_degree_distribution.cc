@@ -1,0 +1,47 @@
+// Reproduces paper Fig. 5: the degree distribution of the twitter-like
+// dataset, log-binned. Expected shape: close to a straight line in
+// log-log scale (power law) with a maximum degree orders of magnitude
+// above the mean — far beyond one HTM transaction's capacity.
+
+#include <cstdio>
+
+#include "bench_support/datasets.h"
+#include "bench_support/reporting.h"
+#include "graph/degree_stats.h"
+
+namespace tufast {
+namespace {
+
+int Main() {
+  const auto specs = BenchDatasets();
+  for (const auto& spec : specs) {
+    if (spec.name != "twitter-s") continue;
+    const Graph graph = GenerateDataset(spec);
+    const DegreeStats stats = ComputeDegreeStats(graph);
+    std::printf("%s (stand-in for %s)\n%s", spec.name.c_str(),
+                spec.original.c_str(), stats.ToString().c_str());
+
+    ReportTable table({"degree bin (low..high)", "#vertices"});
+    const auto& bins = stats.histogram.bins();
+    for (size_t i = 0; i < bins.size(); ++i) {
+      if (bins[i] == 0) continue;
+      const uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
+      const uint64_t hi = i == 0 ? 0 : (1ull << i) - 1;
+      table.AddRow({ReportTable::Int(lo) + ".." + ReportTable::Int(hi),
+                    ReportTable::Int(bins[i])});
+    }
+    table.Print("Fig. 5 — degree distribution (log-binned), " + spec.name);
+    std::printf(
+        "log-log slope: %.3f (straight-line/power-law when clearly "
+        "negative)\nmax degree %u vs HTM word capacity 4096: %s\n",
+        stats.LogLogSlope(), stats.max_degree,
+        stats.max_degree > 4096 ? "exceeds one hardware transaction"
+                                : "fits one hardware transaction");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tufast
+
+int main() { return tufast::Main(); }

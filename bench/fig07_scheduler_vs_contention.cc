@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 7: throughput of the three fundamental
+// transaction schedulers (2PL, OCC, TO) on an even-degree synthetic
+// graph as the contention rate rises. Expected shape: OCC wins near zero
+// contention (no locking overhead), 2PL wins under high contention
+// (prevents wasted optimistic work), with a crossover in between; TO
+// sits between/below.
+
+#include <cstdio>
+
+#include "bench_support/micro_workload.h"
+#include "bench_support/reporting.h"
+#include "graph/generators.h"
+#include "htm/emulated_htm.h"
+#include "tm/scheduler_2pl.h"
+#include "tm/scheduler_silo.h"
+#include "tm/scheduler_to.h"
+
+namespace tufast {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr VertexId kVertices = 20000;
+constexpr uint32_t kDegree = 16;  // Even degree distribution (paper).
+constexpr uint64_t kTxnsPerThread = 500;
+
+template <typename Scheduler>
+double Throughput(const Graph& graph, double hot_fraction) {
+  EmulatedHtm htm;
+  Scheduler tm(htm, graph.NumVertices());
+  ThreadPool pool(kThreads);
+  std::vector<TmWord> values(graph.NumVertices(), 0);
+  MicroWorkloadOptions options;
+  options.kind = MicroWorkloadKind::kReadWrite;  // Contention-sensitive.
+  options.transactions_per_thread = kTxnsPerThread;
+  options.hot_fraction = hot_fraction;
+  options.hot_set_size = 2;
+  // Single-core host: transactions must be held open briefly so they
+  // temporally overlap, as they would on the paper's 2x10-core machine.
+  options.mid_txn_delay_us = 200;
+  // A careful 2PL application declares write intent (SELECT FOR UPDATE);
+  // without it every same-subject pair mutually upgrade-deadlocks.
+  options.declare_write_intent = true;
+  const MicroWorkloadResult result =
+      RunMicroWorkload(tm, pool, graph, values, options);
+  return result.TxnPerSec();
+}
+
+int Main() {
+  const Graph graph = GenerateUniformDegree(kVertices, kDegree, 31);
+  ReportTable table({"hot fraction (contention)", "2PL txn/s", "OCC txn/s",
+                     "TO txn/s", "winner"});
+  for (const double hot : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    const double t_2pl = Throughput<TwoPhaseLocking<EmulatedHtm>>(graph, hot);
+    const double t_occ = Throughput<SiloOcc<EmulatedHtm>>(graph, hot);
+    const double t_to = Throughput<TimestampOrdering<EmulatedHtm>>(graph, hot);
+    const char* winner = t_2pl >= t_occ && t_2pl >= t_to ? "2PL"
+                         : t_occ >= t_to                 ? "OCC"
+                                                         : "TO";
+    table.AddRow({ReportTable::Num(hot), ReportTable::Num(t_2pl),
+                  ReportTable::Num(t_occ), ReportTable::Num(t_to), winner});
+  }
+  table.Print(
+      "Fig. 7 — scheduler throughput vs contention (uniform-degree graph, "
+      "RW transactions, 4 threads)");
+  std::printf(
+      "expected shape: OCC leads at low contention, 2PL takes over as "
+      "contention rises (crossover), confirming no homogeneous scheduler "
+      "wins everywhere.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tufast
+
+int main() { return tufast::Main(); }

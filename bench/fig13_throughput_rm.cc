@@ -1,0 +1,14 @@
+// Reproduces paper Fig. 13: scheduler throughput on the RM (Read Mostly)
+// workload — each transaction reads a vertex and all its neighbors and
+// writes only the vertex. Expected: TuFast > all (paper: 5.00x-8.25x over
+// the best other); hybrids > homogeneous; HTM-based > software-only.
+
+#include "bench/throughput_figure.h"
+
+int main(int argc, char** argv) {
+  return tufast::RunThroughputFigure(
+      argc, argv, tufast::MicroWorkloadKind::kReadMostly,
+      "Fig. 13 — scheduler throughput (txn/s), RM workload",
+      "expected shape: TuFast highest on every dataset (paper: 5.0x-8.25x "
+      "over best-other); hybrids beat homogeneous schedulers.");
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 14: scheduler throughput on the RW (Read and
+// Write) workload — each transaction reads AND writes a vertex and all
+// of its neighbors. Expected: TuFast > all (paper: 2.03x-39.46x over the
+// best other); write-write conflicts punish the degree-oblivious
+// schedulers hardest.
+
+#include "bench/throughput_figure.h"
+
+int main(int argc, char** argv) {
+  return tufast::RunThroughputFigure(
+      argc, argv, tufast::MicroWorkloadKind::kReadWrite,
+      "Fig. 14 — scheduler throughput (txn/s), RW workload",
+      "expected shape: TuFast highest on every dataset (paper: 2.03x-39.46x "
+      "over best-other); gaps wider than RM because of write-write "
+      "conflicts.");
+}

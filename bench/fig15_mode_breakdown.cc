@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 15: TuFast execution-trace breakdown by mode
+// class for the RM and RW workloads — committed-transaction counts
+// (15a/15c) and total committed operations (15b/15d) in each class:
+//   H   : one hardware transaction;
+//   O   : optimistic mode, first attempt;
+//   O+  : optimistic mode after period adjustment;
+//   O2L : optimistic gave up, finished under locks;
+//   L   : routed to locks directly (huge size hint).
+//
+// Expected shape: H dominates transaction counts (power-law: most
+// vertices are small); O/O+ carry a large share of the OPERATIONS
+// (medium-degree vertices are few but big); L counts are tiny yet its
+// per-transaction sizes are the largest in the graph.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/datasets.h"
+#include "bench_support/micro_workload.h"
+#include "bench_support/reporting.h"
+#include "htm/emulated_htm.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+void RunBreakdown(const Graph& graph, ThreadPool& pool,
+                  MicroWorkloadKind kind, const std::string& title,
+                  uint64_t txns_per_thread) {
+  EmulatedHtm htm;
+  TuFast tm(htm, graph.NumVertices());
+  std::vector<TmWord> values(graph.NumVertices(), 0);
+  MicroWorkloadOptions options;
+  options.kind = kind;
+  options.transactions_per_thread = txns_per_thread;
+  RunMicroWorkload(tm, pool, graph, values, options);
+  const SchedulerStats stats = tm.AggregatedStats();
+
+  ReportTable table({"class", "committed txns", "% txns", "committed ops",
+                     "% ops", "avg ops/txn"});
+  for (int c = 0; c < static_cast<int>(TxnClass::kNumClasses); ++c) {
+    const uint64_t count = stats.class_count[c];
+    const uint64_t ops = stats.class_ops[c];
+    table.AddRow(
+        {TxnClassName(static_cast<TxnClass>(c)), ReportTable::Int(count),
+         ReportTable::Num(stats.commits ? 100.0 * count / stats.commits : 0),
+         ReportTable::Int(ops),
+         ReportTable::Num(stats.ops_committed
+                              ? 100.0 * ops / stats.ops_committed
+                              : 0),
+         ReportTable::Num(count ? static_cast<double>(ops) / count : 0)});
+  }
+  table.Print(title);
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv, /*default=*/1.0);
+  ThreadPool pool(flags.threads);
+  const uint64_t txns = flags.quick ? 2000 : 10000;
+  const auto spec = BenchDatasets(flags.scale)[1];  // twitter-s.
+  const Graph graph = GenerateDataset(spec);
+
+  RunBreakdown(graph, pool, MicroWorkloadKind::kReadMostly,
+               "Fig. 15a/15b — mode breakdown, RM workload (" + spec.name +
+                   ")",
+               txns);
+  RunBreakdown(graph, pool, MicroWorkloadKind::kReadWrite,
+               "Fig. 15c/15d — mode breakdown, RW workload (" + spec.name +
+                   ")",
+               txns);
+  std::printf(
+      "expected shape: H carries most transactions; O/O+ a major share of "
+      "operations; L/O2L few transactions but the largest sizes.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tufast
+
+int main(int argc, char** argv) { return tufast::Main(argc, argv); }

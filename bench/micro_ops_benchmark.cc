@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks of the TM primitives: per-operation
+// costs of the emulated HTM, the lock table, and one full Run() through
+// each TuFast mode. These are the constants behind every figure — run
+// them when tuning the hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "htm/emulated_htm.h"
+#include "sync/lock_table.h"
+#include "tm/addr_map.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+void BM_EmulatedHtmLoadStore(benchmark::State& state) {
+  EmulatedHtm htm;
+  EmulatedHtm::Tx tx(htm, 0);
+  alignas(64) static TmWord words[64];
+  const int ops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const AbortStatus status = tx.Execute([&] {
+      for (int i = 0; i < ops; ++i) {
+        const TmWord v = tx.Load(&words[i % 64]);
+        tx.Store(&words[i % 64], v + 1);
+      }
+    });
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * ops * 2);
+}
+BENCHMARK(BM_EmulatedHtmLoadStore)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EmulatedHtmCommitOverhead(benchmark::State& state) {
+  EmulatedHtm htm;
+  EmulatedHtm::Tx tx(htm, 0);
+  for (auto _ : state) {
+    const AbortStatus status = tx.Execute([] {});
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_EmulatedHtmCommitOverhead);
+
+void BM_LockTableSharedRoundTrip(benchmark::State& state) {
+  EmulatedHtm htm;
+  LockTable<EmulatedHtm> locks(htm, 1024);
+  VertexId v = 0;
+  for (auto _ : state) {
+    locks.TryLockShared(v);
+    locks.UnlockShared(v);
+    v = (v + 1) & 1023;
+  }
+}
+BENCHMARK(BM_LockTableSharedRoundTrip);
+
+void BM_AddrMapInsertFind(benchmark::State& state) {
+  AddrMap map(1024);
+  uintptr_t key = 64;
+  for (auto _ : state) {
+    bool inserted;
+    benchmark::DoNotOptimize(map.FindOrInsert(key, 1, &inserted));
+    benchmark::DoNotOptimize(map.Find(key));
+    key += 64;
+    if (key > 64 * 512) {
+      key = 64;
+      map.Clear();
+    }
+  }
+}
+BENCHMARK(BM_AddrMapInsertFind);
+
+void BM_TuFastRunByMode(benchmark::State& state) {
+  static EmulatedHtm htm;
+  static TuFast tm(htm, 4096);
+  static std::vector<TmWord> values(4096, 0);
+  // range(0): 0 = H-mode hint, 1 = O-mode hint, 2 = L-mode hint.
+  const uint64_t hints[] = {2, tm.h_hint_threshold() + 1,
+                            tm.config().o_hint_threshold + 1};
+  const uint64_t hint = hints[state.range(0)];
+  VertexId v = 0;
+  for (auto _ : state) {
+    tm.Run(0, hint, [&](auto& txn) {
+      txn.Write(v, &values[v], txn.Read(v, &values[v]) + 1);
+    });
+    v = (v + 1) & 4095;
+  }
+}
+BENCHMARK(BM_TuFastRunByMode)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace tufast
+
+BENCHMARK_MAIN();

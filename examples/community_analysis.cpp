@@ -1,0 +1,107 @@
+// Ad-hoc multi-stage analysis on one shared graph — the "programmer
+// usability" scenario from the paper's introduction: compose connected
+// components, a maximal independent set and triangle counting over the
+// same in-memory graph with plain sequential-looking code, no paradigm
+// rewrite per algorithm.
+//
+//   ./community_analysis [num_vertices] [num_edges]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "algorithms/coloring.h"
+#include "algorithms/kcore.h"
+#include "algorithms/mis.h"
+#include "algorithms/reference.h"
+#include "algorithms/triangle.h"
+#include "algorithms/wcc.h"
+#include "common/timer.h"
+#include "graph/degree_stats.h"
+#include "graph/generators.h"
+#include "htm/emulated_htm.h"
+#include "runtime/thread_pool.h"
+#include "tm/tufast.h"
+
+namespace {
+
+int Main(int argc, char** argv) {
+  using namespace tufast;
+  const VertexId n = argc > 1 ? std::atoi(argv[1]) : 20000;
+  const EdgeId m = argc > 2 ? std::atoll(argv[2]) : n * 6;
+
+  const Graph graph =
+      GeneratePowerLaw(n, m, /*seed=*/11, {.alpha = 0.7}).Undirected();
+  const DegreeStats degrees = ComputeDegreeStats(graph);
+  std::printf("graph: |V|=%u |E|=%llu avg_deg=%.1f max_deg=%u\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()),
+              degrees.average_degree, degrees.max_degree);
+
+  EmulatedHtm htm;
+  TuFast tm(htm, graph.NumVertices());
+  ThreadPool pool(4);
+  WallTimer timer;
+
+  // Stage 1: connected components.
+  const auto labels = WccTm(tm, pool, graph);
+  std::map<TmWord, uint64_t> component_sizes;
+  for (const TmWord label : labels) ++component_sizes[label];
+  uint64_t largest = 0;
+  for (const auto& [label, size] : component_sizes) {
+    largest = std::max(largest, size);
+  }
+  std::printf("stage 1: %zu components, largest holds %llu vertices "
+              "(%.1f%%) [%.1f ms]\n",
+              component_sizes.size(),
+              static_cast<unsigned long long>(largest),
+              100.0 * largest / graph.NumVertices(), timer.ElapsedMillis());
+
+  // Stage 2: a maximal independent set (e.g. seed selection).
+  timer.Restart();
+  const auto mis = MisTm(tm, pool, graph);
+  const uint64_t in_set =
+      static_cast<uint64_t>(std::count(mis.begin(), mis.end(), kMisIn));
+  const bool mis_valid =
+      ValidateMis(graph, std::vector<uint64_t>(mis.begin(), mis.end()));
+  std::printf("stage 2: independent set of %llu vertices (%s) [%.1f ms]\n",
+              static_cast<unsigned long long>(in_set),
+              mis_valid ? "valid+maximal" : "BROKEN", timer.ElapsedMillis());
+
+  // Stage 3: triangle count (clustering signal).
+  timer.Restart();
+  const uint64_t triangles = TriangleCountTm(tm, pool, graph);
+  std::printf("stage 3: %llu triangles [%.1f ms]\n",
+              static_cast<unsigned long long>(triangles),
+              timer.ElapsedMillis());
+
+  // Stage 4: k-core decomposition (densest-core detection).
+  timer.Restart();
+  const auto core = KCoreTm(tm, pool, graph);
+  TmWord max_core = 0;
+  for (const TmWord c : core) max_core = std::max(max_core, c);
+  std::printf("stage 4: max core number %llu [%.1f ms]\n",
+              static_cast<unsigned long long>(max_core),
+              timer.ElapsedMillis());
+
+  // Stage 5: greedy coloring (e.g. conflict-free update schedule).
+  timer.Restart();
+  const auto color = GreedyColoringTm(tm, pool, graph);
+  TmWord palette = 0;
+  for (const TmWord c : color) palette = std::max(palette, c);
+  const bool coloring_valid = ValidateColoring(graph, color);
+  std::printf("stage 5: proper coloring with %llu colors (%s) [%.1f ms]\n",
+              static_cast<unsigned long long>(palette + 1),
+              coloring_valid ? "valid" : "BROKEN", timer.ElapsedMillis());
+
+  std::printf(
+      "five analyses, one data representation, zero paradigm rewrites — "
+      "every\nshared access went through the same five TM primitives "
+      "(Table I).\n");
+  return mis_valid && coloring_valid ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

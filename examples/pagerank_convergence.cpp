@@ -1,0 +1,71 @@
+// PageRank with in-place (Gauss-Seidel) updates vs bulk-synchronous
+// (Jacobi) double buffering: TuFast transactions always read the
+// freshest neighbor ranks, so information propagates within an
+// iteration and convergence needs fewer sweeps — the paper's explanation
+// for its PageRank advantage over BSP systems (Fig. 11 discussion).
+//
+//   ./pagerank_convergence [num_vertices] [num_edges]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algorithms/pagerank.h"
+#include "common/timer.h"
+#include "engines/bsp_algorithms.h"
+#include "engines/bsp_engine.h"
+#include "graph/generators.h"
+#include "htm/emulated_htm.h"
+#include "runtime/thread_pool.h"
+#include "tm/tufast.h"
+
+namespace {
+
+int Main(int argc, char** argv) {
+  using namespace tufast;
+  const VertexId n = argc > 1 ? std::atoi(argv[1]) : 30000;
+  const EdgeId m = argc > 2 ? std::atoll(argv[2]) : n * 12;
+  constexpr double kTolerance = 1e-10;
+  constexpr int kMaxIters = 200;
+
+  const Graph graph = GeneratePowerLaw(n, m, /*seed=*/3, {.alpha = 0.75});
+  const Graph reversed = graph.Reversed();
+  ThreadPool pool(4);
+
+  EmulatedHtm htm;
+  TuFast tm(htm, graph.NumVertices());
+  WallTimer timer;
+  const PageRankResult in_place = PageRankTm(
+      tm, pool, graph, reversed,
+      {.max_iterations = kMaxIters, .tolerance = kTolerance});
+  const double tm_ms = timer.ElapsedMillis();
+
+  BspEngine bsp(pool, BspDelivery::kDirect);
+  timer.Restart();
+  const BspPageRankResult jacobi =
+      BspPageRank(bsp, graph, 0.85, kMaxIters, kTolerance);
+  const double bsp_ms = timer.ElapsedMillis();
+
+  double max_diff = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const double d = std::fabs(in_place.ranks[v] - jacobi.ranks[v]);
+    if (d > max_diff) max_diff = d;
+  }
+
+  std::printf("PageRank to per-vertex tolerance %.0e on |V|=%u |E|=%llu:\n",
+              kTolerance, n, static_cast<unsigned long long>(m));
+  std::printf("  TuFast in-place (Gauss-Seidel): %3d iterations, %8.1f ms\n",
+              in_place.iterations, tm_ms);
+  std::printf("  BSP double-buffered (Jacobi):   %3d iterations, %8.1f ms\n",
+              jacobi.iterations, bsp_ms);
+  std::printf("  max |rank difference| = %.2e (same fixed point)\n",
+              max_diff);
+  std::printf(
+      "in-place updates converge in fewer sweeps because fresh ranks "
+      "propagate\nmulti-hop within one iteration — the effect BSP's "
+      "super-step barrier forbids.\n");
+  return in_place.iterations <= jacobi.iterations ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,73 @@
+// Shortest paths, two ways from one program (the paper's Fig. 3 point):
+// Bellman-Ford and SPFA are the SAME transactional relaxation code —
+// only the worklist discipline differs (FIFO vs priority queue). Batched
+// paradigms (BSP) cannot express this switch; TuFast's transactional
+// semantics make it a one-argument change.
+//
+//   ./shortest_paths [num_vertices] [num_edges] [source]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algorithms/reference.h"
+#include "algorithms/sssp.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "htm/emulated_htm.h"
+#include "runtime/thread_pool.h"
+#include "tm/tufast.h"
+
+namespace {
+
+int Main(int argc, char** argv) {
+  using namespace tufast;
+  const VertexId n = argc > 1 ? std::atoi(argv[1]) : 30000;
+  const EdgeId m = argc > 2 ? std::atoll(argv[2]) : n * 10;
+  const Graph graph =
+      GeneratePowerLaw(n, m, /*seed=*/7, {.alpha = 0.7, .weighted = true});
+  // Default source: the highest-out-degree vertex, so most of the graph
+  // is reachable.
+  VertexId source = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (graph.OutDegree(v) > graph.OutDegree(source)) source = v;
+  }
+  if (argc > 3) source = std::atoi(argv[3]);
+  EmulatedHtm htm;
+  TuFast tm(htm, graph.NumVertices());
+  ThreadPool pool(4);
+
+  WallTimer timer;
+  const auto bf = SsspTm(tm, pool, graph, source, SsspDiscipline::kBellmanFord);
+  const double bf_ms = timer.ElapsedMillis();
+
+  timer.Restart();
+  const auto spfa = SsspTm(tm, pool, graph, source, SsspDiscipline::kSpfa);
+  const double spfa_ms = timer.ElapsedMillis();
+
+  // Both must agree with Dijkstra.
+  const auto expected = ReferenceSssp(graph, source);
+  uint64_t reached = 0;
+  for (size_t v = 0; v < expected.size(); ++v) {
+    if (bf[v] != expected[v] || spfa[v] != expected[v]) {
+      std::printf("MISMATCH at vertex %zu\n", v);
+      return 1;
+    }
+    reached += expected[v] != ~uint64_t{0};
+  }
+
+  std::printf("single-source shortest paths from %u: %llu of %u reachable\n",
+              source, static_cast<unsigned long long>(reached),
+              graph.NumVertices());
+  std::printf("  Bellman-Ford (FIFO queue):     %8.1f ms\n", bf_ms);
+  std::printf("  SPFA (priority queue):         %8.1f ms\n", spfa_ms);
+  std::printf("both verified against sequential Dijkstra.\n");
+  std::printf(
+      "the two runs share ALL relaxation code; only the worklist type "
+      "differs\n(SsspDiscipline::kBellmanFord vs kSpfa) — the fine-grained "
+      "scheduling freedom\nthe paper contrasts against BSP systems.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

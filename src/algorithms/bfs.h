@@ -1,0 +1,68 @@
+#ifndef TUFAST_ALGORITHMS_BFS_H_
+#define TUFAST_ALGORITHMS_BFS_H_
+
+#include <mutex>
+#include <vector>
+
+#include "graph/graph.h"
+#include "htm/htm_config.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+
+namespace tufast {
+
+/// Unreached distance marker.
+inline constexpr TmWord kBfsInfinity = ~TmWord{0};
+
+/// Frontier-parallel breadth-first search on the TuFast API: one
+/// transaction per frontier vertex claims its unvisited neighbors
+/// atomically (read dist[u], write dist[u]), so each vertex is claimed by
+/// exactly one parent and appears in exactly one next-frontier.
+template <typename Scheduler>
+std::vector<TmWord> BfsTm(Scheduler& tm, ThreadPool& pool, const Graph& graph,
+                          VertexId source) {
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> dist(n, kBfsInfinity);
+  dist[source] = 0;
+
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  std::mutex next_mutex;
+  TmWord depth = 0;
+
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    ParallelForChunked(
+        pool, 0, frontier.size(), /*grain=*/64,
+        [&](int worker, uint64_t lo, uint64_t hi) {
+          std::vector<VertexId> local_next;
+          for (uint64_t i = lo; i < hi; ++i) {
+            const VertexId v = frontier[i];
+            // claimed is (re)filled per attempt; only the committed
+            // attempt's claims survive the Run call.
+            std::vector<VertexId>* claimed = &local_next;
+            const size_t base_size = local_next.size();
+            tm.Run(worker, graph.OutDegree(v) + 1, [&](auto& txn) {
+              claimed->resize(base_size);
+              for (const VertexId u : graph.OutNeighbors(v)) {
+                if (txn.Read(u, &dist[u]) == kBfsInfinity) {
+                  txn.Write(u, &dist[u], depth);
+                  claimed->push_back(u);
+                }
+              }
+            });
+          }
+          if (!local_next.empty()) {
+            std::lock_guard<std::mutex> guard(next_mutex);
+            next.insert(next.end(), local_next.begin(), local_next.end());
+          }
+        });
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_ALGORITHMS_BFS_H_

@@ -1,0 +1,84 @@
+#ifndef TUFAST_ALGORITHMS_KCORE_H_
+#define TUFAST_ALGORITHMS_KCORE_H_
+
+#include <atomic>
+#include <vector>
+
+#include "graph/graph.h"
+#include "htm/htm_config.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+
+namespace tufast {
+
+/// k-core decomposition on the TuFast API (extension beyond the paper's
+/// six evaluation algorithms): core[v] = the largest k such that v
+/// belongs to a subgraph where every vertex has degree >= k. Parallel
+/// peeling: for k = 1, 2, ... repeatedly remove vertices whose residual
+/// degree drops below k; each removal is one transaction that atomically
+/// retires the vertex and decrements its live neighbors' degrees —
+/// exactly the irregular read-modify-write pattern TM handles without a
+/// paradigm rewrite. `graph` must be the symmetric closure.
+template <typename Scheduler>
+std::vector<TmWord> KCoreTm(Scheduler& tm, ThreadPool& pool,
+                            const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> degree(n), core(n, 0), alive(n, 1);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.OutDegree(v);
+    max_degree = std::max(max_degree, graph.OutDegree(v));
+  }
+
+  std::atomic<uint64_t> remaining{n};
+  for (uint32_t k = 1; k <= max_degree + 1; ++k) {
+    if (remaining.load(std::memory_order_relaxed) == 0) break;
+    // Peel until no vertex below the threshold survives.
+    std::atomic<bool> changed{true};
+    while (changed.load(std::memory_order_relaxed)) {
+      changed.store(false, std::memory_order_relaxed);
+      ParallelForChunked(
+          pool, 0, n, /*grain=*/256,
+          [&](int worker, uint64_t lo, uint64_t hi) {
+            uint64_t retired = 0;
+            bool local_changed = false;
+            for (uint64_t i = lo; i < hi; ++i) {
+              const VertexId v = static_cast<VertexId>(i);
+              if (__atomic_load_n(&alive[v], __ATOMIC_RELAXED) == 0) continue;
+              bool removed = false;
+              tm.Run(worker, graph.OutDegree(v) + 1, [&](auto& txn) {
+                removed = false;
+                if (txn.Read(v, &alive[v]) == 0) return;
+                if (txn.Read(v, &degree[v]) >= k) return;
+                txn.Write(v, &alive[v], 0);
+                txn.Write(v, &core[v], k - 1);
+                for (const VertexId u : graph.OutNeighbors(v)) {
+                  if (u == v) continue;
+                  if (txn.Read(u, &alive[u]) != 0) {
+                    txn.Write(u, &degree[u], txn.Read(u, &degree[u]) - 1);
+                  }
+                }
+                removed = true;
+              });
+              if (removed) {
+                ++retired;
+                local_changed = true;
+              }
+            }
+            if (retired > 0) {
+              remaining.fetch_sub(retired, std::memory_order_relaxed);
+            }
+            if (local_changed) {
+              changed.store(true, std::memory_order_relaxed);
+            }
+          });
+    }
+  }
+  // Every vertex is retired by k = residual_degree + 1 <= max_degree + 1,
+  // so all core numbers are assigned when the loop exits.
+  return core;
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_ALGORITHMS_KCORE_H_

@@ -1,0 +1,51 @@
+#ifndef TUFAST_ALGORITHMS_MIS_H_
+#define TUFAST_ALGORITHMS_MIS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "htm/htm_config.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+
+namespace tufast {
+
+/// Vertex states for maximal independent set.
+inline constexpr TmWord kMisUndecided = 0;
+inline constexpr TmWord kMisIn = 1;
+inline constexpr TmWord kMisOut = 2;
+
+/// Greedy maximal independent set on the TuFast API ("MIS" in the
+/// paper). One transaction per vertex decides it atomically against its
+/// neighborhood; because transactions serialize, ANY interleaving yields
+/// the greedy result of some sequential order — a valid MIS after a
+/// single parallel sweep. `graph` must be the symmetric closure.
+template <typename Scheduler>
+std::vector<TmWord> MisTm(Scheduler& tm, ThreadPool& pool,
+                          const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> state(n, kMisUndecided);
+  ParallelForChunked(
+      pool, 0, n, /*grain=*/128,
+      [&](int worker, uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          const VertexId v = static_cast<VertexId>(i);
+          tm.Run(worker, graph.OutDegree(v) + 1, [&](auto& txn) {
+            if (txn.Read(v, &state[v]) != kMisUndecided) return;
+            for (const VertexId u : graph.OutNeighbors(v)) {
+              if (u == v) continue;
+              if (txn.Read(u, &state[u]) == kMisIn) {
+                txn.Write(v, &state[v], kMisOut);
+                return;
+              }
+            }
+            txn.Write(v, &state[v], kMisIn);
+          });
+        }
+      });
+  return state;
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_ALGORITHMS_MIS_H_

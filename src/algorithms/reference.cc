@@ -1,0 +1,194 @@
+#include "algorithms/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+namespace tufast {
+
+namespace {
+constexpr uint64_t kInf = ~uint64_t{0};
+}  // namespace
+
+std::vector<double> ReferencePageRank(const Graph& graph, double damping,
+                                      int max_iterations, double tolerance) {
+  const VertexId n = graph.NumVertices();
+  std::vector<double> rank(n, 1.0 / n), next(n, 0.0);
+  const double base = (1.0 - damping) / n;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), base);
+    for (VertexId v = 0; v < n; ++v) {
+      const uint32_t d = graph.OutDegree(v);
+      if (d == 0) continue;
+      const double share = damping * rank[v] / d;
+      for (const VertexId u : graph.OutNeighbors(v)) next[u] += share;
+    }
+    double delta = 0;
+    for (VertexId v = 0; v < n; ++v) delta += std::fabs(next[v] - rank[v]);
+    rank.swap(next);
+    if (delta / n < tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<uint64_t> ReferenceBfs(const Graph& graph, VertexId source) {
+  std::vector<uint64_t> dist(graph.NumVertices(), kInf);
+  std::deque<VertexId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId u : graph.OutNeighbors(v)) {
+      if (dist[u] == kInf) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> ReferenceWcc(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint64_t> label(n, kInf);
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (label[root] != kInf) continue;
+    label[root] = root;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (const VertexId u : graph.OutNeighbors(v)) {
+        if (label[u] == kInf) {
+          label[u] = root;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<uint64_t> ReferenceSssp(const Graph& graph, VertexId source) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint64_t> dist(n, kInf);
+  using Item = std::pair<uint64_t, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;
+    for (EdgeId e = graph.EdgeBegin(v); e < graph.EdgeEnd(v); ++e) {
+      const VertexId u = graph.EdgeTarget(e);
+      const uint64_t candidate = d + graph.EdgeWeight(e);
+      if (candidate < dist[u]) {
+        dist[u] = candidate;
+        heap.emplace(candidate, u);
+      }
+    }
+  }
+  return dist;
+}
+
+uint64_t ReferenceTriangleCount(const Graph& graph) {
+  uint64_t total = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto nv = graph.OutNeighbors(v);
+    for (size_t i = 0; i < nv.size(); ++i) {
+      const VertexId u = nv[i];
+      if (u <= v) continue;
+      const auto nu = graph.OutNeighbors(u);
+      size_t a = i + 1, b = 0;
+      while (a < nv.size() && b < nu.size()) {
+        if (nv[a] < nu[b]) {
+          ++a;
+        } else if (nu[b] < nv[a]) {
+          ++b;
+        } else {
+          if (nv[a] > u) ++total;
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+bool ValidateMis(const Graph& graph, const std::vector<uint64_t>& state) {
+  constexpr uint64_t kIn = 1, kOut = 2;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (state[v] != kIn && state[v] != kOut) return false;
+    bool has_in_neighbor = false;
+    for (const VertexId u : graph.OutNeighbors(v)) {
+      if (u == v) continue;
+      if (state[u] == kIn) {
+        has_in_neighbor = true;
+        if (state[v] == kIn) return false;  // Not independent.
+      }
+    }
+    if (state[v] == kOut && !has_in_neighbor) return false;  // Not maximal.
+  }
+  return true;
+}
+
+bool ValidateMatching(const Graph& graph, const std::vector<uint64_t>& match) {
+  const uint64_t kUnmatchedRef = ~uint64_t{0};
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (match[v] == kUnmatchedRef) continue;
+    const VertexId partner = static_cast<VertexId>(match[v]);
+    if (partner >= graph.NumVertices()) return false;
+    if (match[partner] != v) return false;  // Not symmetric.
+    const auto neighbors = graph.OutNeighbors(v);
+    if (!std::binary_search(neighbors.begin(), neighbors.end(), partner)) {
+      return false;  // Partner not adjacent.
+    }
+  }
+  // Maximality: no edge joins two unmatched vertices.
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (match[v] != kUnmatchedRef) continue;
+    for (const VertexId u : graph.OutNeighbors(v)) {
+      if (u != v && match[u] == kUnmatchedRef) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint32_t> ReferenceCoreNumbers(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> degree(n), core(n, 0);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.OutDegree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket vertices by current degree; peel in nondecreasing order.
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  uint32_t current_core = 0;
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    // Buckets may refill below d during peeling; re-scan from d.
+    for (size_t i = 0; i < buckets[d].size(); ++i) {
+      const VertexId v = buckets[d][i];
+      if (removed[v] || degree[v] != d) continue;  // Stale entry.
+      current_core = std::max(current_core, d);
+      core[v] = current_core;
+      removed[v] = true;
+      for (const VertexId u : graph.OutNeighbors(v)) {
+        if (u == v || removed[u]) continue;
+        if (degree[u] > d) {
+          --degree[u];
+          buckets[degree[u]].push_back(u);
+        }
+      }
+    }
+  }
+  return core;
+}
+
+}  // namespace tufast

@@ -1,0 +1,48 @@
+#ifndef TUFAST_ALGORITHMS_REFERENCE_H_
+#define TUFAST_ALGORITHMS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tufast {
+
+/// Sequential reference implementations and result validators, used by
+/// the test suite to check every parallel TM algorithm. The parallel
+/// algorithms are nondeterministic where several answers are legal (MIS,
+/// matching, PageRank ordering), so validators check correctness
+/// properties rather than exact equality where appropriate.
+
+/// Jacobi PageRank until convergence; ground truth within tolerance.
+std::vector<double> ReferencePageRank(const Graph& graph, double damping,
+                                      int max_iterations, double tolerance);
+
+/// BFS depths from source (kBfsInfinity-compatible: unreached = ~0).
+std::vector<uint64_t> ReferenceBfs(const Graph& graph, VertexId source);
+
+/// Component labels: min vertex id per weakly connected component.
+/// Expects the symmetric closure.
+std::vector<uint64_t> ReferenceWcc(const Graph& graph);
+
+/// Dijkstra distances from source (unreached = ~0). Expects weights.
+std::vector<uint64_t> ReferenceSssp(const Graph& graph, VertexId source);
+
+/// Exact triangle count (each triangle once); symmetric sorted graph.
+uint64_t ReferenceTriangleCount(const Graph& graph);
+
+/// True iff `state` (values kMisIn/kMisOut) is an independent set that is
+/// maximal, with no vertex left undecided. Expects symmetric closure.
+bool ValidateMis(const Graph& graph, const std::vector<uint64_t>& state);
+
+/// True iff `match` is a valid maximal matching: symmetric partners,
+/// partners are adjacent, and no edge joins two unmatched vertices.
+bool ValidateMatching(const Graph& graph, const std::vector<uint64_t>& match);
+
+/// Core numbers by sequential peeling (Batagelj–Zaveršnik style);
+/// symmetric sorted graph.
+std::vector<uint32_t> ReferenceCoreNumbers(const Graph& graph);
+
+}  // namespace tufast
+
+#endif  // TUFAST_ALGORITHMS_REFERENCE_H_

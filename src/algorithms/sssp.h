@@ -1,0 +1,88 @@
+#ifndef TUFAST_ALGORITHMS_SSSP_H_
+#define TUFAST_ALGORITHMS_SSSP_H_
+
+#include <atomic>
+#include <vector>
+
+#include "graph/graph.h"
+#include "htm/htm_config.h"
+#include "runtime/thread_pool.h"
+#include "runtime/worklist.h"
+
+namespace tufast {
+
+inline constexpr TmWord kSsspInfinity = ~TmWord{0};
+
+/// Scheduling discipline for the relaxation worklist — the paper's Fig. 3
+/// point: Bellman-Ford and SPFA are the *same* TM program, differing only
+/// in the queue type, a flexibility BSP systems cannot offer.
+enum class SsspDiscipline {
+  kBellmanFord,  ///< FIFO worklist.
+  kSpfa,         ///< Priority worklist (closest-distance-first).
+};
+
+/// Single-source shortest paths by worklist-driven relaxation on the
+/// TuFast API. One transaction per popped vertex relaxes all of its
+/// out-edges (size hint = degree). `graph` must be weighted.
+template <typename Scheduler>
+std::vector<TmWord> SsspTm(Scheduler& tm, ThreadPool& pool, const Graph& graph,
+                           VertexId source,
+                           SsspDiscipline discipline = SsspDiscipline::kSpfa) {
+  TUFAST_CHECK(graph.HasWeights());
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> dist(n, kSsspInfinity);
+  std::vector<TmWord> in_queue(n, 0);
+  dist[source] = 0;
+  in_queue[source] = 1;
+
+  ConcurrentQueue<VertexId> fifo;
+  ConcurrentPriorityQueue<VertexId, TmWord> prio;
+  const bool use_fifo = discipline == SsspDiscipline::kBellmanFord;
+  if (use_fifo) {
+    fifo.Push(source);
+  } else {
+    prio.Push(source, 0);
+  }
+
+  std::atomic<int> active{0};
+  pool.RunOnAll([&](int worker) {
+    auto process = [&](int w, VertexId v) {
+      // Collected by the committed execution only.
+      std::vector<std::pair<VertexId, TmWord>> to_push;
+      tm.Run(w, graph.OutDegree(v) + 1, [&](auto& txn) {
+        to_push.clear();
+        txn.Write(v, &in_queue[v], 0);
+        const TmWord dv = txn.Read(v, &dist[v]);
+        if (dv == kSsspInfinity) return;
+        for (EdgeId e = graph.EdgeBegin(v); e < graph.EdgeEnd(v); ++e) {
+          const VertexId u = graph.EdgeTarget(e);
+          const TmWord candidate = dv + graph.EdgeWeight(e);
+          if (candidate < txn.Read(u, &dist[u])) {
+            txn.Write(u, &dist[u], candidate);
+            if (txn.Read(u, &in_queue[u]) == 0) {
+              txn.Write(u, &in_queue[u], 1);
+              to_push.emplace_back(u, candidate);
+            }
+          }
+        }
+      });
+      for (const auto& [u, d] : to_push) {
+        if (use_fifo) {
+          fifo.Push(u);
+        } else {
+          prio.Push(u, d);
+        }
+      }
+    };
+    if (use_fifo) {
+      DrainWorklist(fifo, worker, active, process);
+    } else {
+      DrainWorklist(prio, worker, active, process);
+    }
+  });
+  return dist;
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_ALGORITHMS_SSSP_H_

@@ -1,0 +1,34 @@
+#include "bench_support/datasets.h"
+
+#include "graph/generators.h"
+
+namespace tufast {
+
+std::vector<DatasetSpec> BenchDatasets(double scale) {
+  // Vertex counts chosen so a full bench sweep finishes in minutes on one
+  // core; average degrees match paper Table II (|E|/|V| of the
+  // originals). The web graphs (sk-2005, uk-2007-05) get a higher alpha:
+  // web graphs are more skewed than social networks.
+  auto scaled = [scale](VertexId n) {
+    const VertexId v = static_cast<VertexId>(n * scale);
+    return v < 1024 ? 1024 : v;
+  };
+  return {
+      {"friendster-s", "friendster (65.6M/1806M)", scaled(40000), 27.53, 0.65,
+       101},
+      {"twitter-s", "twitter-mpi (52.6M/1963M)", scaled(32000), 37.05, 0.75,
+       102},
+      {"sk-2005-s", "sk-2005 (50.6M/1949M)", scaled(32000), 38.50, 0.85, 103},
+      {"uk-2007-s", "uk-2007-05 (105.8M/3738M)", scaled(64000), 35.31, 0.85,
+       104},
+  };
+}
+
+Graph GenerateDataset(const DatasetSpec& spec, bool weighted) {
+  const EdgeId edges =
+      static_cast<EdgeId>(spec.avg_degree * spec.num_vertices);
+  return GeneratePowerLaw(spec.num_vertices, edges, spec.seed,
+                          {.alpha = spec.alpha, .weighted = weighted});
+}
+
+}  // namespace tufast

@@ -1,0 +1,34 @@
+#ifndef TUFAST_BENCH_SUPPORT_DATASETS_H_
+#define TUFAST_BENCH_SUPPORT_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tufast {
+
+/// Scaled-down synthetic stand-ins for the paper's four datasets
+/// (Table II). Real graphs are 1.8–3.7 B edges / 16–33 GB — far beyond
+/// this environment — so each stand-in preserves the property TuFast's
+/// design exploits: the average degree of the original and a power-law
+/// (or, for the web graphs, an even more skewed) degree profile. Load a
+/// real SNAP edge list through graph/io.h to swap the originals in.
+struct DatasetSpec {
+  std::string name;        ///< e.g. "friendster-s"
+  std::string original;    ///< Paper dataset it stands in for.
+  VertexId num_vertices;
+  double avg_degree;       ///< Matches the original's |E|/|V| (Table II).
+  double alpha;            ///< Zipf skew of the generator.
+  uint64_t seed;
+};
+
+/// The four Table II stand-ins at the default bench scale.
+std::vector<DatasetSpec> BenchDatasets(double scale = 1.0);
+
+/// Generates the graph for a spec (weighted: uniform 1..100 weights).
+Graph GenerateDataset(const DatasetSpec& spec, bool weighted = false);
+
+}  // namespace tufast
+
+#endif  // TUFAST_BENCH_SUPPORT_DATASETS_H_

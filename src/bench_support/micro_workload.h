@@ -1,0 +1,121 @@
+#ifndef TUFAST_BENCH_SUPPORT_MICRO_WORKLOAD_H_
+#define TUFAST_BENCH_SUPPORT_MICRO_WORKLOAD_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/graph.h"
+#include "htm/htm_config.h"
+#include "runtime/thread_pool.h"
+#include "tm/outcome.h"
+
+namespace tufast {
+
+/// The paper's two abstract scheduler-throughput workloads (§VI-B):
+///  RM ("Read Mostly"): a transaction reads a vertex and all its
+///      neighbors and writes only the vertex itself;
+///  RW ("Read and Write"): it reads AND writes the vertex and all its
+///      neighbors.
+enum class MicroWorkloadKind { kReadMostly, kReadWrite };
+
+struct MicroWorkloadResult {
+  double seconds = 0;
+  uint64_t transactions = 0;
+  uint64_t operations = 0;
+
+  double TxnPerSec() const {
+    return seconds > 0 ? transactions / seconds : 0;
+  }
+  double OpsPerSec() const { return seconds > 0 ? operations / seconds : 0; }
+};
+
+struct MicroWorkloadOptions {
+  MicroWorkloadKind kind = MicroWorkloadKind::kReadMostly;
+  uint64_t transactions_per_thread = 20000;
+  uint64_t seed = 7;
+  /// Fraction of transactions whose subject vertex is drawn from the
+  /// small hot set (contention knob for paper Fig. 7); the rest are
+  /// uniform. 0 = uncontended.
+  double hot_fraction = 0.0;
+  uint32_t hot_set_size = 16;
+  /// Use ReadForUpdate (declared write intent) for vertices that will be
+  /// written: locking schedulers then take exclusive locks up front
+  /// instead of upgrading (avoids mutual-upgrade deadlocks). Used by the
+  /// Fig. 7 study, where the 2PL baseline is run the way a careful 2PL
+  /// application would be written.
+  bool declare_write_intent = false;
+  /// Sleep inserted mid-transaction (between the read and write phases),
+  /// in microseconds. On a single-core host transactions otherwise run to
+  /// completion within one timeslice and never temporally overlap; the
+  /// delay restores the overlap a multi-core machine has naturally (used
+  /// by the Fig. 7 contention study). 0 = off.
+  uint32_t mid_txn_delay_us = 0;
+};
+
+/// Runs the micro-workload on any scheduler with the common Run()
+/// interface; `values` must have one TmWord per vertex.
+template <typename Scheduler>
+MicroWorkloadResult RunMicroWorkload(Scheduler& tm, ThreadPool& pool,
+                                     const Graph& graph,
+                                     std::vector<TmWord>& values,
+                                     MicroWorkloadOptions options) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint64_t> ops_by_worker(pool.num_threads(), 0);
+  WallTimer timer;
+  pool.RunOnAll([&](int worker) {
+    Rng rng(options.seed + static_cast<uint64_t>(worker) * 7919);
+    uint64_t ops = 0;
+    for (uint64_t i = 0; i < options.transactions_per_thread; ++i) {
+      VertexId v;
+      if (options.hot_fraction > 0 && rng.NextBool(options.hot_fraction)) {
+        v = static_cast<VertexId>(rng.NextBounded(options.hot_set_size));
+      } else {
+        v = static_cast<VertexId>(rng.NextBounded(n));
+      }
+      const bool intent = options.declare_write_intent;
+      const RunOutcome outcome =
+          tm.Run(worker, graph.OutDegree(v) + 1, [&](auto& txn) {
+            TmWord sum = intent ? txn.ReadForUpdate(v, &values[v])
+                                : txn.Read(v, &values[v]);
+            if (options.kind == MicroWorkloadKind::kReadMostly) {
+              for (const VertexId u : graph.OutNeighbors(v)) {
+                sum += txn.Read(u, &values[u]);
+              }
+              if (options.mid_txn_delay_us > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(options.mid_txn_delay_us));
+              }
+              txn.Write(v, &values[v], sum + 1);
+            } else {
+              for (const VertexId u : graph.OutNeighbors(v)) {
+                const TmWord x = intent ? txn.ReadForUpdate(u, &values[u])
+                                        : txn.Read(u, &values[u]);
+                txn.Write(u, &values[u], x + 1);
+                sum += x;
+              }
+              if (options.mid_txn_delay_us > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(options.mid_txn_delay_us));
+              }
+              txn.Write(v, &values[v], sum + 1);
+            }
+          });
+      ops += outcome.ops;
+    }
+    ops_by_worker[worker] = ops;
+  });
+  MicroWorkloadResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.transactions =
+      options.transactions_per_thread * pool.num_threads();
+  for (const uint64_t ops : ops_by_worker) result.operations += ops;
+  return result;
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_BENCH_SUPPORT_MICRO_WORKLOAD_H_

@@ -1,0 +1,64 @@
+#include "bench_support/reporting.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/compiler.h"
+
+namespace tufast {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  TUFAST_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::Num(double value) {
+  char buf[64];
+  if (value == 0) {
+    return "0";
+  } else if (value >= 1000 || value <= -1000) {
+    std::snprintf(buf, sizeof(buf), "%.3g", value);
+  } else if (value >= 1 || value <= -1) {
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+  }
+  return buf;
+}
+
+std::string ReportTable::Int(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+void ReportTable::Print(const std::string& title) const {
+  std::printf("\n### %s\n\n", title.c_str());
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+}  // namespace tufast

@@ -1,0 +1,33 @@
+#ifndef TUFAST_BENCH_SUPPORT_REPORTING_H_
+#define TUFAST_BENCH_SUPPORT_REPORTING_H_
+
+#include <string>
+#include <vector>
+
+namespace tufast {
+
+/// Aligned-column table printer for benchmark harness output (the rows
+/// and series each paper table/figure reports). Prints to stdout in a
+/// markdown-compatible layout so EXPERIMENTS.md can embed outputs
+/// directly.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with sensible precision (3 significant-ish digits).
+  static std::string Num(double value);
+  static std::string Int(uint64_t value);
+
+  /// Prints "### title" followed by the aligned table.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_BENCH_SUPPORT_REPORTING_H_

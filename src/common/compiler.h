@@ -1,0 +1,60 @@
+#ifndef TUFAST_COMMON_COMPILER_H_
+#define TUFAST_COMMON_COMPILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Compiler/platform helpers shared by every TuFast module.
+
+#define TUFAST_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define TUFAST_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+/// Forces inlining of TM hot-path operations. The TuFast router
+/// instantiates each transaction body for all three modes, which blows
+/// GCC's unit-growth inlining budget and would otherwise leave the
+/// per-operation Read/Write calls outlined (~7x slowdown measured).
+#define TUFAST_ALWAYS_INLINE inline __attribute__((always_inline))
+
+/// Keeps rarely-taken slow paths (O/L-mode fallbacks) out of the hot
+/// routing function so their body instantiations don't degrade its
+/// code generation.
+#define TUFAST_NOINLINE_COLD __attribute__((noinline, cold))
+
+/// Marks a class non-copyable and non-movable. Use inside the public
+/// section, per the style guide's "make copyability explicit" rule.
+#define TUFAST_DISALLOW_COPY_AND_MOVE(Type) \
+  Type(const Type&) = delete;               \
+  Type& operator=(const Type&) = delete;    \
+  Type(Type&&) = delete;                    \
+  Type& operator=(Type&&) = delete
+
+namespace tufast {
+
+/// Hardware cache-line size assumed throughout (x86).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Aborts the process with a message. Used for invariant violations that
+/// indicate a library bug, never for user errors (those return Status).
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "[tufast] FATAL %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace tufast
+
+/// Internal invariant check that stays on in release builds: TM protocols
+/// must fail loudly, not corrupt memory.
+#define TUFAST_CHECK(cond)                                       \
+  do {                                                           \
+    if (TUFAST_UNLIKELY(!(cond))) {                              \
+      ::tufast::FatalError(__FILE__, __LINE__, "check failed: " #cond); \
+    }                                                            \
+  } while (0)
+
+#define TUFAST_DCHECK(cond) TUFAST_CHECK(cond)
+
+#endif  // TUFAST_COMMON_COMPILER_H_

@@ -1,0 +1,70 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace tufast {
+
+namespace {
+constexpr int kNumBins = 65;  // bin 0 = zeros, bin k = [2^(k-1), 2^k).
+}  // namespace
+
+LogHistogram::LogHistogram() : bins_(kNumBins, 0) {}
+
+int LogHistogram::BinIndex(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - std::countl_zero(value);
+}
+
+void LogHistogram::Add(uint64_t value, uint64_t weight) {
+  bins_[BinIndex(value)] += weight;
+  count_ += weight;
+  sum_ += value * weight;
+  max_ = std::max(max_, value);
+  min_ = std::min(min_, value);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (int i = 0; i < kNumBins; ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+double LogHistogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t LogHistogram::ApproxQuantile(double quantile) const {
+  if (count_ == 0) return 0;
+  const double target = quantile * static_cast<double>(count_);
+  double running = 0;
+  for (int i = 0; i < kNumBins; ++i) {
+    running += static_cast<double>(bins_[i]);
+    if (running >= target) {
+      return i == 0 ? 0 : (1ULL << (i - 1));
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::ToString() const {
+  std::string out;
+  char buf[128];
+  for (int i = 0; i < kNumBins; ++i) {
+    if (bins_[i] == 0) continue;
+    const uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+    const uint64_t hi = i == 0 ? 0 : (1ULL << i) - 1;
+    std::snprintf(buf, sizeof(buf), "%12llu..%-12llu %llu\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(bins_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace tufast

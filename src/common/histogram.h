@@ -1,0 +1,50 @@
+#ifndef TUFAST_COMMON_HISTOGRAM_H_
+#define TUFAST_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tufast {
+
+/// Power-of-two log-binned histogram of non-negative integer samples.
+/// Used for degree distributions (paper Fig. 5), transaction-size
+/// breakdowns (Fig. 15) and latency summaries.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void Add(uint64_t value, uint64_t weight = 1);
+
+  /// Merges another histogram into this one (per-thread stats join).
+  void Merge(const LogHistogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  double Mean() const;
+
+  /// Smallest value v such that at least `quantile` of the mass is <= the
+  /// bin containing v. Bin-resolution approximation.
+  uint64_t ApproxQuantile(double quantile) const;
+
+  /// One row per non-empty bin: "lo..hi count". For Fig. 5 style output.
+  std::string ToString() const;
+
+  /// Bin counts indexed by floor(log2(value)) + 1 (bin 0 holds zeros).
+  const std::vector<uint64_t>& bins() const { return bins_; }
+
+ private:
+  static int BinIndex(uint64_t value);
+
+  std::vector<uint64_t> bins_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = ~0ULL;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_COMMON_HISTOGRAM_H_

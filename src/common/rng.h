@@ -1,0 +1,80 @@
+#ifndef TUFAST_COMMON_RNG_H_
+#define TUFAST_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tufast {
+
+/// SplitMix64: used to seed Xoshiro and for cheap stateless hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Fast, high-quality PRNG (xoshiro256**). Deterministic per seed so
+/// every experiment in this repository is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's multiply-shift rejection-free-enough reduction.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with the given probability in [0, 1].
+  bool NextBool(double probability) { return NextDouble() < probability; }
+
+  /// Zipf-like sample in [0, n): probability of rank r proportional to
+  /// 1/(r+1)^alpha. Uses inverse-CDF on the continuous approximation,
+  /// which is accurate enough for workload skew generation.
+  uint64_t NextZipf(uint64_t n, double alpha) {
+    if (n <= 1) return 0;
+    const double u = NextDouble();
+    if (alpha == 1.0) {
+      const double h = std::log(static_cast<double>(n));
+      const double x = std::exp(u * h) - 1.0;
+      const uint64_t r = static_cast<uint64_t>(x);
+      return r < n ? r : n - 1;
+    }
+    const double one_minus = 1.0 - alpha;
+    const double max_cdf = std::pow(static_cast<double>(n), one_minus) - 1.0;
+    const double x = std::pow(u * max_cdf + 1.0, 1.0 / one_minus) - 1.0;
+    const uint64_t r = static_cast<uint64_t>(x);
+    return r < n ? r : n - 1;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_COMMON_RNG_H_

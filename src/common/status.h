@@ -1,0 +1,95 @@
+#ifndef TUFAST_COMMON_STATUS_H_
+#define TUFAST_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/compiler.h"
+
+namespace tufast {
+
+/// Error taxonomy for recoverable failures (I/O, user input). Library
+/// invariant violations use TUFAST_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kUnsupported,
+  kInternal,
+};
+
+/// Minimal Status value type (RocksDB/Arrow style): cheap to return, must
+/// be inspected via ok()/code(). No exceptions cross public boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_.empty() ? "error" : message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result-or-error wrapper. `value()` may only be called when ok().
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  StatusOr(Status status) : status_(std::move(status)) {
+    TUFAST_CHECK(!status_.ok());
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    TUFAST_CHECK(status_.ok());
+    return value_;
+  }
+  const T& value() const {
+    TUFAST_CHECK(status_.ok());
+    return value_;
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_COMMON_STATUS_H_

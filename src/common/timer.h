@@ -1,0 +1,37 @@
+#ifndef TUFAST_COMMON_TIMER_H_
+#define TUFAST_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tufast {
+
+/// Monotonic wall-clock stopwatch used by benches and the adaptive
+/// contention monitor.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_COMMON_TIMER_H_

@@ -1,0 +1,19 @@
+#ifndef TUFAST_COMMON_TYPES_H_
+#define TUFAST_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace tufast {
+
+/// Vertex identifier. Graphs in this repository are sized well below 4B
+/// vertices; 32-bit ids halve CSR memory traffic.
+using VertexId = uint32_t;
+
+/// Edge index into CSR adjacency arrays (|E| can exceed 4B in principle).
+using EdgeId = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+}  // namespace tufast
+
+#endif  // TUFAST_COMMON_TYPES_H_

@@ -1,0 +1,272 @@
+#ifndef TUFAST_ENGINES_BSP_ALGORITHMS_H_
+#define TUFAST_ENGINES_BSP_ALGORITHMS_H_
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "engines/bsp_engine.h"
+#include "graph/graph.h"
+#include "runtime/parallel_for.h"
+
+namespace tufast {
+
+/// The paper's six evaluation algorithms in the bulk-synchronous
+/// paradigm, for the Ligra-like (direct) and Polymer-like (materialized)
+/// engines of Fig. 11. The defining architectural property: every
+/// super-step reads the PREVIOUS step's state (double buffering), so
+/// information travels one hop per barrier — contrast the in-place TM
+/// versions in src/algorithms/.
+
+inline constexpr TmWord kBspInfinity = ~TmWord{0};
+
+/// Jacobi PageRank (message-passing systems cannot do Gauss-Seidel).
+struct BspPageRankResult {
+  std::vector<double> ranks;
+  int iterations = 0;
+  double final_delta = 0;
+};
+
+template <typename Engine>
+BspPageRankResult BspPageRank(Engine& engine, const Graph& graph,
+                              double damping, int max_iterations,
+                              double tolerance) {
+  const VertexId n = graph.NumVertices();
+  std::vector<double> rank(n, 1.0 / n), next(n, 0.0);
+  const double base = (1.0 - damping) / n;
+  BspPageRankResult result;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    // Scatter phase: every vertex pushes rank/deg to its out-neighbors.
+    // Needs atomic accumulation (or materialized combining).
+    ParallelForChunked(
+        engine.pool(), 0, n, /*grain=*/256,
+        [&](int /*worker*/, uint64_t lo, uint64_t hi) {
+          for (uint64_t i = lo; i < hi; ++i) {
+            const VertexId v = static_cast<VertexId>(i);
+            const uint32_t d = graph.OutDegree(v);
+            if (d == 0) continue;
+            const double share = damping * rank[v] / d;
+            for (const VertexId u : graph.OutNeighbors(v)) {
+              uint64_t* slot = reinterpret_cast<uint64_t*>(&next[u]);
+              uint64_t current = __atomic_load_n(slot, __ATOMIC_RELAXED);
+              while (!__atomic_compare_exchange_n(
+                  slot, &current,
+                  std::bit_cast<uint64_t>(std::bit_cast<double>(current) +
+                                          share),
+                  /*weak=*/false, __ATOMIC_ACQ_REL, __ATOMIC_RELAXED)) {
+              }
+            }
+          }
+        });
+    std::atomic<double> delta{0.0};
+    ParallelForChunked(engine.pool(), 0, n, 4096,
+                       [&](int, uint64_t lo, uint64_t hi) {
+                         double local = 0;
+                         for (uint64_t v = lo; v < hi; ++v) {
+                           next[v] += base;
+                           local += std::fabs(next[v] - rank[v]);
+                         }
+                         double expected =
+                             delta.load(std::memory_order_relaxed);
+                         while (!delta.compare_exchange_weak(
+                             expected, expected + local,
+                             std::memory_order_relaxed)) {
+                         }
+                       });
+    engine.ChargeActiveVertices(graph, n);  // GAS sync of every vertex.
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta.load() / n;
+    if (result.final_delta < tolerance) break;
+  }
+  result.ranks = std::move(rank);
+  return result;
+}
+
+template <typename Engine>
+std::vector<TmWord> BspBfs(Engine& engine, const Graph& graph,
+                           VertexId source) {
+  std::vector<TmWord> dist(graph.NumVertices(), kBspInfinity);
+  dist[source] = 0;
+  std::vector<VertexId> frontier{source};
+  TmWord depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    frontier = engine.EdgeMap(
+        graph, frontier, dist,
+        [&](VertexId, EdgeId) { return depth; },
+        [](TmWord incoming, TmWord current, TmWord* merged) {
+          if (incoming >= current) return false;
+          *merged = incoming;
+          return true;
+        });
+  }
+  return dist;
+}
+
+template <typename Engine>
+std::vector<TmWord> BspWcc(Engine& engine, const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> label(n);
+  std::vector<VertexId> frontier(n);
+  for (VertexId v = 0; v < n; ++v) {
+    label[v] = v;
+    frontier[v] = v;
+  }
+  // Double-buffered label propagation: labels read in step k are the
+  // step-(k-1) labels, so a label travels exactly one hop per barrier.
+  std::vector<TmWord> current = label;
+  while (!frontier.empty()) {
+    frontier = engine.EdgeMap(
+        graph, frontier, label,
+        [&](VertexId v, EdgeId) { return current[v]; },
+        [](TmWord incoming, TmWord cur, TmWord* merged) {
+          if (incoming >= cur) return false;
+          *merged = incoming;
+          return true;
+        });
+    current = label;
+  }
+  return label;
+}
+
+template <typename Engine>
+std::vector<TmWord> BspSssp(Engine& engine, const Graph& graph,
+                            VertexId source) {
+  TUFAST_CHECK(graph.HasWeights());
+  std::vector<TmWord> dist(graph.NumVertices(), kBspInfinity);
+  std::vector<TmWord> current = dist;
+  dist[source] = 0;
+  current[source] = 0;
+  std::vector<VertexId> frontier{source};
+  while (!frontier.empty()) {
+    frontier = engine.EdgeMap(
+        graph, frontier, dist,
+        [&](VertexId v, EdgeId e) { return current[v] + graph.EdgeWeight(e); },
+        [](TmWord incoming, TmWord cur, TmWord* merged) {
+          if (incoming >= cur) return false;
+          *merged = incoming;
+          return true;
+        });
+    current = dist;
+  }
+  return dist;
+}
+
+/// Luby's MIS: BSP engines cannot run the one-pass greedy (it needs
+/// atomic neighborhood decisions), so they pay multiple rounds of
+/// priority comparison — the classic message-passing formulation.
+template <typename Engine>
+std::vector<TmWord> BspMis(Engine& engine, const Graph& graph,
+                           uint64_t seed) {
+  const VertexId n = graph.NumVertices();
+  constexpr TmWord kUndecided = 0, kIn = 1, kOut = 2;
+  std::vector<TmWord> state(n, kUndecided);
+  std::vector<uint64_t> priority(n);
+  Rng rng(seed);
+  for (VertexId v = 0; v < n; ++v) priority[v] = rng.Next();
+
+  std::atomic<bool> any_undecided{true};
+  while (any_undecided.load(std::memory_order_relaxed)) {
+    any_undecided.store(false, std::memory_order_relaxed);
+    // Round phase 1: a vertex joins when it beats all undecided
+    // neighbors' priorities (reads previous-step states only).
+    const std::vector<TmWord> snapshot = state;
+    ParallelForChunked(
+        engine.pool(), 0, n, 256, [&](int, uint64_t lo, uint64_t hi) {
+          for (uint64_t i = lo; i < hi; ++i) {
+            const VertexId v = static_cast<VertexId>(i);
+            if (snapshot[v] != kUndecided) continue;
+            bool wins = true;
+            for (const VertexId u : graph.OutNeighbors(v)) {
+              if (u == v) continue;
+              if (snapshot[u] == kIn) {
+                wins = false;
+                break;
+              }
+              if (snapshot[u] == kUndecided &&
+                  (priority[u] > priority[v] ||
+                   (priority[u] == priority[v] && u > v))) {
+                wins = false;
+                break;
+              }
+            }
+            if (wins) state[v] = kIn;
+          }
+        });
+    engine.ChargeActiveVertices(graph, n);
+    // Round phase 2: neighbors of winners drop out.
+    ParallelForChunked(
+        engine.pool(), 0, n, 256, [&](int, uint64_t lo, uint64_t hi) {
+          bool local_undecided = false;
+          for (uint64_t i = lo; i < hi; ++i) {
+            const VertexId v = static_cast<VertexId>(i);
+            if (state[v] != kUndecided) continue;
+            for (const VertexId u : graph.OutNeighbors(v)) {
+              if (u != v && state[u] == kIn) {
+                state[v] = kOut;
+                break;
+              }
+            }
+            if (state[v] == kUndecided) local_undecided = true;
+          }
+          if (local_undecided)
+            any_undecided.store(true, std::memory_order_relaxed);
+        });
+  }
+  return state;
+}
+
+/// Triangle counting is read-only; the BSP engine runs it directly (no
+/// double-buffering needed), making this the paper's "low overhead wins"
+/// case where engines are close.
+template <typename Engine>
+uint64_t BspTriangleCount(Engine& engine, const Graph& graph) {
+  // Distributed engines must ship the smaller adjacency list across the
+  // wire for every edge; charge that volume up front.
+  uint64_t exchange_words = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (const VertexId u : graph.OutNeighbors(v)) {
+      if (u > v) {
+        exchange_words += std::min(graph.OutDegree(v), graph.OutDegree(u));
+      }
+    }
+  }
+  engine.ChargeVolumeBytes(exchange_words * 8);
+  std::atomic<uint64_t> total{0};
+  ParallelForChunked(
+      engine.pool(), 0, graph.NumVertices(), 64,
+      [&](int, uint64_t lo, uint64_t hi) {
+        uint64_t local = 0;
+        for (uint64_t i = lo; i < hi; ++i) {
+          const VertexId v = static_cast<VertexId>(i);
+          const auto nv = graph.OutNeighbors(v);
+          for (size_t a = 0; a < nv.size(); ++a) {
+            const VertexId u = nv[a];
+            if (u <= v) continue;
+            const auto nu = graph.OutNeighbors(u);
+            size_t x = a + 1, y = 0;
+            while (x < nv.size() && y < nu.size()) {
+              if (nv[x] < nu[y]) {
+                ++x;
+              } else if (nu[y] < nv[x]) {
+                ++y;
+              } else {
+                if (nv[x] > u) ++local;
+                ++x;
+                ++y;
+              }
+            }
+          }
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+      });
+  return total.load();
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_ENGINES_BSP_ALGORITHMS_H_

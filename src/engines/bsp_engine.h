@@ -1,0 +1,166 @@
+#ifndef TUFAST_ENGINES_BSP_ENGINE_H_
+#define TUFAST_ENGINES_BSP_ENGINE_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "htm/htm_config.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+
+namespace tufast {
+
+/// Ligra-like bulk-synchronous substrate ("Ligra" / "Polymer" in paper
+/// Fig. 11): frontier-driven edgeMap with a hard barrier per super-step
+/// and NO in-place cross-step visibility — updates land in a next-step
+/// buffer (Jacobi style), which is precisely the architectural property
+/// the paper blames for slower information propagation than TuFast's
+/// in-place transactions.
+///
+/// Two update-delivery modes:
+///  * kDirect (Ligra-like): workers CAS updates straight into the target
+///    array;
+///  * kMaterialized (Polymer-like): workers append (target, value)
+///    messages to per-worker outboxes that a second phase merges — the
+///    NUMA-staging pattern, with its extra memory traffic and footprint.
+enum class BspDelivery { kDirect, kMaterialized };
+
+class BspEngine {
+ public:
+  BspEngine(ThreadPool& pool, BspDelivery delivery)
+      : pool_(pool), delivery_(delivery) {}
+
+  ThreadPool& pool() { return pool_; }
+  BspDelivery delivery() const { return delivery_; }
+
+  /// Network-charge hooks of the engine concept: a shared-memory BSP
+  /// engine moves no bytes over a wire, so these are no-ops (see
+  /// DistEngine for the simulated-cluster implementation).
+  void ChargeActiveVertices(const Graph& /*graph*/, uint64_t /*count*/) {}
+  void ChargeVolumeBytes(uint64_t /*bytes*/) {}
+
+  /// Applies `relax(u, value_from_edge)` for every out-edge (v, u) with v
+  /// in `frontier`. `emit(v, e)` computes the value pushed along edge e.
+  /// `accept(u, incoming, current)` returns the merged value or nullopt
+  /// -- here modeled as: returns true and writes *merged when `incoming`
+  /// improves `current`. Vertices whose value improved during the step
+  /// are returned as the next frontier (deduplicated).
+  ///
+  /// All updates target `next`, never the array being read — callers
+  /// flip buffers after the step (bulk-synchronous semantics).
+  template <typename EmitFn, typename MergeFn>
+  std::vector<VertexId> EdgeMap(const Graph& graph,
+                                const std::vector<VertexId>& frontier,
+                                std::vector<TmWord>& next, EmitFn&& emit,
+                                MergeFn&& merge) {
+    if (delivery_ == BspDelivery::kDirect) {
+      return EdgeMapDirect(graph, frontier, next, emit, merge);
+    }
+    return EdgeMapMaterialized(graph, frontier, next, emit, merge);
+  }
+
+ private:
+  struct Message {
+    VertexId target;
+    TmWord value;
+  };
+
+  /// CAS-merge `value` into next[u]; true when the slot improved.
+  template <typename MergeFn>
+  static bool MergeInto(std::vector<TmWord>& next, VertexId u, TmWord value,
+                        MergeFn&& merge) {
+    TmWord current = __atomic_load_n(&next[u], __ATOMIC_ACQUIRE);
+    while (true) {
+      TmWord merged;
+      if (!merge(value, current, &merged)) return false;
+      if (__atomic_compare_exchange_n(&next[u], &current, merged,
+                                      /*weak=*/false, __ATOMIC_ACQ_REL,
+                                      __ATOMIC_ACQUIRE)) {
+        return true;
+      }
+    }
+  }
+
+  template <typename EmitFn, typename MergeFn>
+  std::vector<VertexId> EdgeMapDirect(const Graph& graph,
+                                      const std::vector<VertexId>& frontier,
+                                      std::vector<TmWord>& next, EmitFn&& emit,
+                                      MergeFn&& merge) {
+    std::vector<VertexId> out;
+    std::mutex out_mutex;
+    ParallelForChunked(
+        pool_, 0, frontier.size(), /*grain=*/64,
+        [&](int /*worker*/, uint64_t lo, uint64_t hi) {
+          std::vector<VertexId> local;
+          for (uint64_t i = lo; i < hi; ++i) {
+            const VertexId v = frontier[i];
+            for (EdgeId e = graph.EdgeBegin(v); e < graph.EdgeEnd(v); ++e) {
+              const VertexId u = graph.EdgeTarget(e);
+              if (MergeInto(next, u, emit(v, e), merge)) local.push_back(u);
+            }
+          }
+          if (!local.empty()) {
+            std::lock_guard<std::mutex> guard(out_mutex);
+            out.insert(out.end(), local.begin(), local.end());
+          }
+        });
+    Dedup(out);
+    return out;
+  }
+
+  template <typename EmitFn, typename MergeFn>
+  std::vector<VertexId> EdgeMapMaterialized(
+      const Graph& graph, const std::vector<VertexId>& frontier,
+      std::vector<TmWord>& next, EmitFn&& emit, MergeFn&& merge) {
+    // Phase 1: materialize messages into per-worker outboxes (the extra
+    // buffering a message-passing / NUMA-staged engine pays).
+    std::vector<std::vector<Message>> outboxes(pool_.num_threads());
+    ParallelForChunked(
+        pool_, 0, frontier.size(), /*grain=*/64,
+        [&](int worker, uint64_t lo, uint64_t hi) {
+          auto& outbox = outboxes[worker];
+          for (uint64_t i = lo; i < hi; ++i) {
+            const VertexId v = frontier[i];
+            for (EdgeId e = graph.EdgeBegin(v); e < graph.EdgeEnd(v); ++e) {
+              outbox.push_back(Message{graph.EdgeTarget(e), emit(v, e)});
+            }
+          }
+        });
+    // Phase 2: deliver.
+    std::vector<VertexId> out;
+    std::mutex out_mutex;
+    ParallelForChunked(
+        pool_, 0, outboxes.size(), /*grain=*/1,
+        [&](int /*worker*/, uint64_t lo, uint64_t hi) {
+          std::vector<VertexId> local;
+          for (uint64_t b = lo; b < hi; ++b) {
+            for (const Message& m : outboxes[b]) {
+              if (MergeInto(next, m.target, m.value, merge)) {
+                local.push_back(m.target);
+              }
+            }
+          }
+          if (!local.empty()) {
+            std::lock_guard<std::mutex> guard(out_mutex);
+            out.insert(out.end(), local.begin(), local.end());
+          }
+        });
+    Dedup(out);
+    return out;
+  }
+
+  static void Dedup(std::vector<VertexId>& ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+
+  ThreadPool& pool_;
+  const BspDelivery delivery_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_ENGINES_BSP_ENGINE_H_

@@ -1,0 +1,147 @@
+#ifndef TUFAST_ENGINES_DIST_ENGINE_H_
+#define TUFAST_ENGINES_DIST_ENGINE_H_
+
+#include <bit>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/rng.h"
+#include "engines/bsp_engine.h"
+#include "graph/graph.h"
+#include "runtime/thread_pool.h"
+
+namespace tufast {
+
+/// Simulated distributed GAS engine ("PowerGraph" / "PowerLyra" in paper
+/// Fig. 12). See DESIGN.md: the real systems are whole clusters; what we
+/// reproduce is their dominant cost structure — vertex replication across
+/// machines and per-super-step network synchronization of every active
+/// replica. The compute itself runs on the local pool (a real cluster has
+/// plenty of CPU; the paper's point is that "the computing bottleneck is
+/// the communication").
+///
+/// Cut strategies:
+///  * kRandomVertexCut (PowerGraph): each edge lands on a random machine;
+///    a vertex is replicated on every machine holding one of its edges.
+///  * kHybridCut (PowerLyra): low-degree vertices keep all their in-edges
+///    on one machine (hash by target), high-degree vertices are cut
+///    randomly — measurably lower replication on power-law graphs, which
+///    is exactly PowerLyra's improvement over PowerGraph.
+enum class DistCut { kRandomVertexCut, kHybridCut };
+
+struct DistConfig {
+  int num_machines = 16;
+  /// Per-machine NIC bandwidth (m3.2xlarge-era: ~1 Gb/s full duplex).
+  double bandwidth_bytes_per_sec = 125.0e6;
+  /// Per-super-step round latency (barrier + RPC fan-in/out).
+  double round_latency_sec = 1.0e-3;
+  DistCut cut = DistCut::kRandomVertexCut;
+  uint32_t hybrid_degree_threshold = 100;
+  /// Scales the actually-injected sleeps (0 = account only; benches read
+  /// SimulatedNetworkSeconds() instead of sleeping for real).
+  double time_scale = 0.0;
+};
+
+class DistEngine {
+ public:
+  DistEngine(ThreadPool& pool, const Graph& graph, DistConfig config = {})
+      : config_(config),
+        inner_(pool, BspDelivery::kMaterialized),
+        replicas_(graph.NumVertices(), 0) {
+    TUFAST_CHECK(config_.num_machines >= 1);
+    ComputeReplication(graph);
+  }
+
+  ThreadPool& pool() { return inner_.pool(); }
+
+  /// Mean number of machine replicas per vertex (PowerGraph's
+  /// "replication factor" — lower is better).
+  double ReplicationFactor() const { return replication_factor_; }
+
+  /// Total simulated network time injected so far.
+  double SimulatedNetworkSeconds() const { return simulated_network_sec_; }
+
+  template <typename EmitFn, typename MergeFn>
+  std::vector<VertexId> EdgeMap(const Graph& graph,
+                                const std::vector<VertexId>& frontier,
+                                std::vector<TmWord>& next, EmitFn&& emit,
+                                MergeFn&& merge) {
+    // Exact per-vertex replica sync volume for this super-step: each
+    // active vertex's mirrors send a gather partial to the master and
+    // receive the applied value back (8 bytes each way).
+    uint64_t bytes = 0;
+    for (const VertexId v : frontier) {
+      bytes += uint64_t{2} * 8 * (replicas_[v] > 0 ? replicas_[v] - 1 : 0);
+    }
+    ChargeVolumeBytes(bytes);
+    return inner_.EdgeMap(graph, frontier, next, emit, merge);
+  }
+
+  void ChargeActiveVertices(const Graph& /*graph*/, uint64_t count) {
+    // Approximate with the mean replication factor.
+    const double bytes = 2.0 * 8.0 * (replication_factor_ - 1.0) *
+                         static_cast<double>(count);
+    Charge(bytes > 0 ? bytes : 0);
+  }
+
+  void ChargeVolumeBytes(uint64_t bytes) {
+    Charge(static_cast<double>(bytes));
+  }
+
+ private:
+  void ComputeReplication(const Graph& graph) {
+    const VertexId n = graph.NumVertices();
+    const int machines = config_.num_machines;
+    // Bitset of machines per vertex (machines <= 64 in any sane config).
+    TUFAST_CHECK(machines <= 64);
+    std::vector<uint64_t> present(n, 0);
+    uint64_t salt = 0x5eedULL;
+    for (VertexId v = 0; v < n; ++v) {
+      for (const VertexId u : graph.OutNeighbors(v)) {
+        int machine;
+        if (config_.cut == DistCut::kHybridCut &&
+            graph.OutDegree(u) < config_.hybrid_degree_threshold) {
+          // Low-degree target: co-locate all its in-edges (hash by u).
+          machine = static_cast<int>(u % machines);
+        } else {
+          uint64_t h = (uint64_t{v} << 32 | u) + salt;
+          machine = static_cast<int>(SplitMix64(h) % machines);
+        }
+        present[v] |= uint64_t{1} << machine;
+        present[u] |= uint64_t{1} << machine;
+      }
+    }
+    uint64_t total = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      replicas_[v] = static_cast<uint8_t>(std::popcount(present[v]));
+      total += replicas_[v];
+    }
+    replication_factor_ = n == 0 ? 0 : static_cast<double>(total) / n;
+  }
+
+  void Charge(double bytes) {
+    // The cluster's aggregate bisection bandwidth scales with machine
+    // count; each round also pays the synchronization latency twice
+    // (gather fan-in + apply fan-out).
+    const double seconds =
+        bytes / (config_.bandwidth_bytes_per_sec * config_.num_machines) +
+        2 * config_.round_latency_sec;
+    simulated_network_sec_ += seconds;
+    const double scaled = seconds * config_.time_scale;
+    if (scaled > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(scaled));
+    }
+  }
+
+  DistConfig config_;
+  BspEngine inner_;
+  std::vector<uint8_t> replicas_;
+  double replication_factor_ = 0;
+  double simulated_network_sec_ = 0;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_ENGINES_DIST_ENGINE_H_

@@ -1,0 +1,223 @@
+#ifndef TUFAST_ENGINES_OOC_ALGORITHMS_H_
+#define TUFAST_ENGINES_OOC_ALGORITHMS_H_
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "engines/ooc_engine.h"
+#include "graph/graph.h"
+
+namespace tufast {
+
+/// The evaluation algorithms on the out-of-core engine (GraphChi-like,
+/// Fig. 12). Every super-step streams the full edge-value array through
+/// the shard files — the engine's defining cost.
+
+struct OocPageRankResult {
+  std::vector<double> ranks;
+  int iterations = 0;
+};
+
+inline OocPageRankResult OocPageRank(OocEngine& engine, const Graph& graph,
+                                     double damping, int max_iterations,
+                                     double tolerance) {
+  const VertexId n = graph.NumVertices();
+  OocPageRankResult result;
+  result.ranks.assign(n, 1.0 / n);
+  auto& rank = result.ranks;
+  const double base = (1.0 - damping) / n;
+  // Messages carry the sender's rank share, bit-cast to the edge word.
+  engine.SeedAllMessages([&](VertexId v) {
+    const uint32_t d = graph.OutDegree(v);
+    return d == 0 ? OocEngine::kNoMessage
+                  : std::bit_cast<TmWord>(damping * rank[v] / d);
+  });
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    std::atomic<uint64_t> delta_bits{0};  // Accumulated |delta| (approx).
+    std::atomic<double> delta{0.0};
+    engine.RunIteration(
+        [](TmWord acc, TmWord incoming, EdgeId) {
+          if (acc == OocEngine::kNoMessage) return incoming;
+          return std::bit_cast<TmWord>(std::bit_cast<double>(acc) +
+                                       std::bit_cast<double>(incoming));
+        },
+        [&](VertexId v, TmWord merged, bool any) {
+          const double sum = any ? std::bit_cast<double>(merged) : 0.0;
+          const double next = base + sum;
+          double expected = delta.load(std::memory_order_relaxed);
+          const double d = std::fabs(next - rank[v]);
+          while (!delta.compare_exchange_weak(expected, expected + d,
+                                              std::memory_order_relaxed)) {
+          }
+          rank[v] = next;
+          const uint32_t deg = graph.OutDegree(v);
+          return deg == 0 ? OocEngine::kNoMessage
+                          : std::bit_cast<TmWord>(damping * next / deg);
+        });
+    (void)delta_bits;
+    result.iterations = iter + 1;
+    if (delta.load() / n < tolerance) break;
+  }
+  return result;
+}
+
+inline std::vector<TmWord> OocBfs(OocEngine& engine, const Graph& graph,
+                                  VertexId source) {
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> dist(n, OocEngine::kNoMessage);
+  dist[source] = 0;
+  engine.SeedMessages({source}, 1);
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    engine.RunIteration(
+        [](TmWord acc, TmWord incoming, EdgeId) {
+          return acc < incoming ? acc : incoming;
+        },
+        [&](VertexId v, TmWord merged, bool any) -> TmWord {
+          if (any && merged < dist[v]) {
+            dist[v] = merged;
+            changed.store(true, std::memory_order_relaxed);
+          }
+          return dist[v] == OocEngine::kNoMessage ? OocEngine::kNoMessage
+                                                  : dist[v] + 1;
+        });
+  }
+  return dist;
+}
+
+inline std::vector<TmWord> OocWcc(OocEngine& engine, const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+  engine.SeedAllMessages([&](VertexId v) { return label[v]; });
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    engine.RunIteration(
+        [](TmWord acc, TmWord incoming, EdgeId) {
+          return acc < incoming ? acc : incoming;
+        },
+        [&](VertexId v, TmWord merged, bool any) {
+          if (any && merged < label[v]) {
+            label[v] = merged;
+            changed.store(true, std::memory_order_relaxed);
+          }
+          return label[v];
+        });
+  }
+  return label;
+}
+
+inline std::vector<TmWord> OocSssp(OocEngine& engine, const Graph& graph,
+                                   VertexId source) {
+  TUFAST_CHECK(graph.HasWeights());
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> dist(n, OocEngine::kNoMessage);
+  dist[source] = 0;
+  // Messages carry the sender's distance; per-edge weights are added at
+  // gather time via the reversed position.
+  engine.SeedMessages({source}, 0);
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    engine.RunIteration(
+        [&](TmWord acc, TmWord incoming, EdgeId pos) {
+          const TmWord candidate = incoming + engine.InEdgeWeight(pos);
+          return acc < candidate ? acc : candidate;
+        },
+        [&](VertexId v, TmWord merged, bool any) {
+          if (any && merged < dist[v]) {
+            dist[v] = merged;
+            changed.store(true, std::memory_order_relaxed);
+          }
+          return dist[v];  // kNoMessage while unreached.
+        });
+  }
+  return dist;
+}
+
+/// Luby-style MIS over messages: encoded priority (strictly positive) or
+/// 0 for "I am IN". A vertex joins when it beats every active neighbor.
+inline std::vector<TmWord> OocMis(OocEngine& engine, const Graph& graph,
+                                  uint64_t seed) {
+  constexpr TmWord kUndecided = 0, kIn = 1, kOut = 2;
+  const VertexId n = graph.NumVertices();
+  std::vector<TmWord> state(n, kUndecided);
+  std::vector<TmWord> encoded(n);
+  Rng rng(seed);
+  for (VertexId v = 0; v < n; ++v) {
+    // Strictly positive, collision-free enough: 34 random bits + id.
+    encoded[v] = ((rng.Next() >> 30) << 30 | v) + 1;
+  }
+  engine.SeedAllMessages([&](VertexId v) { return encoded[v]; });
+  std::atomic<bool> undecided_left{true};
+  while (undecided_left.load(std::memory_order_relaxed)) {
+    undecided_left.store(false, std::memory_order_relaxed);
+    engine.RunIteration(
+        [](TmWord acc, TmWord incoming, EdgeId) {
+          return acc < incoming ? acc : incoming;
+        },
+        [&](VertexId v, TmWord merged, bool any) -> TmWord {
+          if (state[v] == kUndecided) {
+            if (any && merged == 0) {
+              state[v] = kOut;  // Some neighbor announced IN.
+            } else if (!any || merged > encoded[v]) {
+              state[v] = kIn;  // Local minimum among active neighbors.
+            } else {
+              undecided_left.store(true, std::memory_order_relaxed);
+            }
+          }
+          switch (state[v]) {
+            case kIn: return 0;  // Announce IN.
+            case kOut: return OocEngine::kNoMessage;
+            default: return encoded[v];
+          }
+        });
+  }
+  return state;
+}
+
+/// Triangle counting: stream the edge file once (the engine's traffic
+/// model) and intersect in memory.
+inline uint64_t OocTriangleCount(OocEngine& engine, const Graph& graph) {
+  engine.RunIteration(
+      [](TmWord acc, TmWord, EdgeId) { return acc; },
+      [](VertexId, TmWord, bool) { return OocEngine::kNoMessage; });
+  std::atomic<uint64_t> total{0};
+  ParallelForChunked(
+      engine.pool(), 0, graph.NumVertices(), 64,
+      [&](int, uint64_t lo, uint64_t hi) {
+        uint64_t local = 0;
+        for (uint64_t i = lo; i < hi; ++i) {
+          const VertexId v = static_cast<VertexId>(i);
+          const auto nv = graph.OutNeighbors(v);
+          for (size_t a = 0; a < nv.size(); ++a) {
+            const VertexId u = nv[a];
+            if (u <= v) continue;
+            const auto nu = graph.OutNeighbors(u);
+            size_t x = a + 1, y = 0;
+            while (x < nv.size() && y < nu.size()) {
+              if (nv[x] < nu[y]) {
+                ++x;
+              } else if (nu[y] < nv[x]) {
+                ++y;
+              } else {
+                if (nv[x] > u) ++local;
+                ++x;
+                ++y;
+              }
+            }
+          }
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+      });
+  return total.load();
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_ENGINES_OOC_ALGORITHMS_H_

@@ -1,0 +1,128 @@
+#include "engines/ooc_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <thread>
+
+namespace tufast {
+
+namespace {
+std::atomic<uint64_t> g_instance_counter{0};
+}  // namespace
+
+OocEngine::OocEngine(ThreadPool& pool, const Graph& graph, OocConfig config)
+    : pool_(pool),
+      graph_(graph),
+      reversed_(graph.Reversed()),
+      config_(config),
+      instance_id_(g_instance_counter.fetch_add(1) + 1) {
+  TUFAST_CHECK(config_.num_intervals >= 1);
+  const VertexId n = graph.NumVertices();
+  const EdgeId m = reversed_.NumEdges();
+
+  // Intervals of (roughly) equal in-edge counts, GraphChi style.
+  interval_begin_.assign(config_.num_intervals + 1, n);
+  shard_edge_begin_.assign(config_.num_intervals + 1, m);
+  interval_begin_[0] = 0;
+  shard_edge_begin_[0] = 0;
+  const EdgeId per_shard = (m + config_.num_intervals) / config_.num_intervals;
+  int shard = 1;
+  for (VertexId v = 0; v < n && shard < config_.num_intervals; ++v) {
+    if (reversed_.EdgeEnd(v) >= per_shard * static_cast<EdgeId>(shard)) {
+      interval_begin_[shard] = v + 1;
+      shard_edge_begin_[shard] = reversed_.EdgeEnd(v);
+      ++shard;
+    }
+  }
+
+  // Map each out-edge (v -> u) to its position in u's reversed (in-edge)
+  // list, so scatter can stage values at gather positions.
+  out_to_in_pos_.assign(graph.NumEdges(), 0);
+  std::vector<EdgeId> cursor(n);
+  for (VertexId u = 0; u < n; ++u) cursor[u] = reversed_.EdgeBegin(u);
+  // Reversed CSR neighbor lists are sorted by source; walking sources in
+  // order assigns positions consistently.
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeId e = graph.EdgeBegin(v); e < graph.EdgeEnd(v); ++e) {
+      const VertexId u = graph.EdgeTarget(e);
+      // Find v in u's in-list starting from its cursor.
+      EdgeId pos = cursor[u];
+      while (reversed_.EdgeTarget(pos) != v) ++pos;
+      out_to_in_pos_[e] = pos;
+      cursor[u] = pos + 1;
+    }
+  }
+
+  staging_.assign(m, kNoMessage);
+  WriteAllShards();
+}
+
+OocEngine::~OocEngine() {
+  for (int s = 0; s < config_.num_intervals; ++s) {
+    std::remove(ShardPath(s).c_str());
+  }
+}
+
+std::string OocEngine::ShardPath(int s) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s/tufast_ooc_%" PRIu64 "_shard_%d.bin",
+                config_.tmp_dir.c_str(), instance_id_, s);
+  return buf;
+}
+
+void OocEngine::SeedMessages(const std::vector<VertexId>& sources,
+                             TmWord value) {
+  std::fill(staging_.begin(), staging_.end(), kNoMessage);
+  for (const VertexId v : sources) {
+    for (EdgeId e = graph_.EdgeBegin(v); e < graph_.EdgeEnd(v); ++e) {
+      staging_[out_to_in_pos_[e]] = value;
+    }
+  }
+  WriteAllShards();
+}
+
+void OocEngine::ReadShard(int s) {
+  const EdgeId begin = shard_edge_begin_[s];
+  const EdgeId end = shard_edge_begin_[s + 1];
+  shard_edge_base_ = begin;
+  shard_buffer_.resize(end - begin);
+  if (end == begin) return;
+  std::FILE* f = std::fopen(ShardPath(s).c_str(), "rb");
+  TUFAST_CHECK(f != nullptr);
+  const size_t read =
+      std::fread(shard_buffer_.data(), sizeof(TmWord), end - begin, f);
+  std::fclose(f);
+  TUFAST_CHECK(read == end - begin);
+  Throttle((end - begin) * sizeof(TmWord));
+}
+
+void OocEngine::Throttle(uint64_t bytes) {
+  bytes_streamed_ += bytes;
+  if (config_.disk_bandwidth_bytes_per_sec > 0) {
+    const double seconds = bytes / config_.disk_bandwidth_bytes_per_sec;
+    simulated_disk_sec_ += seconds;
+    if (config_.time_scale > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(seconds * config_.time_scale));
+    }
+  }
+}
+
+void OocEngine::WriteAllShards() {
+  for (int s = 0; s < config_.num_intervals; ++s) {
+    const EdgeId begin = shard_edge_begin_[s];
+    const EdgeId end = shard_edge_begin_[s + 1];
+    std::FILE* f = std::fopen(ShardPath(s).c_str(), "wb");
+    TUFAST_CHECK(f != nullptr);
+    if (end > begin) {
+      const size_t written =
+          std::fwrite(staging_.data() + begin, sizeof(TmWord), end - begin, f);
+      TUFAST_CHECK(written == end - begin);
+      Throttle((end - begin) * sizeof(TmWord));
+    }
+    std::fclose(f);
+  }
+}
+
+}  // namespace tufast

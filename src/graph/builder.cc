@@ -1,0 +1,104 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/compiler.h"
+
+namespace tufast {
+
+Graph GraphBuilder::Build(Options options) {
+  const bool weighted = !weights_.empty();
+  TUFAST_CHECK(!weighted || weights_.size() == sources_.size());
+
+  const size_t num_input = sources_.size();
+  std::vector<EdgeId> offsets(num_vertices_ + 1, 0);
+  for (size_t i = 0; i < num_input; ++i) {
+    TUFAST_CHECK(sources_[i] < num_vertices_ && targets_[i] < num_vertices_);
+    if (options.remove_self_loops && sources_[i] == targets_[i]) continue;
+    ++offsets[sources_[i] + 1];
+  }
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+
+  std::vector<VertexId> targets(offsets.back());
+  std::vector<uint32_t> weights(weighted ? offsets.back() : 0);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t i = 0; i < num_input; ++i) {
+    if (options.remove_self_loops && sources_[i] == targets_[i]) continue;
+    const EdgeId pos = cursor[sources_[i]]++;
+    targets[pos] = targets_[i];
+    if (weighted) weights[pos] = weights_[i];
+  }
+  sources_.clear();
+  targets_.clear();
+  weights_.clear();
+
+  if (options.sort_neighbors || options.remove_duplicate_edges) {
+    std::vector<EdgeId> new_offsets(num_vertices_ + 1, 0);
+    EdgeId write = 0;
+    std::vector<std::pair<VertexId, uint32_t>> scratch;
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      const EdgeId begin = offsets[v], end = offsets[v + 1];
+      scratch.clear();
+      for (EdgeId e = begin; e < end; ++e) {
+        scratch.emplace_back(targets[e], weighted ? weights[e] : 0);
+      }
+      std::sort(scratch.begin(), scratch.end());
+      if (options.remove_duplicate_edges) {
+        scratch.erase(std::unique(scratch.begin(), scratch.end(),
+                                  [](const auto& a, const auto& b) {
+                                    return a.first == b.first;
+                                  }),
+                      scratch.end());
+      }
+      new_offsets[v] = write;
+      for (const auto& [t, w] : scratch) {
+        targets[write] = t;
+        if (weighted) weights[write] = w;
+        ++write;
+      }
+    }
+    new_offsets[num_vertices_] = write;
+    targets.resize(write);
+    if (weighted) weights.resize(write);
+    offsets = std::move(new_offsets);
+  }
+
+  return Graph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+Graph Graph::Reversed() const {
+  GraphBuilder builder(NumVertices());
+  builder.Reserve(NumEdges());
+  const bool weighted = HasWeights();
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (EdgeId e = EdgeBegin(v); e < EdgeEnd(v); ++e) {
+      if (weighted) {
+        builder.AddEdge(EdgeTarget(e), v, EdgeWeight(e));
+      } else {
+        builder.AddEdge(EdgeTarget(e), v);
+      }
+    }
+  }
+  return builder.Build({.remove_self_loops = false});
+}
+
+Graph Graph::Undirected() const {
+  GraphBuilder builder(NumVertices());
+  builder.Reserve(NumEdges() * 2);
+  const bool weighted = HasWeights();
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (EdgeId e = EdgeBegin(v); e < EdgeEnd(v); ++e) {
+      if (weighted) {
+        builder.AddEdge(v, EdgeTarget(e), EdgeWeight(e));
+        builder.AddEdge(EdgeTarget(e), v, EdgeWeight(e));
+      } else {
+        builder.AddEdge(v, EdgeTarget(e));
+        builder.AddEdge(EdgeTarget(e), v);
+      }
+    }
+  }
+  return builder.Build({.remove_duplicate_edges = true});
+}
+
+}  // namespace tufast

@@ -1,0 +1,56 @@
+#ifndef TUFAST_GRAPH_BUILDER_H_
+#define TUFAST_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace tufast {
+
+/// Accumulates an edge list and materializes a CSR Graph. Neighbor lists
+/// are sorted by target id (required by triangle counting and useful for
+/// the ordered-access deadlock-prevention mode); exact duplicate edges
+/// and self-loops are removed when the corresponding options are set.
+class GraphBuilder {
+ public:
+  struct Options {
+    bool remove_self_loops = true;
+    bool remove_duplicate_edges = false;
+    bool sort_neighbors = true;
+  };
+
+  explicit GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_buffered_edges() const { return sources_.size(); }
+
+  void Reserve(size_t num_edges) {
+    sources_.reserve(num_edges);
+    targets_.reserve(num_edges);
+  }
+
+  void AddEdge(VertexId from, VertexId to) {
+    sources_.push_back(from);
+    targets_.push_back(to);
+  }
+
+  void AddEdge(VertexId from, VertexId to, uint32_t weight) {
+    AddEdge(from, to);
+    weights_.push_back(weight);
+  }
+
+  /// Builds the CSR; the builder is left empty afterwards.
+  Graph Build(Options options);
+  Graph Build() { return Build(Options{}); }
+
+ private:
+  VertexId num_vertices_;
+  std::vector<VertexId> sources_;
+  std::vector<VertexId> targets_;
+  std::vector<uint32_t> weights_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_GRAPH_BUILDER_H_

@@ -1,0 +1,62 @@
+#include "graph/degree_stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tufast {
+
+namespace {
+// 32KB HTM capacity over 8-byte TM words (paper §III): adjacency larger
+// than this cannot fit one hardware transaction.
+constexpr uint32_t kHtmCapacityWords = 32 * 1024 / 8;
+}  // namespace
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumEdges();
+  stats.average_degree = graph.AverageDegree();
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const uint32_t degree = graph.OutDegree(v);
+    stats.histogram.Add(degree);
+    stats.max_degree = std::max(stats.max_degree, degree);
+    if (degree == 0) ++stats.num_zero_degree;
+    if (degree > kHtmCapacityWords) ++stats.num_above_htm_capacity;
+  }
+  return stats;
+}
+
+double DegreeStats::LogLogSlope() const {
+  // Fit log2(count) = slope * log2(degree) + b over bins with degree >= 1.
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  int n = 0;
+  const auto& bins = histogram.bins();
+  for (size_t i = 1; i < bins.size(); ++i) {
+    if (bins[i] == 0) continue;
+    const double x = static_cast<double>(i - 1);  // log2 of bin low edge.
+    const double y = std::log2(static_cast<double>(bins[i]));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0;
+  const double denom = n * sum_xx - sum_x * sum_x;
+  return denom == 0 ? 0 : (n * sum_xy - sum_x * sum_y) / denom;
+}
+
+std::string DegreeStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%llu |E|=%llu avg_deg=%.2f max_deg=%u zero_deg=%llu "
+                "above_htm_capacity=%llu loglog_slope=%.3f\n",
+                static_cast<unsigned long long>(num_vertices),
+                static_cast<unsigned long long>(num_edges), average_degree,
+                max_degree, static_cast<unsigned long long>(num_zero_degree),
+                static_cast<unsigned long long>(num_above_htm_capacity),
+                LogLogSlope());
+  return std::string(buf) + histogram.ToString();
+}
+
+}  // namespace tufast

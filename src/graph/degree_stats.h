@@ -1,0 +1,35 @@
+#ifndef TUFAST_GRAPH_DEGREE_STATS_H_
+#define TUFAST_GRAPH_DEGREE_STATS_H_
+
+#include <string>
+
+#include "common/histogram.h"
+#include "graph/graph.h"
+
+namespace tufast {
+
+/// Degree-distribution summary of a graph (paper Fig. 5 / Table II).
+struct DegreeStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  double average_degree = 0;
+  uint32_t max_degree = 0;
+  uint64_t num_zero_degree = 0;
+  /// Vertices whose adjacency exceeds the HTM word capacity (32KB / 8B):
+  /// these can never run in H mode — the paper's motivating observation.
+  uint64_t num_above_htm_capacity = 0;
+  LogHistogram histogram;
+
+  /// Least-squares slope of log2(count) vs log2(degree) over non-empty
+  /// bins: a power-law graph yields a clearly negative slope and a good
+  /// linear fit (paper: "close to a straight line in log scale").
+  double LogLogSlope() const;
+
+  std::string ToString() const;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+}  // namespace tufast
+
+#endif  // TUFAST_GRAPH_DEGREE_STATS_H_

@@ -1,0 +1,134 @@
+#include "graph/generators.h"
+
+#include "common/compiler.h"
+#include "common/rng.h"
+#include "graph/builder.h"
+
+namespace tufast {
+
+namespace {
+
+constexpr uint32_t kMinWeight = 1;
+constexpr uint32_t kMaxWeight = 100;
+
+uint32_t RandomWeight(Rng& rng) {
+  return kMinWeight +
+         static_cast<uint32_t>(rng.NextBounded(kMaxWeight - kMinWeight + 1));
+}
+
+/// Cheap bijective scatter of rank -> vertex id so that hot (low-rank)
+/// vertices are spread across the id space instead of clustering at 0,
+/// which would put all of them on the same cache lines.
+VertexId ScatterRank(uint64_t rank, VertexId n, uint64_t salt) {
+  uint64_t x = rank;
+  // Two rounds of a multiplicative permutation modulo n (n not required
+  // to be prime; fall back to a salted hash-then-mod, accepting rare
+  // collisions folding two ranks onto one vertex — harmless for degree
+  // shape purposes because we re-probe once).
+  uint64_t state = rank * 0x9e3779b97f4a7c15ULL + salt;
+  x = SplitMix64(state);
+  return static_cast<VertexId>(x % n);
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                         uint64_t seed, bool weighted) {
+  TUFAST_CHECK(num_vertices > 0);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  builder.Reserve(num_edges);
+  for (EdgeId i = 0; i < num_edges; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (weighted) {
+      builder.AddEdge(u, v, RandomWeight(rng));
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GeneratePowerLaw(VertexId num_vertices, EdgeId num_edges, uint64_t seed,
+                       PowerLawOptions options) {
+  TUFAST_CHECK(num_vertices > 0);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  builder.Reserve(num_edges);
+  const uint64_t salt = seed ^ 0xabcdef1234567890ULL;
+  for (EdgeId i = 0; i < num_edges; ++i) {
+    VertexId u;
+    if (options.skew_both_endpoints) {
+      u = ScatterRank(rng.NextZipf(num_vertices, options.alpha), num_vertices,
+                      salt);
+    } else {
+      u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    }
+    const VertexId v = ScatterRank(rng.NextZipf(num_vertices, options.alpha),
+                                   num_vertices, salt);
+    if (options.weighted) {
+      builder.AddEdge(u, v, RandomWeight(rng));
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateRmat(uint32_t scale, uint32_t edge_factor, uint64_t seed,
+                   RmatOptions options) {
+  TUFAST_CHECK(scale >= 1 && scale <= 30);
+  const VertexId n = VertexId{1} << scale;
+  const EdgeId m = EdgeId{edge_factor} << scale;
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.Reserve(m);
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  for (EdgeId i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      // Noise the quadrant probabilities slightly per level (standard
+      // Graph500 trick to avoid exact self-similarity artifacts).
+      if (r < options.a) {
+      } else if (r < ab) {
+        v |= VertexId{1} << bit;
+      } else if (r < abc) {
+        u |= VertexId{1} << bit;
+      } else {
+        u |= VertexId{1} << bit;
+        v |= VertexId{1} << bit;
+      }
+    }
+    if (options.weighted) {
+      builder.AddEdge(u, v, RandomWeight(rng));
+    } else {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph GenerateUniformDegree(VertexId num_vertices, uint32_t degree,
+                            uint64_t seed, bool weighted) {
+  TUFAST_CHECK(num_vertices > 1);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  builder.Reserve(EdgeId{num_vertices} * degree);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (uint32_t d = 0; d < degree; ++d) {
+      VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices - 1));
+      if (v >= u) ++v;  // Uniform over all vertices except u.
+      if (weighted) {
+        builder.AddEdge(u, v, RandomWeight(rng));
+      } else {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  return builder.Build({.remove_self_loops = false});
+}
+
+}  // namespace tufast

@@ -1,0 +1,49 @@
+#ifndef TUFAST_GRAPH_GENERATORS_H_
+#define TUFAST_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace tufast {
+
+/// Synthetic graph generators. All are deterministic per seed. They stand
+/// in for the paper's real datasets (friendster/twitter-mpi/sk-2005/
+/// uk-2007-05), whose sizes exceed this environment — see DESIGN.md.
+
+/// Erdős–Rényi G(n, m): m edges with independently uniform endpoints.
+Graph GenerateErdosRenyi(VertexId num_vertices, EdgeId num_edges,
+                         uint64_t seed, bool weighted = false);
+
+/// Power-law graph via Zipf-distributed endpoint sampling: endpoint rank
+/// r is drawn with probability ∝ 1/(r+1)^alpha and ranks are scattered
+/// over vertex ids by a pseudo-random permutation. Produces the heavy
+/// right tail (huge max degree) the paper's design targets; alpha in
+/// [0.5, 1.0] gives twitter-like skew.
+struct PowerLawOptions {
+  double alpha = 0.75;
+  bool weighted = false;
+  /// Skew only in-degree (targets Zipf, sources uniform) when false both
+  /// endpoints are Zipf (skews out-degree too, like follower graphs).
+  bool skew_both_endpoints = true;
+};
+Graph GeneratePowerLaw(VertexId num_vertices, EdgeId num_edges, uint64_t seed,
+                       PowerLawOptions options = {});
+
+/// Recursive-matrix (R-MAT) generator, Graph500 style. 2^scale vertices,
+/// edge_factor * 2^scale edges, quadrant probabilities (a, b, c, d).
+struct RmatOptions {
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c.
+  bool weighted = false;
+};
+Graph GenerateRmat(uint32_t scale, uint32_t edge_factor, uint64_t seed,
+                   RmatOptions options = {});
+
+/// Regular graph: every vertex has exactly `degree` uniformly random
+/// out-neighbors. The "even degree distribution" graph of paper Fig. 7.
+Graph GenerateUniformDegree(VertexId num_vertices, uint32_t degree,
+                            uint64_t seed, bool weighted = false);
+
+}  // namespace tufast
+
+#endif  // TUFAST_GRAPH_GENERATORS_H_

@@ -1,0 +1,110 @@
+#ifndef TUFAST_GRAPH_GRAPH_H_
+#define TUFAST_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/types.h"
+
+namespace tufast {
+
+/// Immutable directed graph in Compressed Sparse Row form. Out-edges of
+/// vertex v are `targets[offsets[v] .. offsets[v+1])`; per-edge weights
+/// (optional) sit at the same indices. Built via GraphBuilder or the
+/// generators; loaded/saved by graph/io.h.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> targets,
+        std::vector<uint32_t> weights = {})
+      : offsets_(std::move(offsets)),
+        targets_(std::move(targets)),
+        weights_(std::move(weights)) {
+    TUFAST_CHECK(!offsets_.empty());
+    TUFAST_CHECK(offsets_.back() == targets_.size());
+    TUFAST_CHECK(weights_.empty() || weights_.size() == targets_.size());
+  }
+
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Explicit deep copy (copying multi-GB CSR must be deliberate).
+  Graph Clone() const {
+    return Graph(offsets_, targets_, weights_);
+  }
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeId NumEdges() const { return static_cast<EdgeId>(targets_.size()); }
+  bool HasWeights() const { return !weights_.empty(); }
+
+  uint32_t OutDegree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  std::span<const uint32_t> OutWeights(VertexId v) const {
+    TUFAST_DCHECK(HasWeights());
+    return {weights_.data() + offsets_[v],
+            weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge indices for v, to address weights and targets in parallel.
+  EdgeId EdgeBegin(VertexId v) const { return offsets_[v]; }
+  EdgeId EdgeEnd(VertexId v) const { return offsets_[v + 1]; }
+  VertexId EdgeTarget(EdgeId e) const { return targets_[e]; }
+  uint32_t EdgeWeight(EdgeId e) const { return weights_[e]; }
+
+  /// Average out-degree |E| / |V|.
+  double AverageDegree() const {
+    return NumVertices() == 0
+               ? 0.0
+               : static_cast<double>(NumEdges()) / NumVertices();
+  }
+
+  uint32_t MaxOutDegree() const {
+    uint32_t max_degree = 0;
+    for (VertexId v = 0; v < NumVertices(); ++v) {
+      max_degree = std::max(max_degree, OutDegree(v));
+    }
+    return max_degree;
+  }
+
+  /// Approximate in-memory footprint (for Table II style reporting).
+  size_t SizeBytes() const {
+    return offsets_.size() * sizeof(EdgeId) +
+           targets_.size() * sizeof(VertexId) +
+           weights_.size() * sizeof(uint32_t);
+  }
+
+  /// Graph with every edge direction flipped (same weights).
+  Graph Reversed() const;
+
+  /// Symmetric closure: for every edge (u,v) ensures (v,u) exists too,
+  /// deduplicated. Used by MIS/matching, which the paper runs on
+  /// undirected versions of the datasets.
+  Graph Undirected() const;
+
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return targets_; }
+  const std::vector<uint32_t>& weights() const { return weights_; }
+
+ private:
+  std::vector<EdgeId> offsets_{0};
+  std::vector<VertexId> targets_;
+  std::vector<uint32_t> weights_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_GRAPH_GRAPH_H_

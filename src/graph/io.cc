@@ -1,0 +1,115 @@
+#include "graph/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace tufast {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x7475466173744731ULL;  // "tuFastG1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+StatusOr<Graph> LoadEdgeList(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  if (!file) return Status::IoError("cannot open " + path);
+
+  std::vector<VertexId> sources, targets;
+  std::vector<uint32_t> weights;
+  bool weighted = true;  // Until a 2-column line proves otherwise.
+  VertexId max_id = 0;
+
+  char line[256];
+  size_t line_number = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    ++line_number;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\r') continue;
+    unsigned long long u = 0, v = 0, w = 0;
+    const int fields = std::sscanf(line, "%llu %llu %llu", &u, &v, &w);
+    if (fields < 2) {
+      return Status::InvalidArgument(path + ": malformed line " +
+                                     std::to_string(line_number));
+    }
+    if (fields == 2) weighted = false;
+    sources.push_back(static_cast<VertexId>(u));
+    targets.push_back(static_cast<VertexId>(v));
+    weights.push_back(static_cast<uint32_t>(w));
+    max_id = std::max(max_id, static_cast<VertexId>(std::max(u, v)));
+  }
+  if (sources.empty()) return Status::InvalidArgument(path + ": no edges");
+
+  GraphBuilder builder(max_id + 1);
+  builder.Reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (weighted) {
+      builder.AddEdge(sources[i], targets[i], weights[i]);
+    } else {
+      builder.AddEdge(sources[i], targets[i]);
+    }
+  }
+  return builder.Build();
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) return Status::IoError("cannot create " + path);
+
+  const uint64_t n = graph.NumVertices();
+  const uint64_t m = graph.NumEdges();
+  const uint64_t weighted = graph.HasWeights() ? 1 : 0;
+  const uint64_t header[4] = {kBinaryMagic, n, m, weighted};
+  if (std::fwrite(header, sizeof(header), 1, file.get()) != 1 ||
+      std::fwrite(graph.offsets().data(), sizeof(EdgeId), n + 1,
+                  file.get()) != n + 1 ||
+      (m > 0 && std::fwrite(graph.targets().data(), sizeof(VertexId), m,
+                            file.get()) != m) ||
+      (weighted != 0 && m > 0 &&
+       std::fwrite(graph.weights().data(), sizeof(uint32_t), m, file.get()) !=
+           m)) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Graph> LoadBinary(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) return Status::IoError("cannot open " + path);
+
+  uint64_t header[4];
+  if (std::fread(header, sizeof(header), 1, file.get()) != 1) {
+    return Status::IoError(path + ": truncated header");
+  }
+  if (header[0] != kBinaryMagic) {
+    return Status::InvalidArgument(path + ": not a tufast binary graph");
+  }
+  const uint64_t n = header[1], m = header[2], weighted = header[3];
+
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<VertexId> targets(m);
+  std::vector<uint32_t> weights(weighted != 0 ? m : 0);
+  if (std::fread(offsets.data(), sizeof(EdgeId), n + 1, file.get()) != n + 1 ||
+      (m > 0 &&
+       std::fread(targets.data(), sizeof(VertexId), m, file.get()) != m) ||
+      (weighted != 0 && m > 0 &&
+       std::fread(weights.data(), sizeof(uint32_t), m, file.get()) != m)) {
+    return Status::IoError(path + ": truncated body");
+  }
+  if (offsets.back() != m) {
+    return Status::InvalidArgument(path + ": inconsistent CSR offsets");
+  }
+  return Graph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+}  // namespace tufast

@@ -1,0 +1,24 @@
+#ifndef TUFAST_GRAPH_IO_H_
+#define TUFAST_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace tufast {
+
+/// Loads a SNAP-style text edge list: one `from to [weight]` per line,
+/// `#`-prefixed comment lines ignored. Vertex ids need not be dense; the
+/// graph is sized to max id + 1. Drop real datasets (e.g. friendster from
+/// SNAP) into the benches through this entry point.
+StatusOr<Graph> LoadEdgeList(const std::string& path);
+
+/// Compact binary CSR format (magic + counts + raw arrays), for fast
+/// reload of generated datasets between bench runs.
+Status SaveBinary(const Graph& graph, const std::string& path);
+StatusOr<Graph> LoadBinary(const std::string& path);
+
+}  // namespace tufast
+
+#endif  // TUFAST_GRAPH_IO_H_

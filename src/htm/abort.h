@@ -1,0 +1,88 @@
+#ifndef TUFAST_HTM_ABORT_H_
+#define TUFAST_HTM_ABORT_H_
+
+#include <cstdint>
+
+namespace tufast {
+
+/// Why a hardware transaction aborted. Mirrors the Intel RTM abort status
+/// taxonomy (_XABORT_CONFLICT / _XABORT_CAPACITY / _XABORT_EXPLICIT /
+/// other) so the native and emulated backends are interchangeable.
+enum class AbortCause : uint8_t {
+  kNone = 0,       ///< Transaction committed; no abort.
+  kConflict,       ///< Another thread touched a line in our footprint.
+  kCapacity,       ///< Footprint exceeded the modeled L1 (never retried).
+  kExplicit,       ///< User called ExplicitAbort (XABORT).
+  kOther,          ///< Interrupt/fault/unknown (native backend only).
+};
+
+/// Outcome of one hardware-transaction attempt.
+struct AbortStatus {
+  AbortCause cause = AbortCause::kNone;
+  /// 8-bit code passed to ExplicitAbort; meaningful iff kExplicit.
+  uint8_t user_code = 0;
+  /// Whether retrying the same transaction may succeed (Intel's
+  /// _XABORT_RETRY bit). Capacity aborts repeat deterministically.
+  bool may_retry = false;
+
+  bool ok() const { return cause == AbortCause::kNone; }
+
+  static AbortStatus Ok() { return {}; }
+  static AbortStatus Conflict() {
+    return {AbortCause::kConflict, 0, /*may_retry=*/true};
+  }
+  static AbortStatus Capacity() {
+    return {AbortCause::kCapacity, 0, /*may_retry=*/false};
+  }
+  static AbortStatus Explicit(uint8_t code) {
+    return {AbortCause::kExplicit, code, /*may_retry=*/false};
+  }
+  static AbortStatus Other() {
+    return {AbortCause::kOther, 0, /*may_retry=*/true};
+  }
+};
+
+/// Internal control-flow signal thrown by the *emulated* backend to unwind
+/// user code out of an aborted transaction (hardware does this with a
+/// register/stack rollback; software needs stack unwinding). Never escapes
+/// the HTM layer's Execute(): not part of any public contract.
+struct TxAbortSignal {
+  AbortStatus status;
+};
+
+/// Counters for one thread's hardware-transaction attempts.
+struct HtmStats {
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t conflict_aborts = 0;
+  uint64_t capacity_aborts = 0;
+  uint64_t explicit_aborts = 0;
+  uint64_t other_aborts = 0;
+
+  void RecordAbort(const AbortStatus& status) {
+    switch (status.cause) {
+      case AbortCause::kConflict: ++conflict_aborts; break;
+      case AbortCause::kCapacity: ++capacity_aborts; break;
+      case AbortCause::kExplicit: ++explicit_aborts; break;
+      case AbortCause::kOther: ++other_aborts; break;
+      case AbortCause::kNone: break;
+    }
+  }
+
+  uint64_t TotalAborts() const {
+    return conflict_aborts + capacity_aborts + explicit_aborts + other_aborts;
+  }
+
+  void Merge(const HtmStats& other) {
+    begins += other.begins;
+    commits += other.commits;
+    conflict_aborts += other.conflict_aborts;
+    capacity_aborts += other.capacity_aborts;
+    explicit_aborts += other.explicit_aborts;
+    other_aborts += other.other_aborts;
+  }
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_HTM_ABORT_H_

@@ -1,0 +1,227 @@
+#ifndef TUFAST_HTM_EMULATED_HTM_H_
+#define TUFAST_HTM_EMULATED_HTM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/compiler.h"
+#include "htm/abort.h"
+#include "htm/htm_config.h"
+
+namespace tufast {
+
+/// Software emulation of Intel RTM with the semantics TuFast depends on:
+///
+///  * conflict detection at 64-byte cache-line granularity, asymmetric
+///    ("requester wins"): touching a line inside another live transaction's
+///    footprint dooms that transaction;
+///  * buffered transactional writes, atomically published at commit;
+///  * capacity aborts from a set-associative L1 model (HtmConfig);
+///  * non-transactional stores abort transactions subscribed to the line —
+///    the property that makes lock subscription (H/O mode) correct;
+///  * Intel-style abort status (AbortStatus) with conflict/capacity/
+///    explicit causes and a may-retry hint.
+///
+/// All shared state that transactions touch must be read/written through
+/// Tx::Load / Tx::Store while inside Tx::Execute, and through
+/// NonTxStore / NonTxLoad outside transactions. This matches the TuFast
+/// programming model where every shared access goes through READ/WRITE.
+///
+/// Thread model: up to kMaxHtmThreads worker threads, each owning one
+/// `Tx` handle constructed with a distinct slot id in [0, kMaxHtmThreads).
+///
+/// Serializability: every write conflict (W-R, R-W, W-W at line
+/// granularity) dooms the transaction that would break serial order, and
+/// a committing transaction re-checks its doomed flag at its commit point
+/// (seq_cst), so two committed transactions can never both have observed
+/// state that contradicts a serial order (see DESIGN.md for the argument).
+class EmulatedHtm {
+ public:
+  explicit EmulatedHtm(HtmConfig config = {});
+  TUFAST_DISALLOW_COPY_AND_MOVE(EmulatedHtm);
+
+  class Tx;
+
+  const HtmConfig& config() const { return config_; }
+
+  /// Non-transactional store visible to (and dooming) transactions that
+  /// have the line in their footprint. Use for all shared writes made
+  /// outside transactions (lock releases, O/L-mode commit writes).
+  void NonTxStore(TmWord* addr, TmWord value);
+
+  /// Dooms transactions subscribed to addr's line without storing. Call
+  /// after mutating a shared word through some other atomic operation
+  /// (e.g. a lock-word CAS).
+  void NotifyNonTxWrite(const void* addr);
+
+  /// Plain non-transactional load.
+  static TmWord NonTxLoad(const TmWord* addr) {
+    return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+  }
+
+ private:
+  friend class Tx;
+
+  /// One conflict-table entry: which transaction slots currently have the
+  /// (hashed) line in their read set, and which single slot owns it for
+  /// writing. Guarded by its spin bit; critical sections are a few ns.
+  struct alignas(16) LineEntry {
+    std::atomic<bool> lock{false};
+    std::atomic<int16_t> writer{-1};
+    std::atomic<uint64_t> readers{0};
+  };
+
+  /// Per-worker doom flag plus commit-progress marker, padded to avoid
+  /// false sharing between slots. `progress` and `doomed` form a Dekker
+  /// pair (both seq_cst): a committing transaction publishes kCommitting
+  /// before checking doomed, and a doomer dooms before checking progress,
+  /// so at least one side observes the other — a doomer therefore only
+  /// waits for writers that might already be flushing, and safely
+  /// displaces ones that are guaranteed to abort.
+  struct alignas(kCacheLineBytes) TxSlot {
+    static constexpr uint8_t kActive = 0;
+    static constexpr uint8_t kCommitting = 1;
+    std::atomic<bool> doomed{false};
+    std::atomic<uint8_t> progress{kActive};
+  };
+
+  /// Dooms `writer` and reports whether the caller must wait for its line
+  /// ownership to drain (true) or may displace it immediately (false).
+  bool DoomWriterMustWait(int16_t writer);
+
+  LineEntry& EntryFor(uintptr_t line) {
+    return table_[HashLine(line) & table_mask_];
+  }
+
+  static uint64_t HashLine(uintptr_t line) {
+    uint64_t z = static_cast<uint64_t>(line) * 0x9e3779b97f4a7c15ULL;
+    return z ^ (z >> 29);
+  }
+
+  static void LockEntry(LineEntry& e);
+  static void UnlockEntry(LineEntry& e) {
+    e.lock.store(false, std::memory_order_release);
+  }
+
+  /// Dooms the writer (if foreign) and all foreign readers of a locked
+  /// entry; returns false (entry unlocked) if a foreign writer must first
+  /// drain, true (entry still locked) when the line is clear.
+  bool ClearForeignOwners(LineEntry& e, int self_slot);
+
+  HtmConfig config_;
+  uint64_t table_mask_;
+  std::vector<LineEntry> table_;
+  TxSlot slots_[kMaxHtmThreads];
+};
+
+/// Per-thread transaction handle. Reusable across transactions; all
+/// buffers are pre-allocated at construction, the hot path is
+/// allocation-free.
+class EmulatedHtm::Tx {
+ public:
+  /// `slot` must be unique among concurrently active Tx handles.
+  Tx(EmulatedHtm& htm, int slot);
+  TUFAST_DISALLOW_COPY_AND_MOVE(Tx);
+
+  /// Runs `body` as one hardware transaction: either it commits (returns
+  /// Ok) or the body's effects are discarded and the abort status is
+  /// returned. `body` may only touch shared state via Load/Store and may
+  /// be re-executed by callers; it must be idempotent on private state.
+  template <typename Body>
+  AbortStatus Execute(Body&& body) {
+    Begin();
+    try {
+      body();
+      Commit();
+      return AbortStatus::Ok();
+    } catch (const TxAbortSignal& signal) {
+      return signal.status;
+    }
+  }
+
+  /// Transactional load of one shared word. Only valid inside Execute.
+  TmWord Load(const TmWord* addr);
+
+  /// Transactional (buffered) store of one shared word.
+  void Store(TmWord* addr, TmWord value);
+
+  /// Commits the current hardware transaction and immediately starts a
+  /// new one. Used by O mode every `period` operations (paper Fig. 9).
+  /// Read/write subscriptions of the finished segment are released.
+  void SegmentBoundary();
+
+  /// Aborts with AbortCause::kExplicit carrying `kCode`. Does not return.
+  /// (Template mirrors native XABORT, whose code is an immediate.)
+  template <uint8_t kCode>
+  [[noreturn]] void ExplicitAbort() {
+    DoExplicitAbort(kCode);
+  }
+
+  bool InTx() const { return active_; }
+  int slot() const { return slot_; }
+  const HtmStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = HtmStats{}; }
+
+  /// Distinct cache lines touched by the current transaction so far.
+  uint32_t FootprintLines() const {
+    return static_cast<uint32_t>(rec_list_.size());
+  }
+
+ private:
+  struct Record {
+    uintptr_t line;
+    uint8_t flags;  // kReadFlag | kWriteFlag
+  };
+  static constexpr uint8_t kReadFlag = 1;
+  static constexpr uint8_t kWriteFlag = 2;
+  static constexpr uintptr_t kEmptyKey = ~uintptr_t{0};
+
+  void Begin();
+  void Commit();
+  [[noreturn]] void DoExplicitAbort(uint8_t code);
+  [[noreturn]] void ThrowAbort(AbortStatus status);
+  void ReleaseAndReset();
+
+  /// Throws on doom (conflict) — the emulated equivalent of the hardware
+  /// asynchronously aborting us.
+  void CheckDoom() {
+    if (TUFAST_UNLIKELY(
+            htm_.slots_[slot_].doomed.load(std::memory_order_seq_cst))) {
+      ThrowAbort(AbortStatus::Conflict());
+    }
+  }
+
+  Record& FindOrInsertRecord(uintptr_t line);
+  void AcquireForRead(LineEntry& entry);
+  void AcquireForWrite(LineEntry& entry);
+
+  TmWord* WriteBufferFind(uintptr_t word_addr);
+  void WriteBufferPut(uintptr_t word_addr, TmWord value);
+
+  EmulatedHtm& htm_;
+  const int slot_;
+  bool active_ = false;
+  HtmStats stats_;
+
+  // Open-addressed line-record map (line id -> index into rec_store_).
+  std::vector<uintptr_t> rec_keys_;
+  std::vector<uint32_t> rec_index_;
+  std::vector<Record> rec_store_;
+  std::vector<uint32_t> rec_list_;  // used key-slot positions, for reset
+  uint64_t rec_mask_;
+
+  // Modeled L1: distinct lines currently mapped into each set.
+  std::vector<uint16_t> set_counts_;
+
+  // Word-granularity write buffer (open-addressed).
+  std::vector<uintptr_t> wb_keys_;
+  std::vector<TmWord> wb_vals_;
+  std::vector<uint32_t> wb_list_;
+  uint64_t wb_mask_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_HTM_EMULATED_HTM_H_

@@ -1,0 +1,40 @@
+#include "htm/native_htm.h"
+
+#if defined(TUFAST_HAVE_RTM)
+#include <cpuid.h>
+#endif
+
+namespace tufast {
+
+namespace {
+
+bool ProbeRtm() {
+#if defined(TUFAST_HAVE_RTM)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  constexpr unsigned kRtmBit = 1u << 11;  // CPUID.07H.EBX.RTM
+  if ((ebx & kRtmBit) == 0) return false;
+  // RTM may be advertised but microcode-disabled (always-abort). Probe by
+  // actually committing a few transactions.
+  int committed = 0;
+  for (int i = 0; i < 64; ++i) {
+    const unsigned status = _xbegin();
+    if (status == _XBEGIN_STARTED) {
+      _xend();
+      ++committed;
+    }
+  }
+  return committed > 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool NativeHtm::Supported() {
+  static const bool supported = ProbeRtm();
+  return supported;
+}
+
+}  // namespace tufast

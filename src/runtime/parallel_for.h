@@ -1,0 +1,43 @@
+#ifndef TUFAST_RUNTIME_PARALLEL_FOR_H_
+#define TUFAST_RUNTIME_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/thread_pool.h"
+
+namespace tufast {
+
+/// Dynamically load-balanced parallel loop over [begin, end). Workers
+/// claim `grain`-sized chunks from a shared cursor; `fn(worker_id, lo,
+/// hi)` processes one chunk. Dynamic chunking matters for power-law
+/// graphs where per-vertex work varies by orders of magnitude.
+template <typename Fn>
+void ParallelForChunked(ThreadPool& pool, uint64_t begin, uint64_t end,
+                        uint64_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  std::atomic<uint64_t> cursor{begin};
+  pool.RunOnAll([&](int worker_id) {
+    while (true) {
+      const uint64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const uint64_t hi = lo + grain < end ? lo + grain : end;
+      fn(worker_id, lo, hi);
+    }
+  });
+}
+
+/// Per-element convenience wrapper: `fn(worker_id, index)`.
+template <typename Fn>
+void ParallelFor(ThreadPool& pool, uint64_t begin, uint64_t end,
+                 uint64_t grain, Fn&& fn) {
+  ParallelForChunked(pool, begin, end, grain,
+                     [&fn](int worker_id, uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i) fn(worker_id, i);
+                     });
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_RUNTIME_PARALLEL_FOR_H_

@@ -1,0 +1,53 @@
+#include "runtime/thread_pool.h"
+
+namespace tufast {
+
+ThreadPool::ThreadPool(int num_threads) {
+  TUFAST_CHECK(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  remaining_ = num_threads();
+  ++generation_;
+  work_ready_.notify_all();
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int)>* job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(worker_id);
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      if (--remaining_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace tufast

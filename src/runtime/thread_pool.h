@@ -1,0 +1,44 @@
+#ifndef TUFAST_RUNTIME_THREAD_POOL_H_
+#define TUFAST_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/compiler.h"
+
+namespace tufast {
+
+/// Persistent pool of worker threads executing SPMD jobs: RunOnAll(fn)
+/// invokes fn(worker_id) on every worker and returns when all finish.
+/// Worker ids are stable in [0, num_threads) and double as TM slot ids.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  TUFAST_DISALLOW_COPY_AND_MOVE(ThreadPool);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Blocks until every worker has run `fn(worker_id)` once. Not
+  /// reentrant: only the owning thread may call it, one job at a time.
+  void RunOnAll(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_RUNTIME_THREAD_POOL_H_

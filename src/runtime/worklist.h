@@ -1,0 +1,117 @@
+#ifndef TUFAST_RUNTIME_WORKLIST_H_
+#define TUFAST_RUNTIME_WORKLIST_H_
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/spin.h"
+
+namespace tufast {
+
+/// Scheduling disciplines for worklist-driven algorithms. The paper's
+/// Bellman-Ford vs SPFA example (Fig. 3) is exactly "same algorithm, FIFO
+/// queue vs priority queue" — TuFast supports both because TM imposes no
+/// batching constraints.
+///
+/// ConcurrentQueue: mutex-protected MPMC FIFO.
+template <typename T>
+class ConcurrentQueue {
+ public:
+  ConcurrentQueue() = default;
+  TUFAST_DISALLOW_COPY_AND_MOVE(ConcurrentQueue);
+
+  void Push(T item) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    items_.push_back(std::move(item));
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return items_.empty();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<T> items_;
+};
+
+/// Mutex-protected MPMC priority queue; smallest priority pops first.
+template <typename T, typename Priority>
+class ConcurrentPriorityQueue {
+ public:
+  ConcurrentPriorityQueue() = default;
+  TUFAST_DISALLOW_COPY_AND_MOVE(ConcurrentPriorityQueue);
+
+  void Push(T item, Priority priority) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    items_.emplace(priority, std::move(item));
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.top().second);
+    items_.pop();
+    return item;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return items_.empty();
+  }
+
+ private:
+  struct Greater {
+    bool operator()(const std::pair<Priority, T>& a,
+                    const std::pair<Priority, T>& b) const {
+      return a.first > b.first;
+    }
+  };
+  mutable std::mutex mutex_;
+  std::priority_queue<std::pair<Priority, T>, std::vector<std::pair<Priority, T>>,
+                      Greater>
+      items_;
+};
+
+/// Drives workers against a worklist until it drains: terminates when the
+/// list is empty AND no worker is mid-item (a mid-item worker may still
+/// push). `queue` needs TryPop/Empty; `fn(worker_id, item)` may push.
+template <typename Queue, typename Fn>
+void DrainWorklist(Queue& queue, int worker_id, std::atomic<int>& active,
+                   Fn&& fn) {
+  Backoff backoff;
+  while (true) {
+    auto item = queue.TryPop();
+    if (item.has_value()) {
+      active.fetch_add(1, std::memory_order_acq_rel);
+      fn(worker_id, *item);
+      active.fetch_sub(1, std::memory_order_acq_rel);
+      backoff.Reset();
+      continue;
+    }
+    if (active.load(std::memory_order_acquire) == 0 && queue.Empty()) return;
+    backoff.Pause();
+  }
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_RUNTIME_WORKLIST_H_

@@ -1,0 +1,68 @@
+#ifndef TUFAST_SYNC_DEADLOCK_GRAPH_H_
+#define TUFAST_SYNC_DEADLOCK_GRAPH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/types.h"
+#include "htm/htm_config.h"
+
+namespace tufast {
+
+/// Waits-for graph for L-mode (blocking 2PL) transactions, paper §IV-E.
+///
+/// Participants are worker slots (the same ids as HTM transaction slots).
+/// Only L-mode transactions register: H and O mode use try-locks and never
+/// wait, so they cannot be part of a hold-and-wait cycle — exactly the
+/// observation the paper uses to restrict detection to L mode. Since
+/// L-mode transactions are the rare huge-degree vertices, a single mutex
+/// over the whole structure is cheap and keeps detection trivially
+/// consistent.
+///
+/// Deadlock resolution: the thread whose new wait edge closes a cycle
+/// aborts itself (SetWaitingAndCheck returns true). Every cycle is closed
+/// by some waiter's edge insertion, so every deadlock is detected by the
+/// thread that completes it.
+class DeadlockGraph {
+ public:
+  DeadlockGraph() = default;
+  TUFAST_DISALLOW_COPY_AND_MOVE(DeadlockGraph);
+
+  /// Records that `slot` now holds `v` (exclusive or shared).
+  void AddHolder(VertexId v, int slot, bool exclusive);
+
+  /// Removes one holder registration of `slot` on `v`.
+  void RemoveHolder(VertexId v, int slot, bool exclusive);
+
+  /// Declares that `slot` is about to block waiting for `v` and checks
+  /// for a waits-for cycle through `slot`. Returns true when waiting
+  /// would deadlock — the caller must NOT wait and should abort; the
+  /// wait registration is rolled back internally in that case.
+  bool SetWaitingAndCheck(int slot, VertexId v);
+
+  /// Clears `slot`'s waiting edge after the lock was acquired.
+  void ClearWaiting(int slot);
+
+  /// Number of registered holder entries (for tests).
+  size_t HolderEntriesForTest() const;
+
+ private:
+  struct Holder {
+    int16_t slot;
+    bool exclusive;
+  };
+
+  bool HasCycleFromLocked(int origin) const;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<VertexId, std::vector<Holder>> holders_;
+  VertexId waiting_[kMaxHtmThreads] = {};
+  bool is_waiting_[kMaxHtmThreads] = {};
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_SYNC_DEADLOCK_GRAPH_H_

@@ -1,0 +1,158 @@
+#ifndef TUFAST_SYNC_LOCK_MANAGER_H_
+#define TUFAST_SYNC_LOCK_MANAGER_H_
+
+#include "common/spin.h"
+#include "common/types.h"
+#include "sync/deadlock_graph.h"
+#include "sync/lock_table.h"
+
+namespace tufast {
+
+/// How L mode avoids deadlocks (paper §IV-E).
+enum class DeadlockPolicy {
+  /// Waits-for-graph cycle detection; the waiter that closes a cycle
+  /// aborts. Safe for arbitrary access patterns (the default). Right for
+  /// TuFast's L mode, whose transactions are rare and huge, so the
+  /// per-acquire bookkeeping amortizes.
+  kDetection,
+  /// No detection: the user guarantees every transaction acquires vertices
+  /// in one global order (e.g. ascending id over a neighbor scan), so
+  /// cycles cannot form and the bookkeeping cost is saved.
+  kPrevention,
+  /// No bookkeeping; a wait that exceeds a short bound aborts the waiter
+  /// (deadlock recovery by timeout). Right for 2PL over millions of tiny
+  /// transactions, where per-acquire graph maintenance would dominate.
+  kTimeout,
+};
+
+/// Blocking lock acquisition for L-mode transactions, on top of the
+/// shared try-lock LockTable. Returns false from Acquire* when the caller
+/// was picked as a deadlock victim (or a liveness bound expired): the
+/// caller must release everything it holds and restart the transaction.
+template <typename Htm>
+class LockManager {
+ public:
+  LockManager(LockTable<Htm>& table,
+              DeadlockPolicy policy = DeadlockPolicy::kDetection)
+      : table_(table), policy_(policy) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(LockManager);
+
+  LockTable<Htm>& table() { return table_; }
+  DeadlockPolicy policy() const { return policy_; }
+
+  bool AcquireShared(int slot, VertexId v) {
+    return AcquireLoop(slot, v, [&] { return table_.TryLockShared(v); },
+                       /*exclusive=*/false);
+  }
+
+  bool AcquireExclusive(int slot, VertexId v) {
+    return AcquireLoop(slot, v, [&] { return table_.TryLockExclusive(v); },
+                       /*exclusive=*/true);
+  }
+
+  /// Upgrades a held shared lock to exclusive. On success the shared
+  /// registration is replaced by an exclusive one. On failure (deadlock
+  /// victim) the shared lock is STILL HELD; the caller releases it during
+  /// transaction abort as usual.
+  bool Upgrade(int slot, VertexId v) {
+    if (table_.TryUpgrade(v)) {
+      SwapHolderRegistration(slot, v);
+      return true;
+    }
+    if (policy_ != DeadlockPolicy::kDetection) {
+      Backoff backoff;
+      uint64_t waited = 0;
+      const uint64_t bound = WaitBound();
+      while (!table_.TryUpgrade(v)) {
+        if (++waited > bound) return false;
+        backoff.Pause();
+      }
+      SwapHolderRegistration(slot, v);
+      return true;
+    }
+    if (graph_.SetWaitingAndCheck(slot, v)) return false;
+    Backoff backoff;
+    uint64_t waited = 0;
+    while (!table_.TryUpgrade(v)) {
+      if (++waited > kMaxWaitIterations) {
+        graph_.ClearWaiting(slot);
+        return false;
+      }
+      backoff.Pause();
+    }
+    graph_.ClearWaiting(slot);
+    SwapHolderRegistration(slot, v);
+    return true;
+  }
+
+  void ReleaseShared(int slot, VertexId v) {
+    if (policy_ == DeadlockPolicy::kDetection) {
+      graph_.RemoveHolder(v, slot, /*exclusive=*/false);
+    }
+    table_.UnlockShared(v);
+  }
+
+  void ReleaseExclusive(int slot, VertexId v) {
+    if (policy_ == DeadlockPolicy::kDetection) {
+      graph_.RemoveHolder(v, slot, /*exclusive=*/true);
+    }
+    table_.UnlockExclusive(v);
+  }
+
+ private:
+  // Liveness bound: a stuck wait eventually turns into a victim abort
+  // instead of hanging the worker forever (the transaction then retries).
+  static constexpr uint64_t kMaxWaitIterations = 1u << 20;
+  // kTimeout policy: short bound, since a timeout is the *only* deadlock
+  // recovery there (roughly a few ms of yielding).
+  static constexpr uint64_t kTimeoutWaitIterations = 3000;
+
+  uint64_t WaitBound() const {
+    return policy_ == DeadlockPolicy::kTimeout ? kTimeoutWaitIterations
+                                               : kMaxWaitIterations;
+  }
+
+  template <typename TryFn>
+  bool AcquireLoop(int slot, VertexId v, TryFn&& try_lock, bool exclusive) {
+    if (try_lock()) {
+      if (policy_ == DeadlockPolicy::kDetection) {
+        graph_.AddHolder(v, slot, exclusive);
+      }
+      return true;
+    }
+    if (policy_ == DeadlockPolicy::kDetection &&
+        graph_.SetWaitingAndCheck(slot, v)) {
+      return false;  // Waiting would close a cycle: we are the victim.
+    }
+    Backoff backoff;
+    uint64_t waited = 0;
+    const uint64_t bound = WaitBound();
+    while (!try_lock()) {
+      if (++waited > bound) {
+        if (policy_ == DeadlockPolicy::kDetection) graph_.ClearWaiting(slot);
+        return false;
+      }
+      backoff.Pause();
+    }
+    if (policy_ == DeadlockPolicy::kDetection) {
+      graph_.ClearWaiting(slot);
+      graph_.AddHolder(v, slot, exclusive);
+    }
+    return true;
+  }
+
+  void SwapHolderRegistration(int slot, VertexId v) {
+    if (policy_ == DeadlockPolicy::kDetection) {
+      graph_.RemoveHolder(v, slot, /*exclusive=*/false);
+      graph_.AddHolder(v, slot, /*exclusive=*/true);
+    }
+  }
+
+  LockTable<Htm>& table_;
+  const DeadlockPolicy policy_;
+  DeadlockGraph graph_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_SYNC_LOCK_MANAGER_H_

@@ -1,0 +1,108 @@
+#ifndef TUFAST_SYNC_LOCK_TABLE_H_
+#define TUFAST_SYNC_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/types.h"
+#include "htm/htm_config.h"
+
+namespace tufast {
+
+/// Per-vertex reader-writer lock words shared by all three TuFast modes
+/// (paper §IV-A: the sub-schedulers are integrated into one HyTM by
+/// sharing the same locks and metadata).
+///
+/// Word layout: bit 31 = exclusive flag, bits 0..30 = shared-holder count.
+/// The words are plain TmWords so H/O-mode transactions can *subscribe*
+/// to them with a transactional load (lock elision): every successful
+/// acquisition then dooms subscribed hardware transactions via
+/// Htm::NotifyNonTxWrite — with the native backend the CAS itself does
+/// this through cache coherence.
+///
+/// Only try-lock acquisition lives here; blocking waits and deadlock
+/// handling are LockManager's job (L mode only — H/O never wait, which is
+/// why they need no deadlock detection, paper §IV-E).
+template <typename Htm>
+class LockTable {
+ public:
+  static constexpr TmWord kExclusiveBit = TmWord{1} << 31;
+
+  LockTable(Htm& htm, size_t num_vertices)
+      : htm_(htm), words_(num_vertices, 0) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(LockTable);
+
+  size_t size() const { return words_.size(); }
+
+  /// Address of the lock word, for transactional subscription.
+  const TmWord* WordAddr(VertexId v) const { return &words_[v]; }
+
+  /// Compatibility predicates over a subscribed word value.
+  static bool SharedCompatible(TmWord word) {
+    return (word & kExclusiveBit) == 0;
+  }
+  static bool Free(TmWord word) { return word == 0; }
+
+  bool TryLockShared(VertexId v) {
+    TmWord expected = __atomic_load_n(&words_[v], __ATOMIC_RELAXED);
+    while (SharedCompatible(expected)) {
+      if (__atomic_compare_exchange_n(&words_[v], &expected, expected + 1,
+                                      /*weak=*/false, __ATOMIC_ACQUIRE,
+                                      __ATOMIC_RELAXED)) {
+        htm_.NotifyNonTxWrite(&words_[v]);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool TryLockExclusive(VertexId v) {
+    TmWord expected = 0;
+    if (__atomic_compare_exchange_n(&words_[v], &expected, kExclusiveBit,
+                                    /*weak=*/false, __ATOMIC_ACQUIRE,
+                                    __ATOMIC_RELAXED)) {
+      htm_.NotifyNonTxWrite(&words_[v]);
+      return true;
+    }
+    return false;
+  }
+
+  /// Shared -> exclusive upgrade; succeeds only for a sole shared holder.
+  bool TryUpgrade(VertexId v) {
+    TmWord expected = 1;
+    if (__atomic_compare_exchange_n(&words_[v], &expected, kExclusiveBit,
+                                    /*weak=*/false, __ATOMIC_ACQUIRE,
+                                    __ATOMIC_RELAXED)) {
+      htm_.NotifyNonTxWrite(&words_[v]);
+      return true;
+    }
+    return false;
+  }
+
+  void UnlockShared(VertexId v) {
+    const TmWord prev = __atomic_fetch_sub(&words_[v], 1, __ATOMIC_RELEASE);
+    TUFAST_DCHECK((prev & kExclusiveBit) == 0 && (prev & ~kExclusiveBit) > 0);
+    htm_.NotifyNonTxWrite(&words_[v]);
+  }
+
+  void UnlockExclusive(VertexId v) {
+    TUFAST_DCHECK(__atomic_load_n(&words_[v], __ATOMIC_RELAXED) ==
+                  kExclusiveBit);
+    __atomic_store_n(&words_[v], 0, __ATOMIC_RELEASE);
+    htm_.NotifyNonTxWrite(&words_[v]);
+  }
+
+  /// Current raw word (non-transactional): for O-mode validation.
+  TmWord LoadWord(VertexId v) const {
+    return __atomic_load_n(&words_[v], __ATOMIC_ACQUIRE);
+  }
+
+ private:
+  Htm& htm_;
+  std::vector<TmWord> words_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_SYNC_LOCK_TABLE_H_

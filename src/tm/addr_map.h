@@ -1,0 +1,96 @@
+#ifndef TUFAST_TM_ADDR_MAP_H_
+#define TUFAST_TM_ADDR_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/compiler.h"
+
+namespace tufast {
+
+/// Open-addressed hash map from uintptr_t keys to uint32_t payloads,
+/// purpose-built for transaction write sets: clear-in-O(used), grows by
+/// rehash at 50% load, no deletion. Key 0 and ~0 are reserved.
+class AddrMap {
+ public:
+  explicit AddrMap(size_t initial_capacity = 256) {
+    size_t cap = 16;
+    while (cap < initial_capacity * 2) cap <<= 1;
+    keys_.assign(cap, kEmpty);
+    values_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  size_t size() const { return used_.size(); }
+
+  void Clear() {
+    for (const uint32_t pos : used_) keys_[pos] = kEmpty;
+    used_.clear();
+  }
+
+  /// Returns the payload slot for `key`, inserting `fresh` if absent.
+  /// `inserted` reports whether a new entry was created.
+  uint32_t* FindOrInsert(uintptr_t key, uint32_t fresh, bool* inserted) {
+    TUFAST_DCHECK(key != kEmpty && key != 0);
+    if (used_.size() * 2 >= keys_.size()) Grow();
+    size_t pos = Hash(key) & mask_;
+    while (true) {
+      if (keys_[pos] == key) {
+        *inserted = false;
+        return &values_[pos];
+      }
+      if (keys_[pos] == kEmpty) {
+        keys_[pos] = key;
+        values_[pos] = fresh;
+        used_.push_back(static_cast<uint32_t>(pos));
+        *inserted = true;
+        return &values_[pos];
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  /// Returns the payload for `key` or nullptr.
+  uint32_t* Find(uintptr_t key) {
+    size_t pos = Hash(key) & mask_;
+    while (true) {
+      if (keys_[pos] == key) return &values_[pos];
+      if (keys_[pos] == kEmpty) return nullptr;
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+ private:
+  static constexpr uintptr_t kEmpty = ~uintptr_t{0};
+
+  static uint64_t Hash(uintptr_t key) {
+    uint64_t z = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return z ^ (z >> 31);
+  }
+
+  void Grow() {
+    std::vector<uintptr_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_values = std::move(values_);
+    std::vector<uint32_t> old_used = std::move(used_);
+    const size_t cap = old_keys.size() * 2;
+    keys_.assign(cap, kEmpty);
+    values_.assign(cap, 0);
+    used_.clear();
+    used_.reserve(cap / 2);
+    mask_ = cap - 1;
+    for (const uint32_t pos : old_used) {
+      bool inserted;
+      *FindOrInsert(old_keys[pos], old_values[pos], &inserted) =
+          old_values[pos];
+    }
+  }
+
+  std::vector<uintptr_t> keys_;
+  std::vector<uint32_t> values_;
+  std::vector<uint32_t> used_;
+  size_t mask_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_ADDR_MAP_H_

@@ -1,0 +1,96 @@
+#ifndef TUFAST_TM_CONTENTION_MONITOR_H_
+#define TUFAST_TM_CONTENTION_MONITOR_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/compiler.h"
+
+namespace tufast {
+
+/// Optimal O-mode segment length for per-operation abort probability p
+/// (paper §IV-D): an HTM segment of P operations commits all P with
+/// probability (1-p)^P, so the expected committed work is (1-p)^P * P,
+/// maximized at P* = -1 / ln(1-p)  (≈ 1/p for small p).
+inline uint32_t OptimalPeriod(double p, uint32_t min_period,
+                              uint32_t max_period) {
+  if (p <= 0.0) return max_period;
+  if (p >= 1.0) return min_period;
+  const double p_star = -1.0 / std::log1p(-p);
+  const double rounded = std::nearbyint(p_star);
+  if (rounded <= min_period) return min_period;
+  if (rounded >= max_period) return max_period;
+  return static_cast<uint32_t>(rounded);
+}
+
+/// Per-worker estimator of the per-operation abort probability p,
+/// maintained as an exponentially-decayed ratio of aborted attempts to
+/// operations executed. TuFast consults it at BEGIN to pick the starting
+/// `period` (paper §IV-D: "by continuously monitoring p during the
+/// execution, we enforce this strategy adaptively").
+class ContentionMonitor {
+ public:
+  struct Config {
+    /// Decay applied per recorded attempt; closer to 1 = longer memory.
+    double decay = 0.999;
+    uint32_t min_period = 100;
+    uint32_t max_period = 2048;
+    /// Optimism before any signal: start with the longest segments.
+    double initial_p = 0.0;
+  };
+
+  explicit ContentionMonitor(Config config)
+      : config_(config),
+        decayed_ops_(1.0),
+        decayed_aborts_(config.initial_p) {}
+  ContentionMonitor() : ContentionMonitor(Config{}) {}
+
+  /// Records one hardware attempt: `ops` operations executed, and whether
+  /// the attempt ended in a (conflict) abort.
+  void RecordAttempt(uint64_t ops, bool aborted) {
+    if (ops == 0) ops = 1;
+    decayed_ops_ = decayed_ops_ * config_.decay + static_cast<double>(ops);
+    decayed_aborts_ = decayed_aborts_ * config_.decay + (aborted ? 1.0 : 0.0);
+    decayed_attempts_ = decayed_attempts_ * config_.decay + 1.0;
+  }
+
+  /// Current estimate of the per-operation abort probability.
+  double EstimatedP() const {
+    const double p = decayed_aborts_ / decayed_ops_;
+    return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  }
+
+  /// Starting `period` for the next O-mode execution.
+  uint32_t CurrentPeriod() const {
+    return OptimalPeriod(EstimatedP(), config_.min_period,
+                         config_.max_period);
+  }
+
+  /// Fraction of recent hardware attempts that aborted. Drives the
+  /// adaptive H-mode retry budget (§IV-D studies the retry count): when
+  /// most attempts abort, retrying re-pays the whole transaction body
+  /// for nothing, so the router cuts the budget.
+  double AttemptAbortRate() const {
+    return decayed_attempts_ > 0 ? decayed_aborts_ / decayed_attempts_ : 0.0;
+  }
+
+  /// Retry budget for H mode given the configured maximum.
+  int CurrentHRetries(int configured) const {
+    const double rate = AttemptAbortRate();
+    if (rate > 0.6) return 0;
+    if (rate > 0.3) return configured < 1 ? configured : 1;
+    return configured;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double decayed_ops_;
+  double decayed_aborts_;
+  double decayed_attempts_ = 1.0;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_CONTENTION_MONITOR_H_

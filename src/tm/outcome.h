@@ -1,0 +1,118 @@
+#ifndef TUFAST_TM_OUTCOME_H_
+#define TUFAST_TM_OUTCOME_H_
+
+#include <cstdint>
+
+#include "common/spin.h"
+
+namespace tufast {
+
+/// Which execution class a committed TuFast transaction fell into,
+/// matching the paper's Fig. 15 breakdown exactly:
+///   H   - committed inside a single hardware transaction;
+///   O   - committed by the optimistic mode on its first attempt;
+///   OPlus - committed by O mode after one or more `period` adjustments;
+///   O2L - O mode gave up, committed under locks;
+///   L   - routed to lock mode directly (size hint too large for H/O).
+enum class TxnClass : uint8_t { kH = 0, kO, kOPlus, kO2L, kL, kNumClasses };
+
+inline const char* TxnClassName(TxnClass c) {
+  switch (c) {
+    case TxnClass::kH: return "H";
+    case TxnClass::kO: return "O";
+    case TxnClass::kOPlus: return "O+";
+    case TxnClass::kO2L: return "O2L";
+    case TxnClass::kL: return "L";
+    default: return "?";
+  }
+}
+
+/// Result of one Run() call on any scheduler.
+struct RunOutcome {
+  /// False only when the user called Txn::Abort() (no retry, by design).
+  bool committed = false;
+  /// Execution class of the commit (TuFast; baselines report kL/kO etc.
+  /// loosely or leave the default).
+  TxnClass cls = TxnClass::kH;
+  /// READ/WRITE operations performed by the committed execution.
+  uint64_t ops = 0;
+};
+
+/// Per-worker counters common to every scheduler in this repository.
+/// Merge per-worker copies for global numbers; never shared across
+/// threads without merging.
+struct SchedulerStats {
+  uint64_t commits = 0;
+  uint64_t user_aborts = 0;
+  uint64_t ops_committed = 0;
+
+  // Failed attempts by reason (a transaction may fail several times
+  // before committing; each failed attempt counts once).
+  uint64_t conflict_aborts = 0;
+  uint64_t capacity_aborts = 0;
+  uint64_t validation_aborts = 0;
+  uint64_t lock_busy_aborts = 0;
+  uint64_t deadlock_aborts = 0;
+
+  // Fig. 15: committed-transaction counts and op totals per class.
+  uint64_t class_count[static_cast<int>(TxnClass::kNumClasses)] = {};
+  uint64_t class_ops[static_cast<int>(TxnClass::kNumClasses)] = {};
+
+  void RecordCommit(TxnClass cls, uint64_t ops) {
+    ++commits;
+    ops_committed += ops;
+    ++class_count[static_cast<int>(cls)];
+    class_ops[static_cast<int>(cls)] += ops;
+  }
+
+  uint64_t TotalFailedAttempts() const {
+    return conflict_aborts + capacity_aborts + validation_aborts +
+           lock_busy_aborts + deadlock_aborts;
+  }
+
+  void Merge(const SchedulerStats& other) {
+    commits += other.commits;
+    user_aborts += other.user_aborts;
+    ops_committed += other.ops_committed;
+    conflict_aborts += other.conflict_aborts;
+    capacity_aborts += other.capacity_aborts;
+    validation_aborts += other.validation_aborts;
+    lock_busy_aborts += other.lock_busy_aborts;
+    deadlock_aborts += other.deadlock_aborts;
+    for (int i = 0; i < static_cast<int>(TxnClass::kNumClasses); ++i) {
+      class_count[i] += other.class_count[i];
+      class_ops[i] += other.class_ops[i];
+    }
+  }
+};
+
+/// Explicit-abort user codes shared between the modes and the router.
+inline constexpr uint8_t kAbortCodeUser = 1;
+inline constexpr uint8_t kAbortCodeLockBusy = 2;
+
+/// Internal signal for a user-requested ABORT() outside hardware
+/// transactions (O validation phase, L mode). Caught by the router.
+struct UserAbortSignal {};
+
+/// Internal signal for an L-mode deadlock-victim restart.
+struct DeadlockVictimSignal {};
+
+/// Internal signal for an O-mode software abort (lock busy / validation
+/// failure) raised outside the hardware segment.
+struct OModeFailSignal {};
+
+/// Shared exponential randomized backoff between deadlock-victim retries
+/// (see TwoPhaseLocking::Run). `attempt` is the number of victim aborts
+/// this transaction has suffered so far.
+template <typename RngT>
+void DeadlockRetryBackoff(RngT& rng, uint32_t attempt) {
+  const uint32_t shift = attempt < 12 ? attempt : 12;
+  const uint64_t window = uint64_t{16} << shift;
+  const uint64_t pauses = 4 + rng.NextBounded(window);
+  Backoff backoff;
+  for (uint64_t i = 0; i < pauses; ++i) backoff.Pause();
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_OUTCOME_H_

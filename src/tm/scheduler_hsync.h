@@ -1,0 +1,227 @@
+#ifndef TUFAST_TM_SCHEDULER_HSYNC_H_
+#define TUFAST_TM_SCHEDULER_HSYNC_H_
+
+#include <array>
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/spin.h"
+#include "common/types.h"
+#include "htm/htm_config.h"
+#include "tm/outcome.h"
+
+namespace tufast {
+
+/// Baseline scheduler: classic HTM + global-fallback-lock hybrid ("HSync"
+/// in paper Fig. 13/14). Every transaction first tries to run entirely in
+/// one hardware transaction that *subscribes* the global fallback lock;
+/// after a bounded number of aborts it acquires the global lock and runs
+/// non-transactionally (which dooms all concurrent hardware attempts).
+/// Unlike TuFast it is degree-oblivious: one policy for every size, and a
+/// single global lock that serializes all fallbacks.
+template <typename Htm>
+class HsyncHybrid {
+ public:
+  struct Config {
+    int htm_retries = 8;
+  };
+
+  HsyncHybrid(Htm& htm, VertexId /*num_vertices*/ = 0, Config config = {})
+      : htm_(htm), config_(config) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(HsyncHybrid);
+
+  /// Hardware-path transaction context.
+  class HwTxn {
+   public:
+    HwTxn(typename Htm::Tx& htx, const TmWord* global_lock)
+        : htx_(htx), global_lock_(global_lock) {}
+
+    TmWord Read(VertexId /*v*/, const TmWord* addr) {
+      ++ops_;
+      return htx_.Load(addr);
+    }
+    TmWord ReadForUpdate(VertexId v, const TmWord* addr) {
+      return Read(v, addr);  // Optimistic/timestamped: no early locking.
+    }
+
+    void Write(VertexId /*v*/, TmWord* addr, TmWord value) {
+      ++ops_;
+      htx_.Store(addr, value);
+    }
+    double ReadDouble(VertexId v, const double* addr) {
+      return std::bit_cast<double>(
+          Read(v, reinterpret_cast<const TmWord*>(addr)));
+    }
+    void WriteDouble(VertexId v, double* addr, double value) {
+      Write(v, reinterpret_cast<TmWord*>(addr), std::bit_cast<TmWord>(value));
+    }
+    [[noreturn]] void Abort() {
+      htx_.template ExplicitAbort<kAbortCodeUser>();
+    }
+
+    /// Subscribes the fallback lock; aborts if a fallback is running.
+    void SubscribeGlobalLock() {
+      if (htx_.Load(global_lock_) != 0) {
+        htx_.template ExplicitAbort<kAbortCodeLockBusy>();
+      }
+    }
+
+    uint64_t ops() const { return ops_; }
+    void ResetOps() { ops_ = 0; }
+
+   private:
+    typename Htm::Tx& htx_;
+    const TmWord* global_lock_;
+    uint64_t ops_ = 0;
+  };
+
+  /// Fallback-path context: runs under the global lock, plain accesses.
+  class FallbackTxn {
+   public:
+    TmWord Read(VertexId /*v*/, const TmWord* addr) {
+      ++ops_;
+      if (const TmWord* p = FindPending(addr)) return *p;
+      return Htm::NonTxLoad(addr);
+    }
+    TmWord ReadForUpdate(VertexId v, const TmWord* addr) {
+      return Read(v, addr);  // Optimistic/timestamped: no early locking.
+    }
+
+    void Write(VertexId /*v*/, TmWord* addr, TmWord value) {
+      ++ops_;
+      pending_.push_back({addr, value});
+    }
+    double ReadDouble(VertexId v, const double* addr) {
+      return std::bit_cast<double>(
+          Read(v, reinterpret_cast<const TmWord*>(addr)));
+    }
+    void WriteDouble(VertexId v, double* addr, double value) {
+      Write(v, reinterpret_cast<TmWord*>(addr), std::bit_cast<TmWord>(value));
+    }
+    [[noreturn]] void Abort() { throw UserAbortSignal{}; }
+
+    uint64_t ops() const { return ops_; }
+
+   private:
+    friend class HsyncHybrid;
+    struct Pending {
+      TmWord* addr;
+      TmWord value;
+    };
+    uint64_t ops_ = 0;
+    std::vector<Pending> pending_;
+
+    TmWord* FindPending(const TmWord* addr) {
+      for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+        if (it->addr == addr) return &it->value;
+      }
+      return nullptr;
+    }
+  };
+
+  template <typename Fn>
+  RunOutcome Run(int worker_id, uint64_t /*size_hint*/, Fn&& fn) {
+    Worker& w = GetWorker(worker_id);
+    HwTxn hw(w.htx, &global_lock_);
+    for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
+      hw.ResetOps();
+      const AbortStatus status = w.htx.Execute([&] {
+        hw.SubscribeGlobalLock();
+        fn(hw);
+      });
+      if (status.ok()) {
+        w.stats.RecordCommit(TxnClass::kH, hw.ops());
+        return RunOutcome{true, TxnClass::kH, hw.ops()};
+      }
+      if (status.cause == AbortCause::kExplicit &&
+          status.user_code == kAbortCodeUser) {
+        ++w.stats.user_aborts;
+        return RunOutcome{false, TxnClass::kH, 0};
+      }
+      if (status.cause == AbortCause::kCapacity) {
+        ++w.stats.capacity_aborts;
+        break;  // Deterministic: go to the fallback immediately.
+      }
+      if (status.cause == AbortCause::kExplicit) {
+        ++w.stats.lock_busy_aborts;
+      } else {
+        ++w.stats.conflict_aborts;
+      }
+    }
+
+    // Global-lock fallback: serialize, run plain, publish with dooming
+    // stores so concurrent hardware attempts stay correct.
+    AcquireGlobalLock();
+    FallbackTxn fb;
+    try {
+      fn(fb);
+    } catch (const UserAbortSignal&) {
+      ReleaseGlobalLock();
+      ++w.stats.user_aborts;
+      return RunOutcome{false, TxnClass::kL, 0};
+    }
+    for (const auto& p : fb.pending_) htm_.NonTxStore(p.addr, p.value);
+    ReleaseGlobalLock();
+    w.stats.RecordCommit(TxnClass::kL, fb.ops());
+    return RunOutcome{true, TxnClass::kL, fb.ops()};
+  }
+
+  SchedulerStats AggregatedStats() const {
+    SchedulerStats total;
+    for (const auto& w : workers_) {
+      if (w != nullptr) total.Merge(w->stats);
+    }
+    return total;
+  }
+
+  void ResetStats() {
+    for (auto& w : workers_) {
+      if (w != nullptr) w->stats = SchedulerStats{};
+    }
+  }
+
+ private:
+  struct Worker {
+    Worker(Htm& htm, int slot)
+        : htx(htm, slot) {}
+    typename Htm::Tx htx;
+    SchedulerStats stats;
+  };
+
+  Worker& GetWorker(int worker_id) {
+    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
+    auto& slot = workers_[worker_id];
+    if (slot == nullptr) slot = std::make_unique<Worker>(htm_, worker_id);
+    return *slot;
+  }
+
+  void AcquireGlobalLock() {
+    Backoff backoff;
+    while (true) {
+      TmWord expected = 0;
+      if (__atomic_compare_exchange_n(&global_lock_, &expected, 1,
+                                      /*weak=*/false, __ATOMIC_ACQUIRE,
+                                      __ATOMIC_RELAXED)) {
+        htm_.NotifyNonTxWrite(&global_lock_);
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  void ReleaseGlobalLock() {
+    __atomic_store_n(&global_lock_, 0, __ATOMIC_RELEASE);
+    htm_.NotifyNonTxWrite(&global_lock_);
+  }
+
+  Htm& htm_;
+  const Config config_;
+  alignas(kCacheLineBytes) TmWord global_lock_ = 0;
+  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_SCHEDULER_HSYNC_H_

@@ -1,0 +1,162 @@
+#ifndef TUFAST_TM_SCHEDULER_HTO_H_
+#define TUFAST_TM_SCHEDULER_HTO_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/spin.h"
+#include "common/types.h"
+#include "htm/htm_config.h"
+#include "tm/outcome.h"
+#include "tm/scheduler_to.h"
+
+namespace tufast {
+
+/// Baseline scheduler: HTM-accelerated timestamp ordering ("H-TO" in
+/// paper Fig. 13/14, after the HTM+TO hybrid of Wang et al. / Leis et
+/// al.). The transaction first attempts to run entirely inside one
+/// hardware transaction that *also* maintains the per-vertex read/write
+/// timestamps transactionally (so hardware and software paths stay
+/// mutually consistent); after bounded retries or a capacity abort it
+/// falls back to the pure timestamp-ordering scheduler. Degree-oblivious:
+/// rts updates make even read-read sharing conflict in the hardware path,
+/// which is exactly the overhead the paper's H mode avoids.
+template <typename Htm>
+class HtmTimestampOrdering {
+ public:
+  struct Config {
+    int htm_retries = 4;
+  };
+
+  HtmTimestampOrdering(Htm& htm, VertexId num_vertices, Config config = {})
+      : htm_(htm), config_(config), fallback_(htm, num_vertices) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(HtmTimestampOrdering);
+
+  /// Hardware-path context: direct loads/stores plus transactional
+  /// timestamp maintenance.
+  class HwTxn {
+   public:
+    HwTxn(HtmTimestampOrdering& parent, typename Htm::Tx& htx)
+        : parent_(parent), htx_(htx) {}
+
+    void Reset(uint64_t ts) {
+      ts_ = ts;
+      ops_ = 0;
+    }
+
+    TmWord Read(VertexId v, const TmWord* addr) {
+      ++ops_;
+      TmWord* wts = parent_.fallback_.WriteTsAddr(v);
+      TmWord* rts = parent_.fallback_.ReadTsAddr(v);
+      if (htx_.Load(wts) > ts_) {
+        htx_.template ExplicitAbort<kAbortCodeLockBusy>();
+      }
+      if (htx_.Load(rts) < ts_) htx_.Store(rts, ts_);
+      return htx_.Load(addr);
+    }
+
+    TmWord ReadForUpdate(VertexId v, const TmWord* addr) {
+      return Read(v, addr);  // Optimistic/timestamped: no early locking.
+    }
+
+    void Write(VertexId v, TmWord* addr, TmWord value) {
+      ++ops_;
+      TmWord* wts = parent_.fallback_.WriteTsAddr(v);
+      TmWord* rts = parent_.fallback_.ReadTsAddr(v);
+      if (htx_.Load(wts) > ts_ || htx_.Load(rts) > ts_) {
+        htx_.template ExplicitAbort<kAbortCodeLockBusy>();
+      }
+      htx_.Store(wts, ts_);
+      htx_.Store(addr, value);
+    }
+
+    double ReadDouble(VertexId v, const double* addr) {
+      return std::bit_cast<double>(
+          Read(v, reinterpret_cast<const TmWord*>(addr)));
+    }
+    void WriteDouble(VertexId v, double* addr, double value) {
+      Write(v, reinterpret_cast<TmWord*>(addr), std::bit_cast<TmWord>(value));
+    }
+    [[noreturn]] void Abort() {
+      htx_.template ExplicitAbort<kAbortCodeUser>();
+    }
+
+    uint64_t ops() const { return ops_; }
+
+   private:
+    HtmTimestampOrdering& parent_;
+    typename Htm::Tx& htx_;
+    uint64_t ts_ = 0;
+    uint64_t ops_ = 0;
+  };
+
+  template <typename Fn>
+  RunOutcome Run(int worker_id, uint64_t size_hint, Fn&& fn) {
+    Worker& w = GetWorker(worker_id);
+    HwTxn hw(*this, w.htx);
+    for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
+      hw.Reset(fallback_.NextTs());
+      const AbortStatus status = w.htx.Execute([&] { fn(hw); });
+      if (status.ok()) {
+        w.stats.RecordCommit(TxnClass::kH, hw.ops());
+        return RunOutcome{true, TxnClass::kH, hw.ops()};
+      }
+      if (status.cause == AbortCause::kExplicit &&
+          status.user_code == kAbortCodeUser) {
+        ++w.stats.user_aborts;
+        return RunOutcome{false, TxnClass::kH, 0};
+      }
+      if (status.cause == AbortCause::kCapacity) {
+        ++w.stats.capacity_aborts;
+        break;
+      }
+      if (status.cause == AbortCause::kExplicit) {
+        ++w.stats.lock_busy_aborts;
+      } else {
+        ++w.stats.conflict_aborts;
+      }
+    }
+    return fallback_.Run(worker_id, size_hint, fn);
+  }
+
+  SchedulerStats AggregatedStats() const {
+    SchedulerStats total = fallback_.AggregatedStats();
+    for (const auto& w : workers_) {
+      if (w != nullptr) total.Merge(w->stats);
+    }
+    return total;
+  }
+
+  void ResetStats() {
+    fallback_.ResetStats();
+    for (auto& w : workers_) {
+      if (w != nullptr) w->stats = SchedulerStats{};
+    }
+  }
+
+ private:
+  struct Worker {
+    Worker(Htm& htm, int slot) : htx(htm, slot) {}
+    typename Htm::Tx htx;
+    SchedulerStats stats;
+  };
+
+  Worker& GetWorker(int worker_id) {
+    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
+    auto& slot = workers_[worker_id];
+    if (slot == nullptr) slot = std::make_unique<Worker>(htm_, worker_id);
+    return *slot;
+  }
+
+  Htm& htm_;
+  const Config config_;
+  TimestampOrdering<Htm> fallback_;
+  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_SCHEDULER_HTO_H_

@@ -1,0 +1,237 @@
+#ifndef TUFAST_TM_SCHEDULER_TO_H_
+#define TUFAST_TM_SCHEDULER_TO_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/spin.h"
+#include "common/types.h"
+#include "htm/htm_config.h"
+#include "tm/addr_map.h"
+#include "tm/outcome.h"
+
+namespace tufast {
+
+/// Baseline scheduler: timestamp ordering ("TO" in paper Fig. 7). Every
+/// transaction draws a start timestamp from a global counter; per-vertex
+/// read/write timestamps enforce that operations happen in timestamp
+/// order — an operation arriving "too late" aborts the transaction, which
+/// retries with a fresh timestamp. Writes are buffered and installed at
+/// commit under per-vertex latches.
+template <typename Htm>
+class TimestampOrdering {
+ public:
+  TimestampOrdering(Htm& htm, VertexId num_vertices)
+      : htm_(htm),
+        read_ts_(num_vertices, 0),
+        write_ts_(num_vertices, 0),
+        latches_(num_vertices, 0) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(TimestampOrdering);
+
+  class Txn {
+   public:
+    explicit Txn(TimestampOrdering& parent) : parent_(parent) {}
+    TUFAST_DISALLOW_COPY_AND_MOVE(Txn);
+
+    void Reset(uint64_t ts) {
+      ts_ = ts;
+      ops_ = 0;
+      writes_.clear();
+      write_map_.Clear();
+    }
+
+    TmWord Read(VertexId v, const TmWord* addr) {
+      ++ops_;
+      if (uint32_t* idx =
+              write_map_.Find(reinterpret_cast<uintptr_t>(addr))) {
+        return writes_[*idx].value;
+      }
+      parent_.Latch(v);
+      if (__atomic_load_n(&parent_.write_ts_[v], __ATOMIC_ACQUIRE) > ts_) {
+        parent_.Unlatch(v);
+        throw ToAbortSignal{};  // A younger transaction already wrote v.
+      }
+      if (__atomic_load_n(&parent_.read_ts_[v], __ATOMIC_ACQUIRE) < ts_) {
+        // NonTxStore (not a plain store): H-TO's hardware path writes the
+        // same word transactionally, so the store must first drain/doom
+        // any transactional owner of the line. No-op difference on the
+        // native backend, where coherence handles this.
+        parent_.htm_.NonTxStore(&parent_.read_ts_[v], ts_);
+      }
+      const TmWord value = Htm::NonTxLoad(addr);
+      parent_.Unlatch(v);
+      return value;
+    }
+
+    TmWord ReadForUpdate(VertexId v, const TmWord* addr) {
+      return Read(v, addr);  // Optimistic/timestamped: no early locking.
+    }
+
+    void Write(VertexId v, TmWord* addr, TmWord value) {
+      ++ops_;
+      // Early (non-binding) check; the authoritative check re-runs at
+      // commit under the latch.
+      if (__atomic_load_n(&parent_.read_ts_[v], __ATOMIC_ACQUIRE) > ts_ ||
+          __atomic_load_n(&parent_.write_ts_[v], __ATOMIC_ACQUIRE) > ts_) {
+        throw ToAbortSignal{};
+      }
+      bool inserted;
+      uint32_t* idx = write_map_.FindOrInsert(
+          reinterpret_cast<uintptr_t>(addr),
+          static_cast<uint32_t>(writes_.size()), &inserted);
+      if (inserted) {
+        writes_.push_back(WriteEntry{v, addr, value});
+      } else {
+        writes_[*idx].value = value;
+      }
+    }
+
+    double ReadDouble(VertexId v, const double* addr) {
+      return std::bit_cast<double>(
+          Read(v, reinterpret_cast<const TmWord*>(addr)));
+    }
+    void WriteDouble(VertexId v, double* addr, double value) {
+      Write(v, reinterpret_cast<TmWord*>(addr), std::bit_cast<TmWord>(value));
+    }
+
+    [[noreturn]] void Abort() { throw UserAbortSignal{}; }
+
+    uint64_t ops() const { return ops_; }
+
+   private:
+    friend class TimestampOrdering;
+    struct WriteEntry {
+      VertexId vertex;
+      TmWord* addr;
+      TmWord value;
+    };
+
+    TimestampOrdering& parent_;
+    uint64_t ts_ = 0;
+    uint64_t ops_ = 0;
+    std::vector<WriteEntry> writes_;
+    AddrMap write_map_;
+    std::vector<VertexId> write_vertices_;
+  };
+
+  template <typename Fn>
+  RunOutcome Run(int worker_id, uint64_t /*size_hint*/, Fn&& fn) {
+    Worker& w = GetWorker(worker_id);
+    while (true) {
+      w.txn.Reset(NextTs());
+      try {
+        fn(w.txn);
+        if (TryCommit(w.txn)) {
+          w.stats.RecordCommit(TxnClass::kO, w.txn.ops());
+          return RunOutcome{true, TxnClass::kO, w.txn.ops()};
+        }
+        ++w.stats.validation_aborts;
+      } catch (const UserAbortSignal&) {
+        ++w.stats.user_aborts;
+        return RunOutcome{false, TxnClass::kO, 0};
+      } catch (const ToAbortSignal&) {
+        ++w.stats.conflict_aborts;
+      }
+      Backoff backoff;
+      const uint64_t pauses = 2 + w.rng.NextBounded(14);
+      for (uint64_t i = 0; i < pauses; ++i) backoff.Pause();
+    }
+  }
+
+  SchedulerStats AggregatedStats() const {
+    SchedulerStats total;
+    for (const auto& w : workers_) {
+      if (w != nullptr) total.Merge(w->stats);
+    }
+    return total;
+  }
+
+  void ResetStats() {
+    for (auto& w : workers_) {
+      if (w != nullptr) w->stats = SchedulerStats{};
+    }
+  }
+
+  /// Shared-metadata access for the H-TO hybrid: its hardware path must
+  /// maintain the SAME timestamp words as this software path, or the two
+  /// paths could not see each other's conflicts.
+  TmWord* ReadTsAddr(VertexId v) { return &read_ts_[v]; }
+  TmWord* WriteTsAddr(VertexId v) { return &write_ts_[v]; }
+  uint64_t NextTs() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  struct ToAbortSignal {};
+
+  struct Worker {
+    explicit Worker(TimestampOrdering& parent)
+        : txn(parent), rng(0x70u ^ reinterpret_cast<uintptr_t>(this)) {}
+    Txn txn;
+    SchedulerStats stats;
+    Rng rng;
+  };
+
+  Worker& GetWorker(int worker_id) {
+    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
+    auto& slot = workers_[worker_id];
+    if (slot == nullptr) slot = std::make_unique<Worker>(*this);
+    return *slot;
+  }
+
+  void Latch(VertexId v) {
+    Backoff backoff;
+    TmWord expected = 0;
+    while (!__atomic_compare_exchange_n(&latches_[v], &expected, 1,
+                                        /*weak=*/false, __ATOMIC_ACQUIRE,
+                                        __ATOMIC_RELAXED)) {
+      expected = 0;
+      backoff.Pause();
+    }
+  }
+
+  void Unlatch(VertexId v) {
+    __atomic_store_n(&latches_[v], 0, __ATOMIC_RELEASE);
+  }
+
+  bool TryCommit(Txn& txn) {
+    auto& wv = txn.write_vertices_;
+    wv.clear();
+    for (const auto& w : txn.writes_) wv.push_back(w.vertex);
+    std::sort(wv.begin(), wv.end());
+    wv.erase(std::unique(wv.begin(), wv.end()), wv.end());
+
+    // Latch the write set in sorted order (no deadlock), re-check the
+    // timestamp rules, install, advance write timestamps.
+    for (const VertexId v : wv) Latch(v);
+    for (const VertexId v : wv) {
+      if (__atomic_load_n(&read_ts_[v], __ATOMIC_ACQUIRE) > txn.ts_ ||
+          __atomic_load_n(&write_ts_[v], __ATOMIC_ACQUIRE) > txn.ts_) {
+        for (const VertexId u : wv) Unlatch(u);
+        return false;
+      }
+    }
+    for (const auto& w : txn.writes_) htm_.NonTxStore(w.addr, w.value);
+    for (const VertexId v : wv) {
+      htm_.NonTxStore(&write_ts_[v], txn.ts_);  // See Read: drains HW owners.
+      Unlatch(v);
+    }
+    return true;
+  }
+
+  Htm& htm_;
+  std::atomic<uint64_t> clock_{0};
+  std::vector<TmWord> read_ts_;
+  std::vector<TmWord> write_ts_;
+  std::vector<TmWord> latches_;
+  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_SCHEDULER_TO_H_

@@ -1,0 +1,283 @@
+#ifndef TUFAST_TM_TUFAST_H_
+#define TUFAST_TM_TUFAST_H_
+
+#include <array>
+#include <memory>
+
+#include "common/compiler.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "htm/emulated_htm.h"
+#include "sync/lock_manager.h"
+#include "sync/lock_table.h"
+#include "tm/contention_monitor.h"
+#include "tm/modes.h"
+#include "tm/outcome.h"
+
+namespace tufast {
+
+/// TuFast: the paper's three-mode hybrid transactional memory.
+///
+/// Programming model (paper Table I / Fig. 1): wrap each logical task in
+/// Run() with an optional size hint (typically the vertex degree); inside
+/// the body, access shared words only through txn.Read/Write. The body
+/// must be idempotent on private state — it may be re-executed on aborts
+/// and across modes, so take `auto& txn` (each mode passes its own type):
+///
+///   tm.Run(worker, graph.OutDegree(v), [&](auto& txn) {
+///     if (txn.Read(v, &match[v]) == kNull) { ... txn.Write(...); }
+///   });
+///
+/// Routing (paper Fig. 10): H mode first (unless the hint rules it out),
+/// with bounded retries on conflicts and an immediate hand-off on
+/// capacity aborts; then O mode, halving `period` per failed attempt;
+/// when `period` sinks below min_period, L mode finishes the job under
+/// locks. `period` starts at the contention monitor's analytic optimum
+/// (§IV-D) unless adaptive_period is off.
+///
+/// Thread model: worker ids in [0, kMaxHtmThreads) map 1:1 to OS threads;
+/// each id's per-worker state must only ever be used by one thread.
+template <typename Htm>
+class TuFastScheduler {
+ public:
+  struct Config {
+    /// H-mode retries after conflict aborts before falling to O mode.
+    int h_retries = 4;
+    /// Size hints above this skip H mode (0 = derive from HTM capacity:
+    /// half the line budget, since each op may touch a fresh line).
+    uint64_t h_hint_threshold = 0;
+    /// Size hints above this skip O mode too and go straight to locks.
+    uint64_t o_hint_threshold = 16384;
+    uint32_t min_period = 100;   // Paper: below this, proceed with L mode.
+    /// Upper bound for the adaptive `period`. 0 = derive from the HTM
+    /// capacity: each operation touches up to two fresh lines (data +
+    /// vertex lock), so segments beyond ~MaxLines()/2 operations abort on
+    /// capacity deterministically and only waste a re-execution.
+    uint32_t max_period = 0;
+    bool adaptive_period = true;
+    uint32_t static_period = 1000;  // Used when adaptive_period is false.
+    DeadlockPolicy deadlock_policy = DeadlockPolicy::kDetection;
+    /// Ablation switches (bench/ablation_modes.cc): disabling a mode
+    /// routes its transactions to the next one in the Fig. 10 pipeline.
+    bool enable_h_mode = true;
+    bool enable_o_mode = true;
+  };
+
+  TuFastScheduler(Htm& htm, VertexId num_vertices, Config config = {})
+      : htm_(htm),
+        config_(config),
+        lock_table_(htm, num_vertices),
+        lock_manager_(lock_table_, config.deadlock_policy),
+        h_hint_threshold_(config.h_hint_threshold != 0
+                              ? config.h_hint_threshold
+                              : htm.config().MaxLines() / 2),
+        max_period_(config.max_period != 0 ? config.max_period
+                                           : htm.config().MaxLines() / 2 - 16) {
+    TUFAST_CHECK(max_period_ >= config_.min_period);
+  }
+  TUFAST_DISALLOW_COPY_AND_MOVE(TuFastScheduler);
+
+  /// Executes one transaction. Retries and mode escalation are internal;
+  /// returns once the body committed or called txn.Abort().
+  template <typename Fn>
+  RunOutcome Run(int worker_id, uint64_t size_hint, Fn&& fn) {
+    Worker& w = GetWorker(worker_id);
+    if (size_hint > config_.o_hint_threshold) {
+      return RunLockMode(w, fn, TxnClass::kL);
+    }
+
+    if (config_.enable_h_mode && size_hint <= h_hint_threshold_) {
+      HTxn<Htm> htxn(w.htx, lock_table_);
+      bool capacity = false;
+      // Adaptive retry budget (paper SIV-D): under a high attempt-abort
+      // rate, each retry re-executes the whole body just to abort again.
+      const int h_retries = w.monitor.CurrentHRetries(config_.h_retries);
+      for (int attempt = 0; attempt <= h_retries; ++attempt) {
+        htxn.ResetOps();
+        const AbortStatus status = w.htx.Execute([&] { fn(htxn); });
+        if (status.ok()) {
+          w.monitor.RecordAttempt(htxn.ops(), /*aborted=*/false);
+          w.stats.RecordCommit(TxnClass::kH, htxn.ops());
+          return RunOutcome{true, TxnClass::kH, htxn.ops()};
+        }
+        if (status.cause == AbortCause::kExplicit &&
+            status.user_code == kAbortCodeUser) {
+          ++w.stats.user_aborts;
+          return RunOutcome{false, TxnClass::kH, 0};
+        }
+        w.monitor.RecordAttempt(htxn.ops(), /*aborted=*/true);
+        if (status.cause == AbortCause::kCapacity) {
+          // Capacity aborts repeat deterministically: go to O directly
+          // (paper Fig. 10).
+          ++w.stats.capacity_aborts;
+          capacity = true;
+          break;
+        }
+        if (status.cause == AbortCause::kExplicit) {
+          ++w.stats.lock_busy_aborts;
+        } else {
+          ++w.stats.conflict_aborts;
+        }
+      }
+      (void)capacity;
+    }
+
+    if (!config_.enable_o_mode) return RunLockMode(w, fn, TxnClass::kO2L);
+    return RunOptimisticThenLock(w, fn);
+  }
+
+  Htm& htm() { return htm_; }
+  const Config& config() const { return config_; }
+  LockTable<Htm>& lock_table() { return lock_table_; }
+  uint64_t h_hint_threshold() const { return h_hint_threshold_; }
+
+  /// Stats merged across all workers. Call only while no transaction is
+  /// in flight (workers mutate their stats without synchronization).
+  SchedulerStats AggregatedStats() const {
+    SchedulerStats total;
+    for (const auto& w : workers_) {
+      if (w != nullptr) total.Merge(w->stats);
+    }
+    return total;
+  }
+
+  HtmStats AggregatedHtmStats() const {
+    HtmStats total;
+    for (const auto& w : workers_) {
+      if (w != nullptr) total.Merge(w->htx.stats());
+    }
+    return total;
+  }
+
+  void ResetStats() {
+    for (auto& w : workers_) {
+      if (w != nullptr) {
+        w->stats = SchedulerStats{};
+        w->htx.ResetStats();
+      }
+    }
+  }
+
+  /// Monitor introspection for the adaptive-period trace (Fig. 17).
+  const ContentionMonitor* MonitorForWorker(int worker_id) const {
+    return workers_[worker_id] ? &workers_[worker_id]->monitor : nullptr;
+  }
+
+ private:
+  struct Worker {
+    Worker(TuFastScheduler& parent, int slot)
+        : htx(parent.htm_, slot),
+          otxn(parent.htm_, htx, parent.lock_table_,
+               parent.config_.o_hint_threshold + 64),
+          ltxn(parent.htm_, slot, parent.lock_manager_),
+          monitor(ContentionMonitor::Config{
+              .decay = 0.999,
+              .min_period = parent.config_.min_period,
+              .max_period = parent.max_period_,
+              .initial_p = 0.0}),
+          rng(0x70f5a7u + static_cast<uint64_t>(slot) * 0x9e3779b9u) {}
+
+    typename Htm::Tx htx;
+    OTxn<Htm> otxn;
+    LTxn<Htm> ltxn;
+    ContentionMonitor monitor;
+    SchedulerStats stats;
+    Rng rng;
+  };
+
+  Worker& GetWorker(int worker_id) {
+    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
+    auto& slot = workers_[worker_id];
+    if (slot == nullptr) slot = std::make_unique<Worker>(*this, worker_id);
+    return *slot;
+  }
+
+  /// O-mode loop plus the L-mode fallthrough (paper Fig. 10, lower half).
+  /// Outlined and cold: only medium/huge transactions come here, and
+  /// keeping the instantiations out of Run() preserves the H fast path's
+  /// code generation (see TUFAST_NOINLINE_COLD).
+  template <typename Fn>
+  TUFAST_NOINLINE_COLD RunOutcome RunOptimisticThenLock(Worker& w, Fn& fn) {
+    // Halve the segment length until it commits or sinks below
+    // min_period.
+    uint32_t period = config_.adaptive_period ? w.monitor.CurrentPeriod()
+                                              : config_.static_period;
+    bool first_attempt = true;
+    while (period >= config_.min_period) {
+      w.otxn.Reset(period);
+      const AbortStatus status = w.htx.Execute([&] { fn(w.otxn); });
+      if (status.ok()) {
+        const OCommitResult result = w.otxn.CommitSoftware();
+        if (result == OCommitResult::kOk) {
+          const TxnClass cls =
+              first_attempt ? TxnClass::kO : TxnClass::kOPlus;
+          w.monitor.RecordAttempt(w.otxn.ops(), /*aborted=*/false);
+          w.stats.RecordCommit(cls, w.otxn.ops());
+          return RunOutcome{true, cls, w.otxn.ops()};
+        }
+        if (result == OCommitResult::kLockBusy) {
+          ++w.stats.lock_busy_aborts;
+        } else {
+          ++w.stats.validation_aborts;
+        }
+        w.monitor.RecordAttempt(w.otxn.ops(), /*aborted=*/true);
+      } else {
+        if (status.cause == AbortCause::kExplicit &&
+            status.user_code == kAbortCodeUser) {
+          ++w.stats.user_aborts;
+          return RunOutcome{false, TxnClass::kO, 0};
+        }
+        if (status.cause == AbortCause::kCapacity) {
+          ++w.stats.capacity_aborts;
+        } else if (status.cause == AbortCause::kExplicit) {
+          ++w.stats.lock_busy_aborts;
+        } else {
+          ++w.stats.conflict_aborts;
+        }
+        w.monitor.RecordAttempt(w.otxn.ops(), /*aborted=*/true);
+      }
+      period /= 2;
+      first_attempt = false;
+    }
+
+    return RunLockMode(w, fn, TxnClass::kO2L);
+  }
+
+  template <typename Fn>
+  TUFAST_NOINLINE_COLD RunOutcome RunLockMode(Worker& w, Fn& fn,
+                                              TxnClass cls) {
+    uint32_t attempt = 0;
+    while (true) {
+      w.ltxn.Reset();
+      try {
+        fn(w.ltxn);
+        w.ltxn.CommitApplyAndRelease();
+        w.stats.RecordCommit(cls, w.ltxn.ops());
+        return RunOutcome{true, cls, w.ltxn.ops()};
+      } catch (const UserAbortSignal&) {
+        w.ltxn.ReleaseAll();
+        ++w.stats.user_aborts;
+        return RunOutcome{false, cls, 0};
+      } catch (const DeadlockVictimSignal&) {
+        w.ltxn.ReleaseAll();
+        ++w.stats.deadlock_aborts;
+        DeadlockRetryBackoff(w.rng, attempt++);
+      }
+    }
+  }
+
+  Htm& htm_;
+  const Config config_;
+  LockTable<Htm> lock_table_;
+  LockManager<Htm> lock_manager_;
+  const uint64_t h_hint_threshold_;
+  const uint32_t max_period_;
+  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+};
+
+/// Default TuFast instantiation on the emulated HTM backend.
+using TuFast = TuFastScheduler<EmulatedHtm>;
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_TUFAST_H_

@@ -1,0 +1,57 @@
+// Compile-time API-contract checks: every transaction context, every
+// scheduler and both HTM backends must satisfy the public concepts.
+// Failures here are caught by the compiler, not at runtime.
+
+#include <gtest/gtest.h>
+
+#include "htm/emulated_htm.h"
+#include "htm/native_htm.h"
+#include "tm/concepts.h"
+#include "tm/modes.h"
+#include "tm/scheduler_2pl.h"
+#include "tm/scheduler_hsync.h"
+#include "tm/scheduler_hto.h"
+#include "tm/scheduler_silo.h"
+#include "tm/scheduler_tinystm.h"
+#include "tm/scheduler_to.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+// HTM backends.
+static_assert(HtmBackend<EmulatedHtm>);
+static_assert(HtmBackend<NativeHtm>);
+
+// TuFast mode contexts, on both backends.
+static_assert(TransactionContext<HTxn<EmulatedHtm>>);
+static_assert(TransactionContext<OTxn<EmulatedHtm>>);
+static_assert(TransactionContext<LTxn<EmulatedHtm>>);
+static_assert(TransactionContext<HTxn<NativeHtm>>);
+static_assert(TransactionContext<OTxn<NativeHtm>>);
+static_assert(TransactionContext<LTxn<NativeHtm>>);
+
+// Baseline scheduler contexts.
+static_assert(TransactionContext<SiloOcc<EmulatedHtm>::Txn>);
+static_assert(TransactionContext<TimestampOrdering<EmulatedHtm>::Txn>);
+static_assert(TransactionContext<TinyStm<EmulatedHtm>::Txn>);
+static_assert(TransactionContext<HsyncHybrid<EmulatedHtm>::HwTxn>);
+static_assert(TransactionContext<HsyncHybrid<EmulatedHtm>::FallbackTxn>);
+static_assert(TransactionContext<HtmTimestampOrdering<EmulatedHtm>::HwTxn>);
+
+// Schedulers.
+static_assert(Scheduler<TuFastScheduler<EmulatedHtm>>);
+static_assert(Scheduler<TuFastScheduler<NativeHtm>>);
+static_assert(Scheduler<TwoPhaseLocking<EmulatedHtm>>);
+static_assert(Scheduler<SiloOcc<EmulatedHtm>>);
+static_assert(Scheduler<TimestampOrdering<EmulatedHtm>>);
+static_assert(Scheduler<TinyStm<EmulatedHtm>>);
+static_assert(Scheduler<HsyncHybrid<EmulatedHtm>>);
+static_assert(Scheduler<HtmTimestampOrdering<EmulatedHtm>>);
+
+TEST(ConceptsTest, ContractsHoldAtCompileTime) {
+  SUCCEED();  // Everything above is checked by the compiler.
+}
+
+}  // namespace
+}  // namespace tufast

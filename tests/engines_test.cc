@@ -1,0 +1,145 @@
+// Comparison-engine correctness: the BSP (Ligra/Polymer-like), simulated
+// distributed (PowerGraph/PowerLyra-like) and out-of-core (GraphChi-like)
+// engines must produce the same answers as the sequential references —
+// they are slower architectures, not different algorithms.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/reference.h"
+#include "engines/bsp_algorithms.h"
+#include "engines/bsp_engine.h"
+#include "engines/dist_engine.h"
+#include "engines/ooc_algorithms.h"
+#include "engines/ooc_engine.h"
+#include "graph/generators.h"
+
+namespace tufast {
+namespace {
+
+class EnginesTest : public ::testing::Test {
+ protected:
+  EnginesTest()
+      : graph_(GeneratePowerLaw(600, 4000, 21, {.alpha = 0.7, .weighted = true})),
+        undirected_(graph_.Undirected()),
+        pool_(4) {}
+
+  Graph graph_;
+  Graph undirected_;
+  ThreadPool pool_;
+};
+
+TEST_F(EnginesTest, BspBfsMatchesReferenceBothDeliveries) {
+  const auto expected = ReferenceBfs(graph_, 0);
+  for (const auto delivery : {BspDelivery::kDirect, BspDelivery::kMaterialized}) {
+    BspEngine engine(pool_, delivery);
+    const auto dist = BspBfs(engine, graph_, 0);
+    for (size_t v = 0; v < dist.size(); ++v) {
+      ASSERT_EQ(dist[v], expected[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST_F(EnginesTest, BspPageRankMatchesReference) {
+  BspEngine engine(pool_, BspDelivery::kDirect);
+  const auto result = BspPageRank(engine, graph_, 0.85, 300, 1e-10);
+  const auto expected = ReferencePageRank(graph_, 0.85, 500, 1e-12);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.ranks[v], expected[v], 1e-6) << "vertex " << v;
+  }
+}
+
+TEST_F(EnginesTest, BspWccAndSsspAndTriangleMatchReference) {
+  BspEngine engine(pool_, BspDelivery::kDirect);
+  const auto labels = BspWcc(engine, undirected_);
+  const auto expected_labels = ReferenceWcc(undirected_);
+  for (size_t v = 0; v < labels.size(); ++v) {
+    ASSERT_EQ(labels[v], expected_labels[v]) << "vertex " << v;
+  }
+  const auto dist = BspSssp(engine, graph_, 0);
+  const auto expected_dist = ReferenceSssp(graph_, 0);
+  for (size_t v = 0; v < dist.size(); ++v) {
+    ASSERT_EQ(dist[v], expected_dist[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(BspTriangleCount(engine, undirected_),
+            ReferenceTriangleCount(undirected_));
+}
+
+TEST_F(EnginesTest, BspMisIsValid) {
+  BspEngine engine(pool_, BspDelivery::kMaterialized);
+  const auto state = BspMis(engine, undirected_, 99);
+  EXPECT_TRUE(ValidateMis(undirected_,
+                          std::vector<uint64_t>(state.begin(), state.end())));
+}
+
+TEST_F(EnginesTest, DistEngineMatchesReferenceAndChargesNetwork) {
+  DistConfig config;
+  config.time_scale = 0.0;  // Account, don't sleep, in unit tests.
+  DistEngine engine(pool_, graph_, config);
+  EXPECT_GT(engine.ReplicationFactor(), 1.0);
+
+  const auto dist = BspBfs(engine, graph_, 0);
+  const auto expected = ReferenceBfs(graph_, 0);
+  for (size_t v = 0; v < dist.size(); ++v) {
+    ASSERT_EQ(dist[v], expected[v]) << "vertex " << v;
+  }
+  EXPECT_GT(engine.SimulatedNetworkSeconds(), 0.0);
+}
+
+TEST_F(EnginesTest, HybridCutReducesReplication) {
+  DistConfig random_cut;
+  random_cut.time_scale = 0.0;
+  DistConfig hybrid = random_cut;
+  hybrid.cut = DistCut::kHybridCut;
+  DistEngine power_graph(pool_, graph_, random_cut);
+  DistEngine power_lyra(pool_, graph_, hybrid);
+  // PowerLyra's point: lower replication factor on power-law graphs.
+  EXPECT_LT(power_lyra.ReplicationFactor(), power_graph.ReplicationFactor());
+}
+
+TEST_F(EnginesTest, OocPageRankMatchesReference) {
+  OocEngine engine(pool_, graph_, {.num_intervals = 4});
+  const auto result = OocPageRank(engine, graph_, 0.85, 300, 1e-10);
+  const auto expected = ReferencePageRank(graph_, 0.85, 500, 1e-12);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.ranks[v], expected[v], 1e-6) << "vertex " << v;
+  }
+  EXPECT_GT(engine.BytesStreamed(), graph_.NumEdges() * 8);
+}
+
+TEST_F(EnginesTest, OocTraversalsMatchReference) {
+  OocEngine engine(pool_, graph_, {.num_intervals = 4});
+  const auto dist = OocBfs(engine, graph_, 0);
+  const auto expected = ReferenceBfs(graph_, 0);
+  for (size_t v = 0; v < dist.size(); ++v) {
+    ASSERT_EQ(dist[v], expected[v]) << "vertex " << v;
+  }
+
+  OocEngine wcc_engine(pool_, undirected_, {.num_intervals = 4});
+  const auto labels = OocWcc(wcc_engine, undirected_);
+  const auto expected_labels = ReferenceWcc(undirected_);
+  for (size_t v = 0; v < labels.size(); ++v) {
+    ASSERT_EQ(labels[v], expected_labels[v]) << "vertex " << v;
+  }
+
+  OocEngine sssp_engine(pool_, graph_, {.num_intervals = 4});
+  const auto sdist = OocSssp(sssp_engine, graph_, 0);
+  const auto expected_sdist = ReferenceSssp(graph_, 0);
+  for (size_t v = 0; v < sdist.size(); ++v) {
+    ASSERT_EQ(sdist[v], expected_sdist[v]) << "vertex " << v;
+  }
+}
+
+TEST_F(EnginesTest, OocMisAndTriangle) {
+  OocEngine engine(pool_, undirected_, {.num_intervals = 4});
+  const auto state = OocMis(engine, undirected_, 5);
+  EXPECT_TRUE(ValidateMis(undirected_,
+                          std::vector<uint64_t>(state.begin(), state.end())));
+  OocEngine tri_engine(pool_, undirected_, {.num_intervals = 4});
+  EXPECT_EQ(OocTriangleCount(tri_engine, undirected_),
+            ReferenceTriangleCount(undirected_));
+}
+
+}  // namespace
+}  // namespace tufast

@@ -1,0 +1,192 @@
+// Graph substrate tests: CSR builder, transforms, generators, IO, and
+// degree statistics.
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/degree_stats.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace tufast {
+namespace {
+
+TEST(GraphBuilder, BuildsSortedCsr) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 4);
+  builder.AddEdge(0, 2);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  const auto n0 = g.OutNeighbors(0);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(n0[2], 3u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+}
+
+TEST(GraphBuilder, RemovesSelfLoopsByDefault) {
+  GraphBuilder builder(3);
+  builder.AddEdge(1, 1);
+  builder.AddEdge(1, 2);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.OutNeighbors(1)[0], 2u);
+}
+
+TEST(GraphBuilder, DeduplicatesWhenRequested) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  const Graph g = builder.Build({.remove_duplicate_edges = true});
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphBuilder, PreservesWeights) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2, 7);
+  builder.AddEdge(0, 1, 5);
+  const Graph g = builder.Build();
+  ASSERT_TRUE(g.HasWeights());
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1u);
+  EXPECT_EQ(g.OutWeights(0)[0], 5u);
+  EXPECT_EQ(g.OutWeights(0)[1], 7u);
+}
+
+TEST(GraphTransforms, ReversedFlipsEdges) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(3, 0);
+  const Graph g = builder.Build();
+  const Graph r = g.Reversed();
+  EXPECT_EQ(r.NumEdges(), 3u);
+  EXPECT_EQ(r.OutDegree(1), 1u);
+  EXPECT_EQ(r.OutNeighbors(1)[0], 0u);
+  EXPECT_EQ(r.OutDegree(0), 1u);
+  EXPECT_EQ(r.OutNeighbors(0)[0], 3u);
+}
+
+TEST(GraphTransforms, UndirectedSymmetricAndDeduplicated) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);  // Already both directions: must not duplicate.
+  builder.AddEdge(2, 3);
+  const Graph u = builder.Build().Undirected();
+  EXPECT_EQ(u.NumEdges(), 4u);  // 0<->1 and 2<->3.
+  for (VertexId v = 0; v < u.NumVertices(); ++v) {
+    for (const VertexId w : u.OutNeighbors(v)) {
+      const auto back = u.OutNeighbors(w);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), v))
+          << "missing reverse edge " << w << "->" << v;
+    }
+  }
+}
+
+TEST(Generators, ErdosRenyiHasRequestedShape) {
+  const Graph g = GenerateErdosRenyi(1000, 5000, /*seed=*/42);
+  EXPECT_EQ(g.NumVertices(), 1000u);
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), 5000.0, 50.0);
+}
+
+TEST(Generators, Deterministic) {
+  const Graph a = GenerateErdosRenyi(500, 2000, 7);
+  const Graph b = GenerateErdosRenyi(500, 2000, 7);
+  EXPECT_EQ(a.targets(), b.targets());
+  EXPECT_EQ(a.offsets(), b.offsets());
+}
+
+TEST(Generators, PowerLawIsSkewed) {
+  const Graph g = GeneratePowerLaw(20000, 200000, /*seed=*/1);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  // A power-law graph has a hugely disproportionate max degree and a
+  // negative log-log slope (paper Fig. 5).
+  EXPECT_GT(stats.max_degree, 50 * stats.average_degree);
+  EXPECT_LT(stats.LogLogSlope(), -0.4);
+  // And for comparison, Erdős–Rényi is NOT skewed.
+  const DegreeStats er =
+      ComputeDegreeStats(GenerateErdosRenyi(20000, 200000, 1));
+  EXPECT_LT(er.max_degree, 10 * er.average_degree);
+}
+
+TEST(Generators, UniformDegreeIsExactlyRegular) {
+  const Graph g = GenerateUniformDegree(500, 8, /*seed=*/3);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), 8u);
+    for (const VertexId u : g.OutNeighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(Generators, RmatShape) {
+  const Graph g = GenerateRmat(/*scale=*/12, /*edge_factor=*/8, /*seed=*/5);
+  EXPECT_EQ(g.NumVertices(), 4096u);
+  EXPECT_GT(g.NumEdges(), 30000u);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_GT(stats.max_degree, 20 * stats.average_degree);  // Skewed.
+}
+
+TEST(GraphIo, BinaryRoundTrip) {
+  const Graph g = GeneratePowerLaw(2000, 10000, 9,
+                                   {.alpha = 0.7, .weighted = true});
+  const std::string path = ::testing::TempDir() + "/graph_roundtrip.bin";
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().offsets(), g.offsets());
+  EXPECT_EQ(loaded.value().targets(), g.targets());
+  EXPECT_EQ(loaded.value().weights(), g.weights());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, EdgeListParsing) {
+  const std::string path = ::testing::TempDir() + "/edges.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# comment line\n0 1\n1 2\n2 0\n\n3 1\n", f);
+  std::fclose(f);
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumVertices(), 4u);
+  EXPECT_EQ(loaded.value().NumEdges(), 4u);
+  EXPECT_FALSE(loaded.value().HasWeights());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, WeightedEdgeListParsing) {
+  const std::string path = ::testing::TempDir() + "/wedges.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0 1 10\n1 2 20\n", f);
+  std::fclose(f);
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().HasWeights());
+  EXPECT_EQ(loaded.value().OutWeights(0)[0], 10u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileReturnsError) {
+  auto loaded = LoadEdgeList("/nonexistent/nope.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(DegreeStatsTest, CountsHtmOverflowVertices) {
+  // A star graph: the hub exceeds the 4096-word HTM budget.
+  GraphBuilder builder(5000);
+  for (VertexId v = 1; v < 5000; ++v) builder.AddEdge(0, v);
+  const DegreeStats stats = ComputeDegreeStats(builder.Build());
+  EXPECT_EQ(stats.max_degree, 4999u);
+  EXPECT_EQ(stats.num_above_htm_capacity, 1u);
+}
+
+}  // namespace
+}  // namespace tufast

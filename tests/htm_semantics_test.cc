@@ -1,0 +1,164 @@
+// Deeper emulated-HTM semantics: cache-line granularity (false sharing),
+// word-level write buffering within lines, segment/write interactions,
+// and stats accounting — the properties the TuFast modes rely on beyond
+// the basics covered in htm_emulated_test.cc.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "htm/emulated_htm.h"
+
+namespace tufast {
+namespace {
+
+TEST(HtmSemantics, FalseSharingWithinOneLineConflicts) {
+  // Two transactions touching DIFFERENT words of the SAME 64-byte line
+  // must conflict — cache-line granularity is the hardware's (and the
+  // emulation's) unit of truth.
+  EmulatedHtm htm;
+  EmulatedHtm::Tx tx1(htm, 0);
+  EmulatedHtm::Tx tx2(htm, 1);
+  alignas(64) TmWord line[8] = {};
+
+  const AbortStatus s1 = tx1.Execute([&] {
+    (void)tx1.Load(&line[0]);
+    // tx2 writes a *different word* in the same line and commits.
+    const AbortStatus s2 = tx2.Execute([&] { tx2.Store(&line[7], 1); });
+    EXPECT_TRUE(s2.ok());
+    (void)tx1.Load(&line[0]);  // Must observe the doom.
+    ADD_FAILURE() << "false sharing not detected";
+  });
+  EXPECT_EQ(s1.cause, AbortCause::kConflict);
+}
+
+TEST(HtmSemantics, DistinctLinesDoNotConflict) {
+  EmulatedHtm htm;
+  EmulatedHtm::Tx tx1(htm, 0);
+  EmulatedHtm::Tx tx2(htm, 1);
+  alignas(64) TmWord a = 0;
+  alignas(64) TmWord b = 0;
+  const AbortStatus s1 = tx1.Execute([&] {
+    tx1.Store(&a, 1);
+    const AbortStatus s2 = tx2.Execute([&] { tx2.Store(&b, 2); });
+    EXPECT_TRUE(s2.ok());
+  });
+  EXPECT_TRUE(s1.ok());
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+}
+
+TEST(HtmSemantics, WriteBufferIsWordGranular) {
+  // Writing word 0 of a line must not clobber word 1 at commit.
+  EmulatedHtm htm;
+  EmulatedHtm::Tx tx(htm, 0);
+  alignas(64) TmWord line[8] = {10, 11, 12, 13, 14, 15, 16, 17};
+  const AbortStatus status = tx.Execute([&] {
+    tx.Store(&line[0], 100);
+    tx.Store(&line[3], 103);
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(line[0], 100u);
+  EXPECT_EQ(line[1], 11u);
+  EXPECT_EQ(line[3], 103u);
+  EXPECT_EQ(line[7], 17u);
+}
+
+TEST(HtmSemantics, SegmentBoundaryPublishesEarlierWrites) {
+  // XEND publishes; the next segment's abort must not undo them.
+  EmulatedHtm htm;
+  EmulatedHtm::Tx tx(htm, 0);
+  alignas(64) TmWord a = 0;
+  alignas(64) TmWord b = 0;
+  const AbortStatus status = tx.Execute([&] {
+    tx.Store(&a, 1);
+    tx.SegmentBoundary();  // Commits segment 1: a published.
+    tx.Store(&b, 2);
+    tx.ExplicitAbort<0x5>();  // Aborts only segment 2.
+  });
+  EXPECT_EQ(status.cause, AbortCause::kExplicit);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&a), 1u) << "segment 1 was committed";
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&b), 0u) << "segment 2 was aborted";
+}
+
+TEST(HtmSemantics, StatsCountCausesSeparately) {
+  HtmConfig config;
+  config.num_sets = 4;
+  config.num_ways = 1;
+  EmulatedHtm htm(config);
+  EmulatedHtm::Tx tx(htm, 0);
+  std::vector<TmWord> data(4 * 8 * 4, 0);
+
+  (void)tx.Execute([&] { tx.ExplicitAbort<1>(); });
+  (void)tx.Execute([&] {
+    // Two lines in the same modeled set: capacity with 1 way.
+    (void)tx.Load(&data[0]);
+    (void)tx.Load(&data[4 * 8]);
+  });
+  (void)tx.Execute([&] {});  // Commit.
+
+  const HtmStats& stats = tx.stats();
+  EXPECT_EQ(stats.begins, 3u);
+  EXPECT_EQ(stats.commits, 1u);
+  EXPECT_EQ(stats.explicit_aborts, 1u);
+  EXPECT_EQ(stats.capacity_aborts, 1u);
+  EXPECT_EQ(stats.TotalAborts(), 2u);
+}
+
+TEST(HtmSemantics, ReusedTxHandleStartsClean) {
+  // Footprint/buffers from an aborted transaction must not leak into the
+  // next one (the router reuses handles across attempts).
+  HtmConfig config;
+  config.num_sets = 4;
+  config.num_ways = 2;
+  EmulatedHtm htm(config);
+  EmulatedHtm::Tx tx(htm, 0);
+  std::vector<TmWord> data(4 * 8 * 8, 0);
+
+  const AbortStatus first = tx.Execute([&] {
+    for (size_t line = 0; line < 16; ++line) (void)tx.Load(&data[line * 8]);
+  });
+  EXPECT_EQ(first.cause, AbortCause::kCapacity);
+
+  // Exactly-at-capacity transaction must now succeed from a clean slate.
+  const AbortStatus second = tx.Execute([&] {
+    for (size_t line = 0; line < 8; ++line) (void)tx.Load(&data[line * 8]);
+    tx.Store(&data[0], 42);
+  });
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(data[0], 42u);
+}
+
+TEST(HtmSemantics, ManyShortTransactionsAcrossThreadsAreExact) {
+  // Smoke-stress of the line-table protocol under rapid reuse.
+  EmulatedHtm htm;
+  constexpr int kThreads = 6;
+  constexpr int kEach = 3000;
+  struct alignas(64) Cell {
+    TmWord value = 0;
+  };
+  std::vector<Cell> cells(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      EmulatedHtm::Tx tx(htm, t);
+      for (int i = 0; i < kEach; ++i) {
+        const int c = (t + i) % 8;
+        while (true) {
+          const AbortStatus status = tx.Execute([&] {
+            tx.Store(&cells[c].value, tx.Load(&cells[c].value) + 1);
+          });
+          if (status.ok()) break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  TmWord total = 0;
+  for (const Cell& c : cells) total += c.value;
+  EXPECT_EQ(total, static_cast<TmWord>(kThreads) * kEach);
+}
+
+}  // namespace
+}  // namespace tufast

@@ -1,0 +1,165 @@
+// White-box unit tests of the three TuFast mode contexts (HTxn / OTxn /
+// LTxn) against the shared lock table: lock-compatibility checks,
+// O-mode validation and lock-busy outcomes, segment accounting, and
+// L-mode buffering — exercised directly, below the router.
+
+#include <gtest/gtest.h>
+
+#include "htm/emulated_htm.h"
+#include "sync/lock_manager.h"
+#include "sync/lock_table.h"
+#include "tm/modes.h"
+
+namespace tufast {
+namespace {
+
+class ModesTest : public ::testing::Test {
+ protected:
+  static constexpr VertexId kVertices = 64;
+  EmulatedHtm htm_;
+  LockTable<EmulatedHtm> locks_{htm_, kVertices};
+  LockManager<EmulatedHtm> manager_{locks_};
+  EmulatedHtm::Tx htx_{htm_, 0};
+  std::vector<TmWord> data_ = std::vector<TmWord>(kVertices, 0);
+};
+
+TEST_F(ModesTest, HModeAbortsOnExclusivelyLockedVertexRead) {
+  ASSERT_TRUE(locks_.TryLockExclusive(5));
+  HTxn<EmulatedHtm> txn(htx_, locks_);
+  const AbortStatus status = htx_.Execute([&] {
+    (void)txn.Read(5, &data_[5]);
+    ADD_FAILURE() << "read of exclusively locked vertex must abort";
+  });
+  EXPECT_EQ(status.cause, AbortCause::kExplicit);
+  EXPECT_EQ(status.user_code, kAbortCodeLockBusy);
+  locks_.UnlockExclusive(5);
+}
+
+TEST_F(ModesTest, HModeReadsThroughSharedLockButWontWrite) {
+  ASSERT_TRUE(locks_.TryLockShared(5));
+  HTxn<EmulatedHtm> read_txn(htx_, locks_);
+  const AbortStatus read_status =
+      htx_.Execute([&] { (void)read_txn.Read(5, &data_[5]); });
+  EXPECT_TRUE(read_status.ok()) << "shared lock is read-compatible";
+
+  HTxn<EmulatedHtm> write_txn(htx_, locks_);
+  const AbortStatus write_status = htx_.Execute([&] {
+    write_txn.Write(5, &data_[5], 1);
+    ADD_FAILURE() << "write under a shared holder must abort";
+  });
+  EXPECT_EQ(write_status.cause, AbortCause::kExplicit);
+  locks_.UnlockShared(5);
+}
+
+TEST_F(ModesTest, OModeCommitPublishesAndReleases) {
+  OTxn<EmulatedHtm> txn(htm_, htx_, locks_);
+  txn.Reset(/*period=*/100);
+  const AbortStatus status = htx_.Execute([&] {
+    const TmWord v = txn.Read(3, &data_[3]);
+    txn.Write(3, &data_[3], v + 7);
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(txn.CommitSoftware(), OCommitResult::kOk);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[3]), 7u);
+  // The exclusive lock taken during publication must be released.
+  EXPECT_TRUE(locks_.TryLockExclusive(3));
+  locks_.UnlockExclusive(3);
+}
+
+TEST_F(ModesTest, OModeValidationFailsWhenReadValueChanged) {
+  OTxn<EmulatedHtm> txn(htm_, htx_, locks_);
+  txn.Reset(100);
+  const AbortStatus status = htx_.Execute([&] {
+    (void)txn.Read(2, &data_[2]);
+    txn.Write(4, &data_[4], 1);
+  });
+  ASSERT_TRUE(status.ok());
+  // A committer changes the read value between XEND and validation.
+  htm_.NonTxStore(&data_[2], 99);
+  EXPECT_EQ(txn.CommitSoftware(), OCommitResult::kValidationFail);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[4]), 0u) << "write not published";
+  EXPECT_TRUE(locks_.TryLockExclusive(4)) << "locks released on failure";
+  locks_.UnlockExclusive(4);
+}
+
+TEST_F(ModesTest, OModeCommitLockBusyWhenWriteVertexHeld) {
+  OTxn<EmulatedHtm> txn(htm_, htx_, locks_);
+  txn.Reset(100);
+  const AbortStatus status =
+      htx_.Execute([&] { txn.Write(6, &data_[6], 1); });
+  ASSERT_TRUE(status.ok());
+  ASSERT_TRUE(locks_.TryLockShared(6));  // Somebody else holds it.
+  EXPECT_EQ(txn.CommitSoftware(), OCommitResult::kLockBusy);
+  locks_.UnlockShared(6);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[6]), 0u);
+}
+
+TEST_F(ModesTest, OModeValidationToleratesSharedReaders) {
+  // Algorithm 2 line 45: shared holders on a READ vertex are compatible.
+  OTxn<EmulatedHtm> txn(htm_, htx_, locks_);
+  txn.Reset(100);
+  const AbortStatus status = htx_.Execute([&] {
+    (void)txn.Read(8, &data_[8]);
+    txn.Write(9, &data_[9], 5);
+  });
+  ASSERT_TRUE(status.ok());
+  ASSERT_TRUE(locks_.TryLockShared(8));
+  EXPECT_EQ(txn.CommitSoftware(), OCommitResult::kOk);
+  locks_.UnlockShared(8);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[9]), 5u);
+}
+
+TEST_F(ModesTest, OModeSegmentsRollAtPeriod) {
+  OTxn<EmulatedHtm> txn(htm_, htx_, locks_);
+  txn.Reset(/*period=*/4);
+  const AbortStatus status = htx_.Execute([&] {
+    // 12 reads with period 4: at least two segment boundaries must have
+    // happened without losing read-set entries.
+    for (int i = 0; i < 12; ++i) {
+      (void)txn.Read(static_cast<VertexId>(i % kVertices),
+                     &data_[i % kVertices]);
+    }
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(txn.ops(), 12u);
+  EXPECT_EQ(txn.CommitSoftware(), OCommitResult::kOk);
+  EXPECT_GE(htx_.stats().begins, 3u);  // Initial + >= 2 boundaries.
+}
+
+TEST_F(ModesTest, LModeBuffersWritesUntilCommit) {
+  LTxn<EmulatedHtm> txn(htm_, /*slot=*/0, manager_);
+  txn.Reset();
+  txn.Write(1, &data_[1], 11);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[1]), 0u) << "buffered, not applied";
+  EXPECT_EQ(txn.Read(1, &data_[1]), 11u) << "read-own-write";
+  txn.CommitApplyAndRelease();
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[1]), 11u);
+  EXPECT_TRUE(locks_.TryLockExclusive(1)) << "locks released";
+  locks_.UnlockExclusive(1);
+}
+
+TEST_F(ModesTest, LModeReleaseAllDiscardsBufferedWrites) {
+  LTxn<EmulatedHtm> txn(htm_, 0, manager_);
+  txn.Reset();
+  txn.Write(2, &data_[2], 22);
+  (void)txn.Read(3, &data_[3]);
+  txn.ReleaseAll();  // Abort path.
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[2]), 0u);
+  EXPECT_TRUE(locks_.TryLockExclusive(2));
+  EXPECT_TRUE(locks_.TryLockExclusive(3));
+  locks_.UnlockExclusive(2);
+  locks_.UnlockExclusive(3);
+}
+
+TEST_F(ModesTest, LModeReadForUpdateTakesExclusiveImmediately) {
+  LTxn<EmulatedHtm> txn(htm_, 0, manager_);
+  txn.Reset();
+  (void)txn.ReadForUpdate(4, &data_[4]);
+  EXPECT_FALSE(locks_.TryLockShared(4)) << "exclusive from first touch";
+  txn.ReleaseAll();
+  EXPECT_TRUE(locks_.TryLockShared(4));
+  locks_.UnlockShared(4);
+}
+
+}  // namespace
+}  // namespace tufast

@@ -1,0 +1,136 @@
+// Conformance tests for the native Intel RTM backend — run only on
+// machines where RTM transactions actually commit (skipped elsewhere).
+// These exercise the same semantic properties as the emulated-backend
+// suites, proving the two backends are interchangeable.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "htm/native_htm.h"
+#include "tm/scheduler_hsync.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+#define SKIP_WITHOUT_RTM()                                   \
+  if (!NativeHtm::Supported()) {                             \
+    GTEST_SKIP() << "RTM not available on this machine";     \
+  }
+
+TEST(NativeBackend, TuFastCommitsAcrossModes) {
+  SKIP_WITHOUT_RTM();
+  NativeHtm htm;
+  TuFastScheduler<NativeHtm> tm(htm, 1024);
+  std::vector<TmWord> data(1024, 0);
+  for (const uint64_t hint :
+       {uint64_t{2}, tm.h_hint_threshold() + 1,
+        tm.config().o_hint_threshold + 1}) {
+    const RunOutcome outcome = tm.Run(0, hint, [&](auto& txn) {
+      const TmWord v = txn.Read(5, &data[5]);
+      txn.Write(5, &data[5], v + 1);
+      EXPECT_EQ(txn.Read(5, &data[5]), v + 1);
+    });
+    ASSERT_TRUE(outcome.committed);
+  }
+  EXPECT_EQ(data[5], 3u);
+}
+
+TEST(NativeBackend, TuFastUserAbortIsInvisible) {
+  SKIP_WITHOUT_RTM();
+  NativeHtm htm;
+  TuFastScheduler<NativeHtm> tm(htm, 64);
+  std::vector<TmWord> data(64, 0);
+  const RunOutcome outcome = tm.Run(0, 2, [&](auto& txn) {
+    txn.Write(1, &data[1], 42);
+    txn.Abort();
+  });
+  EXPECT_FALSE(outcome.committed);
+  EXPECT_EQ(data[1], 0u);
+}
+
+TEST(NativeBackend, TuFastConcurrentTransfersPreserveTotal) {
+  SKIP_WITHOUT_RTM();
+  NativeHtm htm;
+  TuFastScheduler<NativeHtm> tm(htm, 256);
+  std::vector<TmWord> data(256, 100);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(31 + t);
+      for (int i = 0; i < kEach; ++i) {
+        const VertexId a = static_cast<VertexId>(rng.NextBounded(32));
+        VertexId b = static_cast<VertexId>(rng.NextBounded(31));
+        if (b >= a) ++b;
+        tm.Run(t, 4, [&](auto& txn) {
+          txn.Write(a, &data[a], txn.Read(a, &data[a]) - 1);
+          txn.Write(b, &data[b], txn.Read(b, &data[b]) + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  TmWord total = 0;
+  for (int v = 0; v < 32; ++v) total += data[v];
+  EXPECT_EQ(total, 32u * 100u);
+}
+
+TEST(NativeBackend, CapacityAbortEscalatesOutOfHMode) {
+  SKIP_WITHOUT_RTM();
+  NativeHtm htm;
+  TuFastScheduler<NativeHtm> tm(htm, 64);
+  // Touch far more than one L1 of distinct lines: H must abort with a
+  // capacity status and the router must still commit the transaction.
+  std::vector<TmWord> big(64 * 1024, 1);  // 512 KB.
+  std::vector<TmWord> out(64, 0);
+  const RunOutcome outcome = tm.Run(0, /*size_hint=*/1, [&](auto& txn) {
+    TmWord sum = 0;
+    for (size_t i = 0; i < big.size(); i += 8) {
+      sum += txn.Read(static_cast<VertexId>(i % 64), &big[i]);
+    }
+    txn.Write(0, &out[0], sum);
+  });
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_NE(outcome.cls, TxnClass::kH);
+  EXPECT_EQ(out[0], big.size() / 8);
+}
+
+TEST(NativeBackend, HsyncFallbackInteroperatesWithHtmPath) {
+  SKIP_WITHOUT_RTM();
+  NativeHtm htm;
+  HsyncHybrid<NativeHtm> tm(htm, 64);
+  std::vector<TmWord> data(64, 0);
+  std::vector<TmWord> big(64 * 1024, 1);
+  // Force the fallback via capacity, interleaved with small HTM txns.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        if (t == 0) {
+          tm.Run(t, 1, [&](auto& txn) {
+            TmWord sum = 0;
+            for (size_t k = 0; k < big.size(); k += 64) {
+              sum += txn.Read(0, &big[k]);
+            }
+            txn.Write(1, &data[1], txn.Read(1, &data[1]) + (sum > 0));
+          });
+        } else {
+          tm.Run(t, 1, [&](auto& txn) {
+            txn.Write(2, &data[2], txn.Read(2, &data[2]) + 1);
+          });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(data[1], 500u);
+  EXPECT_EQ(data[2], 500u);
+}
+
+}  // namespace
+}  // namespace tufast

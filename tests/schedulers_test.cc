@@ -1,0 +1,181 @@
+// Conformance suite run against EVERY transaction scheduler in the
+// repository (TuFast + all six baselines): basic commit semantics,
+// read-own-write, user aborts, and multi-threaded serializability
+// invariants. Uses typed tests so each scheduler faces identical cases.
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "htm/emulated_htm.h"
+#include "tm/scheduler_2pl.h"
+#include "tm/scheduler_hsync.h"
+#include "tm/scheduler_hto.h"
+#include "tm/scheduler_silo.h"
+#include "tm/scheduler_tinystm.h"
+#include "tm/scheduler_to.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+template <typename Scheduler>
+class SchedulerConformanceTest : public ::testing::Test {
+ protected:
+  static constexpr VertexId kVertices = 512;
+  EmulatedHtm htm_;
+  Scheduler scheduler_{htm_, kVertices};
+  std::vector<TmWord> data_ = std::vector<TmWord>(kVertices, 0);
+};
+
+using SchedulerTypes = ::testing::Types<
+    TuFastScheduler<EmulatedHtm>, TwoPhaseLocking<EmulatedHtm>,
+    SiloOcc<EmulatedHtm>, TimestampOrdering<EmulatedHtm>,
+    TinyStm<EmulatedHtm>, HsyncHybrid<EmulatedHtm>,
+    HtmTimestampOrdering<EmulatedHtm>>;
+TYPED_TEST_SUITE(SchedulerConformanceTest, SchedulerTypes);
+
+TYPED_TEST(SchedulerConformanceTest, SingleThreadedIncrementsCommit) {
+  auto& tm = this->scheduler_;
+  auto& data = this->data_;
+  for (int i = 0; i < 100; ++i) {
+    const RunOutcome outcome = tm.Run(0, 2, [&](auto& txn) {
+      const TmWord v = txn.Read(7, &data[7]);
+      txn.Write(7, &data[7], v + 1);
+    });
+    ASSERT_TRUE(outcome.committed);
+  }
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data[7]), 100u);
+  EXPECT_EQ(tm.AggregatedStats().commits, 100u);
+}
+
+TYPED_TEST(SchedulerConformanceTest, ReadOwnWriteWithinTransaction) {
+  auto& tm = this->scheduler_;
+  auto& data = this->data_;
+  const RunOutcome outcome = tm.Run(0, 4, [&](auto& txn) {
+    txn.Write(3, &data[3], 11);
+    EXPECT_EQ(txn.Read(3, &data[3]), 11u);
+    txn.Write(3, &data[3], 22);
+    txn.Write(4, &data[4], txn.Read(3, &data[3]) + 1);
+  });
+  ASSERT_TRUE(outcome.committed);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data[3]), 22u);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data[4]), 23u);
+}
+
+TYPED_TEST(SchedulerConformanceTest, UserAbortIsFinalAndInvisible) {
+  auto& tm = this->scheduler_;
+  auto& data = this->data_;
+  int invocations = 0;
+  const RunOutcome outcome = tm.Run(0, 2, [&](auto& txn) {
+    ++invocations;
+    txn.Write(9, &data[9], 77);
+    txn.Abort();
+  });
+  EXPECT_FALSE(outcome.committed);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data[9]), 0u);
+}
+
+TYPED_TEST(SchedulerConformanceTest, DoubleRoundTrip) {
+  auto& tm = this->scheduler_;
+  std::vector<double> values(16, 0.0);
+  const RunOutcome outcome = tm.Run(0, 2, [&](auto& txn) {
+    txn.WriteDouble(1, &values[1], 2.5);
+    txn.WriteDouble(2, &values[2], txn.ReadDouble(1, &values[1]) * 2);
+  });
+  ASSERT_TRUE(outcome.committed);
+  EXPECT_DOUBLE_EQ(values[1], 2.5);
+  EXPECT_DOUBLE_EQ(values[2], 5.0);
+}
+
+TYPED_TEST(SchedulerConformanceTest, ConcurrentCounterIsExact) {
+  auto& tm = this->scheduler_;
+  auto& data = this->data_;
+  constexpr int kThreads = 3;
+  constexpr int kEach = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kEach; ++i) {
+        tm.Run(t, 2, [&](auto& txn) {
+          txn.Write(0, &data[0], txn.Read(0, &data[0]) + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data[0]),
+            static_cast<TmWord>(kThreads * kEach));
+}
+
+TYPED_TEST(SchedulerConformanceTest, ConcurrentTransfersPreserveTotal) {
+  auto& tm = this->scheduler_;
+  auto& data = this->data_;
+  constexpr int kThreads = 4;
+  constexpr int kEach = 400;
+  constexpr int kAccounts = 48;
+  constexpr TmWord kInitial = 100;
+  for (int a = 0; a < kAccounts; ++a) data[a] = kInitial;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(77 + t);
+      for (int i = 0; i < kEach; ++i) {
+        const VertexId from = static_cast<VertexId>(rng.NextBounded(kAccounts));
+        VertexId to = static_cast<VertexId>(rng.NextBounded(kAccounts - 1));
+        if (to >= from) ++to;
+        tm.Run(t, 4, [&](auto& txn) {
+          const TmWord a = txn.Read(from, &data[from]);
+          const TmWord b = txn.Read(to, &data[to]);
+          txn.Write(from, &data[from], a - 1);
+          txn.Write(to, &data[to], b + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  TmWord total = 0;
+  for (int a = 0; a < kAccounts; ++a) total += EmulatedHtm::NonTxLoad(&data[a]);
+  EXPECT_EQ(total, static_cast<TmWord>(kAccounts) * kInitial);
+}
+
+// Write-skew must be prevented by every serializable scheduler: two
+// transactions each read both cells and write one; a serial execution
+// never lets both observe "sum == 0" and both write.
+TYPED_TEST(SchedulerConformanceTest, WriteSkewIsPrevented) {
+  auto& tm = this->scheduler_;
+  auto& data = this->data_;
+  constexpr int kRounds = 300;
+  for (int round = 0; round < kRounds; ++round) {
+    data[100] = 0;
+    data[101] = 0;
+    std::thread t1([&] {
+      tm.Run(0, 2, [&](auto& txn) {
+        const TmWord a = txn.Read(100, &data[100]);
+        const TmWord b = txn.Read(101, &data[101]);
+        if (a + b == 0) txn.Write(100, &data[100], 1);
+      });
+    });
+    std::thread t2([&] {
+      tm.Run(1, 2, [&](auto& txn) {
+        const TmWord a = txn.Read(100, &data[100]);
+        const TmWord b = txn.Read(101, &data[101]);
+        if (a + b == 0) txn.Write(101, &data[101], 1);
+      });
+    });
+    t1.join();
+    t2.join();
+    const TmWord sum =
+        EmulatedHtm::NonTxLoad(&data[100]) + EmulatedHtm::NonTxLoad(&data[101]);
+    ASSERT_LE(sum, 1u) << "write skew at round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace tufast

@@ -1,0 +1,234 @@
+// Core TuFast scheduler tests: routing across H/O/L, commit semantics in
+// each mode, user aborts, capacity escalation, deadlock resolution, and
+// multi-threaded invariant preservation.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "htm/emulated_htm.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+class TuFastTest : public ::testing::Test {
+ protected:
+  static constexpr VertexId kVertices = 1024;
+  EmulatedHtm htm_;
+  TuFast tm_{htm_, kVertices};
+  std::vector<TmWord> data_ = std::vector<TmWord>(kVertices, 0);
+};
+
+TEST_F(TuFastTest, SmallTransactionCommitsInHMode) {
+  const RunOutcome outcome = tm_.Run(0, /*size_hint=*/2, [&](auto& txn) {
+    const TmWord v = txn.Read(3, &data_[3]);
+    txn.Write(3, &data_[3], v + 1);
+  });
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_EQ(outcome.cls, TxnClass::kH);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[3]), 1u);
+  const SchedulerStats stats = tm_.AggregatedStats();
+  EXPECT_EQ(stats.commits, 1u);
+  EXPECT_EQ(stats.class_count[static_cast<int>(TxnClass::kH)], 1u);
+}
+
+TEST_F(TuFastTest, LargeHintRoutesDirectlyToLockMode) {
+  const RunOutcome outcome =
+      tm_.Run(0, tm_.config().o_hint_threshold + 1, [&](auto& txn) {
+        txn.Write(7, &data_[7], 42);
+      });
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_EQ(outcome.cls, TxnClass::kL);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[7]), 42u);
+}
+
+TEST_F(TuFastTest, MediumHintRoutesToOMode) {
+  const RunOutcome outcome =
+      tm_.Run(0, tm_.h_hint_threshold() + 1, [&](auto& txn) {
+        const TmWord v = txn.Read(5, &data_[5]);
+        txn.Write(5, &data_[5], v + 9);
+      });
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_EQ(outcome.cls, TxnClass::kO);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[5]), 9u);
+}
+
+TEST_F(TuFastTest, UserAbortIsFinalAndDiscardsWrites) {
+  for (const uint64_t hint :
+       {uint64_t{1}, tm_.h_hint_threshold() + 1,
+        tm_.config().o_hint_threshold + 1}) {
+    int invocations = 0;
+    const RunOutcome outcome = tm_.Run(0, hint, [&](auto& txn) {
+      ++invocations;
+      txn.Write(1, &data_[1], 99);
+      txn.Abort();
+    });
+    EXPECT_FALSE(outcome.committed);
+    EXPECT_EQ(invocations, 1) << "user abort must not be retried";
+    EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[1]), 0u);
+  }
+}
+
+TEST_F(TuFastTest, ReadOwnWriteInAllModes) {
+  for (const uint64_t hint :
+       {uint64_t{1}, tm_.h_hint_threshold() + 1,
+        tm_.config().o_hint_threshold + 1}) {
+    const RunOutcome outcome = tm_.Run(0, hint, [&](auto& txn) {
+      txn.Write(2, &data_[2], 1234);
+      EXPECT_EQ(txn.Read(2, &data_[2]), 1234u);
+      txn.Write(2, &data_[2], 5678);
+      EXPECT_EQ(txn.Read(2, &data_[2]), 5678u);
+    });
+    EXPECT_TRUE(outcome.committed);
+    EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[2]), 5678u);
+    data_[2] = 0;
+  }
+}
+
+TEST_F(TuFastTest, CapacityOverflowEscalatesFromHToO) {
+  // Hint says "small" but the body touches far more lines than the L1
+  // model admits: H aborts with capacity and must NOT retry H; O mode
+  // (software read set, bounded segments) commits it.
+  const uint32_t lines = htm_.config().MaxLines();
+  ASSERT_LT(lines * 8, data_.size() * 8);  // enough data words
+  std::vector<TmWord> big(lines * 8 * 2, 1);
+  const RunOutcome outcome = tm_.Run(0, /*size_hint=*/1, [&](auto& txn) {
+    TmWord sum = 0;
+    for (size_t i = 0; i < big.size(); i += 8) {
+      sum += txn.Read(static_cast<VertexId>(i % kVertices), &big[i]);
+    }
+    txn.Write(0, &data_[0], sum);
+  });
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_TRUE(outcome.cls == TxnClass::kO || outcome.cls == TxnClass::kOPlus);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[0]), big.size() / 8);
+  const SchedulerStats stats = tm_.AggregatedStats();
+  EXPECT_GE(stats.capacity_aborts, 1u);
+}
+
+TEST_F(TuFastTest, DoubleHelpersRoundTrip) {
+  std::vector<double> values(kVertices, 0.0);
+  const RunOutcome outcome = tm_.Run(0, 2, [&](auto& txn) {
+    txn.WriteDouble(4, &values[4], 0.15);
+    const double x = txn.ReadDouble(4, &values[4]);
+    txn.WriteDouble(4, &values[4], x * 2);
+  });
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_DOUBLE_EQ(values[4], 0.30);
+}
+
+TEST_F(TuFastTest, ConcurrentTransfersPreserveTotal) {
+  constexpr int kThreads = 4;
+  constexpr int kTransfersEach = 800;
+  constexpr TmWord kInitial = 1000;
+  for (auto& d : data_) d = kInitial;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kTransfersEach; ++i) {
+        const VertexId from = static_cast<VertexId>(rng.NextBounded(64));
+        VertexId to = static_cast<VertexId>(rng.NextBounded(63));
+        if (to >= from) ++to;
+        // Mix modes by varying the hint.
+        const uint64_t hint = (i % 3 == 0) ? tm_.h_hint_threshold() + 1
+                              : (i % 7 == 0)
+                                  ? tm_.config().o_hint_threshold + 1
+                                  : 2;
+        tm_.Run(t, hint, [&](auto& txn) {
+          const TmWord a = txn.Read(from, &data_[from]);
+          const TmWord b = txn.Read(to, &data_[to]);
+          txn.Write(from, &data_[from], a - 1);
+          txn.Write(to, &data_[to], b + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  TmWord total = 0;
+  for (VertexId v = 0; v < 64; ++v) total += EmulatedHtm::NonTxLoad(&data_[v]);
+  EXPECT_EQ(total, 64 * kInitial);
+  const SchedulerStats stats = tm_.AggregatedStats();
+  EXPECT_EQ(stats.commits,
+            static_cast<uint64_t>(kThreads) * kTransfersEach);
+}
+
+TEST_F(TuFastTest, OppositeOrderLockTransactionsResolveDeadlock) {
+  constexpr int kRounds = 300;
+  const uint64_t l_hint = tm_.config().o_hint_threshold + 1;
+  std::thread t1([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      tm_.Run(0, l_hint, [&](auto& txn) {
+        const TmWord a = txn.Read(10, &data_[10]);
+        txn.Write(11, &data_[11], a + 1);
+        txn.Write(10, &data_[10], a + 1);
+      });
+    }
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      tm_.Run(1, l_hint, [&](auto& txn) {
+        const TmWord b = txn.Read(11, &data_[11]);
+        txn.Write(10, &data_[10], b + 1);
+        txn.Write(11, &data_[11], b + 1);
+      });
+    }
+  });
+  t1.join();
+  t2.join();
+  const SchedulerStats stats = tm_.AggregatedStats();
+  EXPECT_EQ(stats.commits, 2u * kRounds);  // Every transaction finished.
+}
+
+TEST_F(TuFastTest, StatsClassBreakdownIsConsistent) {
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t hint = (i % 2 == 0) ? 1 : tm_.h_hint_threshold() + 1;
+    tm_.Run(0, hint, [&](auto& txn) {
+      const TmWord v = txn.Read(9, &data_[9]);
+      txn.Write(9, &data_[9], v + 1);
+    });
+  }
+  const SchedulerStats stats = tm_.AggregatedStats();
+  uint64_t class_total = 0, class_ops = 0;
+  for (int c = 0; c < static_cast<int>(TxnClass::kNumClasses); ++c) {
+    class_total += stats.class_count[c];
+    class_ops += stats.class_ops[c];
+  }
+  EXPECT_EQ(class_total, stats.commits);
+  EXPECT_EQ(class_ops, stats.ops_committed);
+  EXPECT_EQ(EmulatedHtm::NonTxLoad(&data_[9]), 50u);
+}
+
+TEST(ContentionMonitorTest, OptimalPeriodMatchesAnalyticFormula) {
+  // P* = -1/ln(1-p): spot-check against directly maximizing (1-p)^P * P.
+  for (const double p : {0.001, 0.005, 0.01, 0.05}) {
+    const uint32_t p_star = OptimalPeriod(p, 1, 1u << 20);
+    auto expected_work = [p](uint32_t period) {
+      return std::pow(1.0 - p, period) * period;
+    };
+    EXPECT_GE(expected_work(p_star), expected_work(p_star * 2) * 0.999);
+    EXPECT_GE(expected_work(p_star), expected_work(p_star / 2) * 0.999);
+  }
+  EXPECT_EQ(OptimalPeriod(0.0, 100, 2048), 2048u);
+  EXPECT_EQ(OptimalPeriod(1.0, 100, 2048), 100u);
+}
+
+TEST(ContentionMonitorTest, AdaptsPeriodToObservedAborts) {
+  ContentionMonitor monitor;
+  EXPECT_EQ(monitor.CurrentPeriod(), monitor.config().max_period);
+  // Sustained aborts shrink the period.
+  for (int i = 0; i < 200; ++i) monitor.RecordAttempt(50, /*aborted=*/true);
+  const uint32_t contended = monitor.CurrentPeriod();
+  EXPECT_LT(contended, monitor.config().max_period);
+  // A calm phase grows it back.
+  for (int i = 0; i < 5000; ++i) monitor.RecordAttempt(50, /*aborted=*/false);
+  EXPECT_GT(monitor.CurrentPeriod(), contended);
+}
+
+}  // namespace
+}  // namespace tufast

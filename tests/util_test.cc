@@ -1,0 +1,191 @@
+// Utility-module tests: AddrMap, LogHistogram, Rng, reporting, thread
+// pool / parallel-for / worklists, and the bench-support workloads.
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_support/datasets.h"
+#include "bench_support/micro_workload.h"
+#include "bench_support/reporting.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/spin.h"
+#include "graph/generators.h"
+#include "htm/emulated_htm.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+#include "runtime/worklist.h"
+#include "tm/addr_map.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+TEST(AddrMapTest, InsertFindUpdate) {
+  AddrMap map(4);
+  bool inserted;
+  uint32_t* slot = map.FindOrInsert(0x1000, 7, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*slot, 7u);
+  slot = map.FindOrInsert(0x1000, 9, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*slot, 7u);  // Existing payload preserved.
+  EXPECT_EQ(*map.Find(0x1000), 7u);
+  EXPECT_EQ(map.Find(0x2000), nullptr);
+}
+
+TEST(AddrMapTest, GrowsAndKeepsEntries) {
+  AddrMap map(4);
+  bool inserted;
+  for (uintptr_t k = 1; k <= 500; ++k) {
+    *map.FindOrInsert(k * 64, static_cast<uint32_t>(k), &inserted) =
+        static_cast<uint32_t>(k);
+  }
+  EXPECT_EQ(map.size(), 500u);
+  for (uintptr_t k = 1; k <= 500; ++k) {
+    ASSERT_NE(map.Find(k * 64), nullptr);
+    EXPECT_EQ(*map.Find(k * 64), static_cast<uint32_t>(k));
+  }
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(64), nullptr);
+}
+
+TEST(LogHistogramTest, BinsQuantilesAndMerge) {
+  LogHistogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1003.0 / 4);
+  EXPECT_LE(h.ApproxQuantile(0.5), 2u);
+
+  LogHistogram other;
+  other.Add(1 << 20);
+  h.Merge(other);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.max(), 1u << 20);
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextBounded(17), 17u);
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng r(3);
+  uint64_t low = 0, total = 20000;
+  for (uint64_t i = 0; i < total; ++i) {
+    if (r.NextZipf(100000, 0.8) < 100) ++low;
+  }
+  // Ranks 0..99 out of 100000 must receive far more than their uniform
+  // share (0.1%).
+  EXPECT_GT(low, total / 50);
+}
+
+TEST(ReportTableTest, FormatsAlignedMarkdown) {
+  ReportTable table({"name", "value"});
+  table.AddRow({"alpha", ReportTable::Num(3.14159)});
+  table.AddRow({"beta", ReportTable::Int(42)});
+  ::testing::internal::CaptureStdout();
+  table.Print("title");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("### title"), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> counts(5);
+  for (int round = 0; round < 10; ++round) {
+    pool.RunOnAll([&](int worker) { ++counts[worker]; });
+  }
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 10);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr uint64_t kN = 100000;
+  std::vector<std::atomic<uint8_t>> seen(kN);
+  ParallelFor(pool, 0, kN, 64,
+              [&](int /*worker*/, uint64_t i) { ++seen[i]; });
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorklistTest, DrainTerminatesWithDynamicPushes) {
+  ThreadPool pool(4);
+  ConcurrentQueue<int> queue;
+  queue.Push(20);  // Each item n pushes n-1 and n-2 (bounded fan-out).
+  std::atomic<int> active{0};
+  std::atomic<uint64_t> processed{0};
+  pool.RunOnAll([&](int worker) {
+    DrainWorklist(queue, worker, active, [&](int /*w*/, int n) {
+      ++processed;
+      if (n > 1) {
+        queue.Push(n - 1);
+        queue.Push(n - 2);
+      }
+    });
+  });
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_GT(processed.load(), 1000u);  // Fibonacci-ish expansion of 20.
+}
+
+TEST(PriorityQueueTest, PopsInPriorityOrder) {
+  ConcurrentPriorityQueue<int, uint64_t> queue;
+  queue.Push(30, 3);
+  queue.Push(10, 1);
+  queue.Push(20, 2);
+  EXPECT_EQ(queue.TryPop().value(), 10);
+  EXPECT_EQ(queue.TryPop().value(), 20);
+  EXPECT_EQ(queue.TryPop().value(), 30);
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(DatasetsTest, SpecsMatchPaperRatios) {
+  const auto specs = BenchDatasets(0.1);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_NEAR(specs[0].avg_degree, 27.53, 0.01);  // friendster
+  EXPECT_NEAR(specs[3].avg_degree, 35.31, 0.01);  // uk-2007-05
+  for (const auto& spec : specs) {
+    const Graph g = GenerateDataset(spec);
+    EXPECT_NEAR(g.AverageDegree(), spec.avg_degree, spec.avg_degree * 0.05);
+  }
+}
+
+TEST(MicroWorkloadTest, CountsTransactionsAndOps) {
+  const Graph graph = GenerateUniformDegree(256, 4, 5);
+  EmulatedHtm htm;
+  TuFast tm(htm, graph.NumVertices());
+  ThreadPool pool(2);
+  std::vector<TmWord> values(graph.NumVertices(), 0);
+  MicroWorkloadOptions options;
+  options.transactions_per_thread = 100;
+  const auto result = RunMicroWorkload(tm, pool, graph, values, options);
+  EXPECT_EQ(result.transactions, 200u);
+  // RM over degree-4 vertices: 1 + 4 reads + 1 write = 6 ops each.
+  EXPECT_EQ(result.operations, 200u * 6);
+  EXPECT_GT(result.TxnPerSec(), 0.0);
+}
+
+}  // namespace
+}  // namespace tufast
