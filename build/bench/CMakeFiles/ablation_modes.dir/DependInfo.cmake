@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_modes.cc" "bench/CMakeFiles/ablation_modes.dir/ablation_modes.cc.o" "gcc" "bench/CMakeFiles/ablation_modes.dir/ablation_modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithms/CMakeFiles/tufast_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/tufast_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/tufast_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tufast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tufast_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tufast_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/tufast_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tufast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_htm_abort_rate.dir/fig04_htm_abort_rate.cc.o"
+  "CMakeFiles/fig04_htm_abort_rate.dir/fig04_htm_abort_rate.cc.o.d"
+  "fig04_htm_abort_rate"
+  "fig04_htm_abort_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_htm_abort_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

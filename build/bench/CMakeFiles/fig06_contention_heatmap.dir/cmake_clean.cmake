@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_contention_heatmap.dir/fig06_contention_heatmap.cc.o"
+  "CMakeFiles/fig06_contention_heatmap.dir/fig06_contention_heatmap.cc.o.d"
+  "fig06_contention_heatmap"
+  "fig06_contention_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_contention_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_scheduler_vs_contention.dir/fig07_scheduler_vs_contention.cc.o"
+  "CMakeFiles/fig07_scheduler_vs_contention.dir/fig07_scheduler_vs_contention.cc.o.d"
+  "fig07_scheduler_vs_contention"
+  "fig07_scheduler_vs_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scheduler_vs_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

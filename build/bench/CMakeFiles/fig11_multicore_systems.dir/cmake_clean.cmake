@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_multicore_systems.dir/fig11_multicore_systems.cc.o"
+  "CMakeFiles/fig11_multicore_systems.dir/fig11_multicore_systems.cc.o.d"
+  "fig11_multicore_systems"
+  "fig11_multicore_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multicore_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

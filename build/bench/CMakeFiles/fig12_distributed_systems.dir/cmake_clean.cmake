@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_distributed_systems.dir/fig12_distributed_systems.cc.o"
+  "CMakeFiles/fig12_distributed_systems.dir/fig12_distributed_systems.cc.o.d"
+  "fig12_distributed_systems"
+  "fig12_distributed_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_distributed_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

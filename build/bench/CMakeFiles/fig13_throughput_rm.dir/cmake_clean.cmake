@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_throughput_rm.dir/fig13_throughput_rm.cc.o"
+  "CMakeFiles/fig13_throughput_rm.dir/fig13_throughput_rm.cc.o.d"
+  "fig13_throughput_rm"
+  "fig13_throughput_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_throughput_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

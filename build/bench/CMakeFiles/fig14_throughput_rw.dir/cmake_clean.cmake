@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_throughput_rw.dir/fig14_throughput_rw.cc.o"
+  "CMakeFiles/fig14_throughput_rw.dir/fig14_throughput_rw.cc.o.d"
+  "fig14_throughput_rw"
+  "fig14_throughput_rw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_throughput_rw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

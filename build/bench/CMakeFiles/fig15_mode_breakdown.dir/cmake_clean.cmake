@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_mode_breakdown.dir/fig15_mode_breakdown.cc.o"
+  "CMakeFiles/fig15_mode_breakdown.dir/fig15_mode_breakdown.cc.o.d"
+  "fig15_mode_breakdown"
+  "fig15_mode_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_mode_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

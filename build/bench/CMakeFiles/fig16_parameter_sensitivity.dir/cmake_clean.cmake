@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_parameter_sensitivity.dir/fig16_parameter_sensitivity.cc.o"
+  "CMakeFiles/fig16_parameter_sensitivity.dir/fig16_parameter_sensitivity.cc.o.d"
+  "fig16_parameter_sensitivity"
+  "fig16_parameter_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_parameter_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

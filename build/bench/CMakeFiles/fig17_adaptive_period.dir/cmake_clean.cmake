@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_adaptive_period.dir/fig17_adaptive_period.cc.o"
+  "CMakeFiles/fig17_adaptive_period.dir/fig17_adaptive_period.cc.o.d"
+  "fig17_adaptive_period"
+  "fig17_adaptive_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_adaptive_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_analysis.dir/community_analysis.cpp.o"
+  "CMakeFiles/community_analysis.dir/community_analysis.cpp.o.d"
+  "community_analysis"
+  "community_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

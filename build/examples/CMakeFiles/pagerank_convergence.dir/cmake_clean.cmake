@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_convergence.dir/pagerank_convergence.cpp.o"
+  "CMakeFiles/pagerank_convergence.dir/pagerank_convergence.cpp.o.d"
+  "pagerank_convergence"
+  "pagerank_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_algorithms.dir/reference.cc.o"
+  "CMakeFiles/tufast_algorithms.dir/reference.cc.o.d"
+  "libtufast_algorithms.a"
+  "libtufast_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/datasets.cc" "src/bench_support/CMakeFiles/tufast_bench_support.dir/datasets.cc.o" "gcc" "src/bench_support/CMakeFiles/tufast_bench_support.dir/datasets.cc.o.d"
+  "/root/repo/src/bench_support/reporting.cc" "src/bench_support/CMakeFiles/tufast_bench_support.dir/reporting.cc.o" "gcc" "src/bench_support/CMakeFiles/tufast_bench_support.dir/reporting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tufast_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tufast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tufast_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tufast_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/tufast_htm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_bench_support.dir/datasets.cc.o"
+  "CMakeFiles/tufast_bench_support.dir/datasets.cc.o.d"
+  "CMakeFiles/tufast_bench_support.dir/reporting.cc.o"
+  "CMakeFiles/tufast_bench_support.dir/reporting.cc.o.d"
+  "libtufast_bench_support.a"
+  "libtufast_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_common.dir/histogram.cc.o"
+  "CMakeFiles/tufast_common.dir/histogram.cc.o.d"
+  "libtufast_common.a"
+  "libtufast_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtufast_common.a"
+)

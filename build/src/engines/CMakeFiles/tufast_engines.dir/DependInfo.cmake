@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engines/ooc_engine.cc" "src/engines/CMakeFiles/tufast_engines.dir/ooc_engine.cc.o" "gcc" "src/engines/CMakeFiles/tufast_engines.dir/ooc_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tufast_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tufast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tufast_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

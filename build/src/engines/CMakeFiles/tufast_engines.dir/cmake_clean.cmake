@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_engines.dir/ooc_engine.cc.o"
+  "CMakeFiles/tufast_engines.dir/ooc_engine.cc.o.d"
+  "libtufast_engines.a"
+  "libtufast_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

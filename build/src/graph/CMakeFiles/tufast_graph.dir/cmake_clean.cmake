@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_graph.dir/builder.cc.o"
+  "CMakeFiles/tufast_graph.dir/builder.cc.o.d"
+  "CMakeFiles/tufast_graph.dir/degree_stats.cc.o"
+  "CMakeFiles/tufast_graph.dir/degree_stats.cc.o.d"
+  "CMakeFiles/tufast_graph.dir/generators.cc.o"
+  "CMakeFiles/tufast_graph.dir/generators.cc.o.d"
+  "CMakeFiles/tufast_graph.dir/io.cc.o"
+  "CMakeFiles/tufast_graph.dir/io.cc.o.d"
+  "libtufast_graph.a"
+  "libtufast_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

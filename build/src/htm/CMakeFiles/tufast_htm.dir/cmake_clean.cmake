@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_htm.dir/emulated_htm.cc.o"
+  "CMakeFiles/tufast_htm.dir/emulated_htm.cc.o.d"
+  "CMakeFiles/tufast_htm.dir/native_htm.cc.o"
+  "CMakeFiles/tufast_htm.dir/native_htm.cc.o.d"
+  "libtufast_htm.a"
+  "libtufast_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/tufast_runtime.dir/thread_pool.cc.o.d"
+  "libtufast_runtime.a"
+  "libtufast_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_sync.dir/deadlock_graph.cc.o"
+  "CMakeFiles/tufast_sync.dir/deadlock_graph.cc.o.d"
+  "libtufast_sync.a"
+  "libtufast_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

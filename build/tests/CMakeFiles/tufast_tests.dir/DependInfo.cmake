@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algorithms_test.cc" "tests/CMakeFiles/tufast_tests.dir/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/algorithms_test.cc.o.d"
+  "/root/repo/tests/concepts_test.cc" "tests/CMakeFiles/tufast_tests.dir/concepts_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/concepts_test.cc.o.d"
+  "/root/repo/tests/engines_test.cc" "tests/CMakeFiles/tufast_tests.dir/engines_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/engines_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/tufast_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/htm_emulated_test.cc" "tests/CMakeFiles/tufast_tests.dir/htm_emulated_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/htm_emulated_test.cc.o.d"
+  "/root/repo/tests/htm_semantics_test.cc" "tests/CMakeFiles/tufast_tests.dir/htm_semantics_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/htm_semantics_test.cc.o.d"
+  "/root/repo/tests/modes_test.cc" "tests/CMakeFiles/tufast_tests.dir/modes_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/modes_test.cc.o.d"
+  "/root/repo/tests/native_backend_test.cc" "tests/CMakeFiles/tufast_tests.dir/native_backend_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/native_backend_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/tufast_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/schedulers_test.cc" "tests/CMakeFiles/tufast_tests.dir/schedulers_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/schedulers_test.cc.o.d"
+  "/root/repo/tests/sync_test.cc" "tests/CMakeFiles/tufast_tests.dir/sync_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/sync_test.cc.o.d"
+  "/root/repo/tests/tufast_scheduler_test.cc" "tests/CMakeFiles/tufast_tests.dir/tufast_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/tufast_scheduler_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/tufast_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/tufast_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithms/CMakeFiles/tufast_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/tufast_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/tufast_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tufast_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tufast_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tufast_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/tufast_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tufast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tufast_tests.dir/algorithms_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/algorithms_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/concepts_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/concepts_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/engines_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/engines_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/graph_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/graph_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/htm_emulated_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/htm_emulated_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/htm_semantics_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/htm_semantics_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/modes_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/modes_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/native_backend_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/native_backend_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/property_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/schedulers_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/schedulers_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/sync_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/sync_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/tufast_scheduler_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/tufast_scheduler_test.cc.o.d"
+  "CMakeFiles/tufast_tests.dir/util_test.cc.o"
+  "CMakeFiles/tufast_tests.dir/util_test.cc.o.d"
+  "tufast_tests"
+  "tufast_tests.pdb"
+  "tufast_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tufast_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
