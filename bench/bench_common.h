@@ -1,19 +1,29 @@
 #ifndef TUFAST_BENCH_BENCH_COMMON_H_
 #define TUFAST_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "bench_support/reporting.h"
+
 namespace tufast {
 
 /// Minimal flag parsing shared by the bench binaries:
-///   --scale=<f>    dataset scale factor (default per bench)
-///   --threads=<n>  worker threads (default 4)
-///   --quick        shrink everything for smoke runs
+///   --scale=<f>     dataset scale factor (default per bench, > 0)
+///   --threads=<n>   worker threads (default 4, >= 1)
+///   --seed=<n>      workload RNG seed (default 7)
+///   --json-out=<p>  mirror all report tables/telemetry to a JSON file
+///   --quick         shrink everything for smoke runs
+/// Malformed values (non-numeric, trailing junk, out of range) are hard
+/// errors: a bench silently running with scale 0 measures nothing.
 struct BenchFlags {
   double scale = 1.0;
   int threads = 4;
+  uint64_t seed = 7;
+  std::string json_out;
   bool quick = false;
 
   static BenchFlags Parse(int argc, char** argv, double default_scale) {
@@ -22,16 +32,48 @@ struct BenchFlags {
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
       if (std::strncmp(arg, "--scale=", 8) == 0) {
-        flags.scale = std::atof(arg + 8);
+        flags.scale = ParseDouble(arg, arg + 8);
+        if (flags.scale <= 0.0) Fail(arg, "must be > 0");
       } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-        flags.threads = std::atoi(arg + 10);
+        const long n = ParseLong(arg, arg + 10);
+        if (n < 1 || n > 4096) Fail(arg, "must be in [1, 4096]");
+        flags.threads = static_cast<int>(n);
+      } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+        const long n = ParseLong(arg, arg + 7);
+        if (n < 0) Fail(arg, "must be >= 0");
+        flags.seed = static_cast<uint64_t>(n);
+      } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+        if (arg[11] == '\0') Fail(arg, "path must be non-empty");
+        flags.json_out = arg + 11;
       } else if (std::strcmp(arg, "--quick") == 0) {
         flags.quick = true;
         flags.scale = default_scale * 0.2;
       }
     }
-    if (flags.threads < 1) flags.threads = 1;
+    if (!flags.json_out.empty()) JsonReport::SetOutputPath(flags.json_out);
     return flags;
+  }
+
+ private:
+  [[noreturn]] static void Fail(const char* arg, const char* why) {
+    std::fprintf(stderr, "bad flag '%s': %s\n", arg, why);
+    std::exit(2);
+  }
+
+  static double ParseDouble(const char* arg, const char* value) {
+    if (*value == '\0') Fail(arg, "missing value");
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0') Fail(arg, "not a number");
+    return parsed;
+  }
+
+  static long ParseLong(const char* arg, const char* value) {
+    if (*value == '\0') Fail(arg, "missing value");
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0') Fail(arg, "not an integer");
+    return parsed;
   }
 };
 

@@ -26,31 +26,54 @@ namespace {
 
 void RunBreakdown(const Graph& graph, ThreadPool& pool,
                   MicroWorkloadKind kind, const std::string& title,
-                  uint64_t txns_per_thread) {
+                  uint64_t txns_per_thread, uint64_t seed) {
   EmulatedHtm htm;
-  TuFast tm(htm, graph.NumVertices());
+  TuFastInstrumented tm(htm, graph.NumVertices());
   std::vector<TmWord> values(graph.NumVertices(), 0);
   MicroWorkloadOptions options;
   options.kind = kind;
   options.transactions_per_thread = txns_per_thread;
+  options.seed = seed;
   RunMicroWorkload(tm, pool, graph, values, options);
-  const SchedulerStats stats = tm.AggregatedStats();
+
+  // The breakdown now comes from the telemetry snapshot, which adds
+  // per-class commit latency on top of the count/ops split the
+  // SchedulerStats-based version reported.
+  const TelemetrySnapshot& snap = tm.AggregatedTelemetry().Snapshot();
+  JsonReport::AddTelemetry(title, snap);
+  const uint64_t total_txns = snap.TotalCommits();
+  const uint64_t total_ops = snap.TotalCommittedOps();
 
   ReportTable table({"class", "committed txns", "% txns", "committed ops",
-                     "% ops", "avg ops/txn"});
-  for (int c = 0; c < static_cast<int>(TxnClass::kNumClasses); ++c) {
-    const uint64_t count = stats.class_count[c];
-    const uint64_t ops = stats.class_ops[c];
+                     "% ops", "avg ops/txn", "p50 latency ns"});
+  for (int c = 0; c < kNumTxnClasses; ++c) {
+    const uint64_t count = snap.commits[c];
+    const uint64_t ops = snap.commit_ops[c];
     table.AddRow(
         {TxnClassName(static_cast<TxnClass>(c)), ReportTable::Int(count),
-         ReportTable::Num(stats.commits ? 100.0 * count / stats.commits : 0),
+         ReportTable::Num(total_txns ? 100.0 * count / total_txns : 0),
          ReportTable::Int(ops),
-         ReportTable::Num(stats.ops_committed
-                              ? 100.0 * ops / stats.ops_committed
-                              : 0),
-         ReportTable::Num(count ? static_cast<double>(ops) / count : 0)});
+         ReportTable::Num(total_ops ? 100.0 * ops / total_ops : 0),
+         ReportTable::Num(count ? static_cast<double>(ops) / count : 0),
+         ReportTable::Int(snap.commit_latency_ns[c].ApproxQuantile(0.5))});
   }
   table.Print(title);
+
+  // Cross-check: telemetry and SchedulerStats must agree on the split.
+  const SchedulerStats stats = tm.AggregatedStats();
+  for (int c = 0; c < kNumTxnClasses; ++c) {
+    if (stats.class_count[c] != snap.commits[c] ||
+        stats.class_ops[c] != snap.commit_ops[c]) {
+      std::fprintf(stderr,
+                   "telemetry/stats divergence in class %s: %llu/%llu vs "
+                   "%llu/%llu\n",
+                   TxnClassName(static_cast<TxnClass>(c)),
+                   static_cast<unsigned long long>(stats.class_count[c]),
+                   static_cast<unsigned long long>(stats.class_ops[c]),
+                   static_cast<unsigned long long>(snap.commits[c]),
+                   static_cast<unsigned long long>(snap.commit_ops[c]));
+    }
+  }
 }
 
 int Main(int argc, char** argv) {
@@ -63,11 +86,11 @@ int Main(int argc, char** argv) {
   RunBreakdown(graph, pool, MicroWorkloadKind::kReadMostly,
                "Fig. 15a/15b — mode breakdown, RM workload (" + spec.name +
                    ")",
-               txns);
+               txns, flags.seed);
   RunBreakdown(graph, pool, MicroWorkloadKind::kReadWrite,
                "Fig. 15c/15d — mode breakdown, RW workload (" + spec.name +
                    ")",
-               txns);
+               txns, flags.seed);
   std::printf(
       "expected shape: H carries most transactions; O/O+ a major share of "
       "operations; L/O2L few transactions but the largest sizes.\n");

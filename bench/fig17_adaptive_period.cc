@@ -30,7 +30,9 @@ struct IterationStats {
   uint64_t active_after = 0;
 };
 
-IterationStats RunIteration(TuFast& tm, ThreadPool& pool, const Graph& graph,
+template <typename Scheduler>
+IterationStats RunIteration(Scheduler& tm, ThreadPool& pool,
+                            const Graph& graph,
                             const Graph& reversed, std::vector<double>& rank,
                             std::vector<double>& inv_out_degree,
                             std::vector<uint8_t>& active, double threshold) {
@@ -88,7 +90,10 @@ int Main(int argc, char** argv) {
   static_config.adaptive_period = false;
   static_config.static_period = 1000;
   TuFast static_tm(static_htm, n, static_config);
-  TuFast adaptive_tm(adaptive_htm, n);  // Adaptive by default.
+  // The adaptive run is instrumented: the reported period is the last
+  // O-mode `period` the scheduler actually attempted (telemetry event),
+  // not the monitor's internal estimate.
+  TuFastInstrumented adaptive_tm(adaptive_htm, n);  // Adaptive by default.
 
   std::vector<double> static_rank(n, 1.0 / n), adaptive_rank(n, 1.0 / n);
   std::vector<uint8_t> static_active(n, 1), adaptive_active(n, 1);
@@ -102,15 +107,17 @@ int Main(int argc, char** argv) {
     const IterationStats a =
         RunIteration(adaptive_tm, pool, graph, reversed, adaptive_rank,
                      inv_out_degree, adaptive_active, threshold);
-    const ContentionMonitor* monitor = adaptive_tm.MonitorForWorker(0);
+    const EventTelemetry* telemetry = adaptive_tm.TelemetryForWorker(0);
     table.AddRow(
         {ReportTable::Int(iter + 1),
          ReportTable::Num(s.millis > 0 ? s.txns / (s.millis / 1e3) : 0),
          ReportTable::Num(a.millis > 0 ? a.txns / (a.millis / 1e3) : 0),
-         ReportTable::Int(monitor ? monitor->CurrentPeriod() : 0),
+         ReportTable::Int(telemetry ? telemetry->Snapshot().last_period : 0),
          ReportTable::Int(a.active_after)});
     if (a.active_after == 0 && s.active_after == 0) break;
   }
+  JsonReport::AddTelemetry("fig17 adaptive run",
+                           adaptive_tm.AggregatedTelemetry().Snapshot());
   table.Print(
       "Fig. 17 — static (period=1000) vs adaptive period, PageRank on " +
       spec.name);

@@ -26,7 +26,7 @@ namespace bench_detail {
 template <typename Htm, typename Scheduler>
 double Throughput(const Graph& graph, ThreadPool& pool,
                   MicroWorkloadKind kind, uint64_t txns,
-                  uint32_t mid_txn_delay_us) {
+                  uint32_t mid_txn_delay_us, uint64_t seed) {
   Htm htm;
   Scheduler tm(htm, graph.NumVertices());
   std::vector<TmWord> values(graph.NumVertices(), 0);
@@ -34,8 +34,57 @@ double Throughput(const Graph& graph, ThreadPool& pool,
   options.kind = kind;
   options.transactions_per_thread = txns;
   options.mid_txn_delay_us = mid_txn_delay_us;
+  options.seed = seed;
   const auto result = RunMicroWorkload(tm, pool, graph, values, options);
   return result.TxnPerSec();
+}
+
+/// Instrumented TuFast pass over the same workload: telemetry snapshot
+/// per dataset (mode shares, time-in-mode, transition counts). Measured
+/// throughput above always uses NullTelemetry so the numbers stay fair;
+/// this pass pays for clocks and is reported separately.
+template <typename Htm>
+void TelemetrySharePass(const Graph& graph, ThreadPool& pool,
+                        MicroWorkloadKind kind, uint64_t txns,
+                        uint32_t mid_txn_delay_us, uint64_t seed,
+                        const std::string& label, ReportTable& table) {
+  Htm htm;
+  TuFastScheduler<Htm, EventTelemetry> tm(htm, graph.NumVertices());
+  std::vector<TmWord> values(graph.NumVertices(), 0);
+  MicroWorkloadOptions options;
+  options.kind = kind;
+  options.transactions_per_thread = txns;
+  options.mid_txn_delay_us = mid_txn_delay_us;
+  options.seed = seed;
+  RunMicroWorkload(tm, pool, graph, values, options);
+
+  const TelemetrySnapshot& snap = tm.AggregatedTelemetry().Snapshot();
+  JsonReport::AddTelemetry(label, snap);
+  const double commits =
+      static_cast<double>(snap.TotalCommits() ? snap.TotalCommits() : 1);
+  uint64_t mode_commits[kNumSchedModes] = {};
+  for (int c = 0; c < kNumTxnClasses; ++c) {
+    mode_commits[static_cast<int>(ModeOfClass(static_cast<TxnClass>(c)))] +=
+        snap.commits[c];
+  }
+  uint64_t total_mode_ns = 0;
+  for (uint64_t ns : snap.time_in_mode_ns) total_mode_ns += ns;
+  const double ns_total =
+      static_cast<double>(total_mode_ns ? total_mode_ns : 1);
+  uint64_t fallback_transitions = 0;
+  for (int m = 0; m < kNumSchedModes; ++m) {
+    for (int n = 0; n < kNumSchedModes; ++n) {
+      if (m != n) fallback_transitions += snap.transitions[m][n];
+    }
+  }
+  table.AddRow(
+      {label, ReportTable::Num(100.0 * mode_commits[0] / commits),
+       ReportTable::Num(100.0 * mode_commits[1] / commits),
+       ReportTable::Num(100.0 * mode_commits[2] / commits),
+       ReportTable::Num(100.0 * snap.time_in_mode_ns[0] / ns_total),
+       ReportTable::Num(100.0 * snap.time_in_mode_ns[1] / ns_total),
+       ReportTable::Num(100.0 * snap.time_in_mode_ns[2] / ns_total),
+       ReportTable::Int(fallback_transitions)});
 }
 
 /// Runs all seven schedulers on one HTM backend. The native backend is
@@ -54,27 +103,34 @@ void RunAllSchedulers(int argc, char** argv, MicroWorkloadKind kind,
 
   ReportTable table({"dataset", "TuFast", "2PL", "OCC", "STM", "HSync",
                      "H-TO", "TuFast / best-other"});
+  ReportTable shares({"dataset", "%txns H", "%txns O", "%txns L", "%time H",
+                      "%time O", "%time L", "mode fallbacks"});
   for (const auto& spec : BenchDatasets(flags.scale)) {
     const Graph graph = GenerateDataset(spec);
     const double tufast = Throughput<Htm, TuFastScheduler<Htm>>(
-        graph, pool, kind, txns, delay_us);
+        graph, pool, kind, txns, delay_us, flags.seed);
     const double t2pl = Throughput<Htm, TwoPhaseLocking<Htm>>(
-        graph, pool, kind, txns, delay_us);
-    const double occ =
-        Throughput<Htm, SiloOcc<Htm>>(graph, pool, kind, txns, delay_us);
-    const double stm =
-        Throughput<Htm, TinyStm<Htm>>(graph, pool, kind, txns, delay_us);
-    const double hsync =
-        Throughput<Htm, HsyncHybrid<Htm>>(graph, pool, kind, txns, delay_us);
+        graph, pool, kind, txns, delay_us, flags.seed);
+    const double occ = Throughput<Htm, SiloOcc<Htm>>(graph, pool, kind, txns,
+                                                     delay_us, flags.seed);
+    const double stm = Throughput<Htm, TinyStm<Htm>>(graph, pool, kind, txns,
+                                                     delay_us, flags.seed);
+    const double hsync = Throughput<Htm, HsyncHybrid<Htm>>(
+        graph, pool, kind, txns, delay_us, flags.seed);
     const double hto = Throughput<Htm, HtmTimestampOrdering<Htm>>(
-        graph, pool, kind, txns, delay_us);
+        graph, pool, kind, txns, delay_us, flags.seed);
     const double best_other = std::max({t2pl, occ, stm, hsync, hto});
     table.AddRow({spec.name, ReportTable::Num(tufast), ReportTable::Num(t2pl),
                   ReportTable::Num(occ), ReportTable::Num(stm),
                   ReportTable::Num(hsync), ReportTable::Num(hto),
                   ReportTable::Num(best_other > 0 ? tufast / best_other : 0)});
+    TelemetrySharePass<Htm>(graph, pool, kind, txns, delay_us, flags.seed,
+                            spec.name + std::string(" [") + backend_name + "]",
+                            shares);
   }
   table.Print(std::string(figure_name) + " [" + backend_name + "]");
+  shares.Print(std::string(figure_name) + " — TuFast mode shares [" +
+               backend_name + "] (instrumented pass)");
   std::printf("%s\n", expected);
 }
 

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 #include "common/compiler.h"
 
@@ -59,6 +61,198 @@ void ReportTable::Print(const std::string& title) const {
   std::printf("\n");
   for (const auto& row : rows_) print_row(row);
   std::fflush(stdout);
+
+  JsonReport::AddTable(title, headers_, rows_);
+}
+
+namespace {
+
+struct JsonReportState {
+  std::mutex mu;
+  std::string path;
+  std::vector<std::string> tables;     // Pre-serialized JSON objects.
+  std::vector<std::string> telemetry;  // Pre-serialized JSON objects.
+};
+
+JsonReportState& State() {
+  static JsonReportState* state = new JsonReportState;  // Leak: exit-safe.
+  return *state;
+}
+
+std::string JoinObjects(const std::vector<std::string>& objects) {
+  std::string out = "[";
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (i > 0) out += ",";
+    out += objects[i];
+  }
+  out += "]";
+  return out;
+}
+
+std::string StringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonReport::Escape(items[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+std::string U64(uint64_t value) { return ReportTable::Int(value); }
+
+}  // namespace
+
+void JsonReport::SetOutputPath(const std::string& path) {
+  auto& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const bool first = s.path.empty();
+  s.path = path;
+  if (first && !path.empty()) std::atexit(&JsonReport::Write);
+}
+
+bool JsonReport::enabled() {
+  auto& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return !s.path.empty();
+}
+
+void JsonReport::AddTable(const std::string& title,
+                          const std::vector<std::string>& headers,
+                          const std::vector<std::vector<std::string>>& rows) {
+  if (!enabled()) return;
+  std::string obj = "{\"title\":\"" + Escape(title) + "\",";
+  obj += "\"headers\":" + StringArray(headers) + ",\"rows\":[";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) obj += ",";
+    obj += StringArray(rows[r]);
+  }
+  obj += "]}";
+  auto& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.tables.push_back(std::move(obj));
+}
+
+void JsonReport::AddTelemetry(const std::string& name,
+                              const TelemetrySnapshot& snapshot) {
+  if (!enabled()) return;
+  std::string obj = "{\"name\":\"" + Escape(name) +
+                    "\",\"telemetry\":" + TelemetrySnapshotToJson(snapshot) +
+                    "}";
+  auto& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.telemetry.push_back(std::move(obj));
+}
+
+void JsonReport::Write() {
+  auto& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.path.empty()) return;
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "json-out: cannot open '%s' for writing\n",
+                 s.path.c_str());
+    return;
+  }
+  const std::string doc = "{\"tables\":" + JoinObjects(s.tables) +
+                          ",\"telemetry\":" + JoinObjects(s.telemetry) + "}\n";
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+}
+
+std::string JsonReport::Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string LogHistogramToJson(const LogHistogram& hist) {
+  std::string out = "{\"count\":" + U64(hist.count()) +
+                    ",\"sum\":" + U64(hist.sum()) +
+                    ",\"min\":" + U64(hist.min()) +
+                    ",\"max\":" + U64(hist.max()) +
+                    ",\"p50\":" + U64(hist.ApproxQuantile(0.5)) +
+                    ",\"p99\":" + U64(hist.ApproxQuantile(0.99)) + "}";
+  return out;
+}
+
+std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snap) {
+  std::string out = "{";
+  out += "\"begins\":" + U64(snap.begins);
+  out += ",\"user_aborts\":" + U64(snap.user_aborts);
+  out += ",\"deadlock_cycle_victims\":" + U64(snap.deadlock_cycle_victims);
+  out += ",\"deadlock_timeout_victims\":" + U64(snap.deadlock_timeout_victims);
+
+  out += ",\"commits\":{";
+  for (int c = 0; c < kNumTxnClasses; ++c) {
+    if (c > 0) out += ",";
+    const TxnClass cls = static_cast<TxnClass>(c);
+    out += "\"" + std::string(TxnClassName(cls)) +
+           "\":{\"count\":" + U64(snap.commits[c]) +
+           ",\"ops\":" + U64(snap.commit_ops[c]) +
+           ",\"latency_ns\":" + LogHistogramToJson(snap.commit_latency_ns[c]) +
+           "}";
+  }
+  out += "}";
+
+  out += ",\"time_in_mode_ns\":{";
+  for (int m = 0; m < kNumSchedModes; ++m) {
+    if (m > 0) out += ",";
+    out += "\"" + std::string(SchedModeName(static_cast<SchedMode>(m))) +
+           "\":" + U64(snap.time_in_mode_ns[m]);
+  }
+  out += "}";
+
+  out += ",\"aborts\":{";
+  for (int m = 0; m < kNumSchedModes; ++m) {
+    if (m > 0) out += ",";
+    out += "\"" + std::string(SchedModeName(static_cast<SchedMode>(m))) +
+           "\":{";
+    for (int r = 0; r < kNumAbortReasons; ++r) {
+      if (r > 0) out += ",";
+      out += "\"" +
+             std::string(AbortReasonName(static_cast<AbortReason>(r))) +
+             "\":" + U64(snap.aborts[m][r]);
+    }
+    out += "}";
+  }
+  out += "}";
+
+  out += ",\"transitions\":{";
+  bool first_edge = true;
+  for (int m = 0; m < kNumSchedModes; ++m) {
+    for (int n = 0; n < kNumSchedModes; ++n) {
+      if (snap.transitions[m][n] == 0) continue;
+      if (!first_edge) out += ",";
+      first_edge = false;
+      out += "\"" + std::string(SchedModeName(static_cast<SchedMode>(m))) +
+             "->" + std::string(SchedModeName(static_cast<SchedMode>(n))) +
+             "\":" + U64(snap.transitions[m][n]);
+    }
+  }
+  out += "}";
+
+  out += ",\"period\":" + LogHistogramToJson(snap.period_hist);
+  out += ",\"last_period\":" + U64(snap.last_period);
+  out += "}";
+  return out;
 }
 
 }  // namespace tufast

@@ -4,12 +4,16 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
+#include "tm/telemetry.h"
+
 namespace tufast {
 
 /// Aligned-column table printer for benchmark harness output (the rows
 /// and series each paper table/figure reports). Prints to stdout in a
 /// markdown-compatible layout so EXPERIMENTS.md can embed outputs
-/// directly.
+/// directly. Every printed table is also mirrored into the process-wide
+/// JsonReport when --json-out= is set.
 class ReportTable {
  public:
   explicit ReportTable(std::vector<std::string> headers);
@@ -27,6 +31,37 @@ class ReportTable {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Process-wide JSON mirror of benchmark output, enabled by the shared
+/// --json-out=<path> bench flag (BenchFlags::Parse calls SetOutputPath).
+/// Collects every ReportTable printed plus any telemetry snapshots the
+/// harness records, and writes one JSON document at process exit (or on
+/// an explicit Write()). All entry points are no-ops until enabled, so
+/// benches call them unconditionally.
+class JsonReport {
+ public:
+  static void SetOutputPath(const std::string& path);
+  static bool enabled();
+
+  /// Mirrors one printed table: {"title":..,"headers":[..],"rows":[[..]]}.
+  static void AddTable(const std::string& title,
+                       const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows);
+
+  /// Records a named telemetry snapshot: {"name":..,"telemetry":{..}}.
+  static void AddTelemetry(const std::string& name,
+                           const TelemetrySnapshot& snapshot);
+
+  /// Writes the document now. Also runs automatically at exit.
+  static void Write();
+
+  /// JSON string escaping (exposed for tests).
+  static std::string Escape(const std::string& text);
+};
+
+/// Serializers used by JsonReport and the telemetry golden tests.
+std::string LogHistogramToJson(const LogHistogram& hist);
+std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snapshot);
 
 }  // namespace tufast
 

@@ -40,6 +40,19 @@ class LockManager {
   LockTable<Htm>& table() { return table_; }
   DeadlockPolicy policy() const { return policy_; }
 
+  /// Telemetry hook fired on the victim's own thread whenever an
+  /// Acquire*/Upgrade picks the caller as deadlock victim: `cycle` is
+  /// true when waits-for cycle detection fired, false when a liveness
+  /// wait bound expired (timeout recovery). Cold path only — the check
+  /// sits behind lock-acquisition failure, so registering no hook (the
+  /// NullTelemetry build) costs one untaken branch per victim abort.
+  using VictimHook = void (*)(void* ctx, int slot, VertexId vertex,
+                              bool cycle);
+  void SetVictimHook(VictimHook hook, void* ctx) {
+    victim_hook_ = hook;
+    victim_ctx_ = ctx;
+  }
+
   bool AcquireShared(int slot, VertexId v) {
     return AcquireLoop(slot, v, [&] { return table_.TryLockShared(v); },
                        /*exclusive=*/false);
@@ -64,18 +77,25 @@ class LockManager {
       uint64_t waited = 0;
       const uint64_t bound = WaitBound();
       while (!table_.TryUpgrade(v)) {
-        if (++waited > bound) return false;
+        if (++waited > bound) {
+          NotifyVictim(slot, v, /*cycle=*/false);
+          return false;
+        }
         backoff.Pause();
       }
       SwapHolderRegistration(slot, v);
       return true;
     }
-    if (graph_.SetWaitingAndCheck(slot, v)) return false;
+    if (graph_.SetWaitingAndCheck(slot, v)) {
+      NotifyVictim(slot, v, /*cycle=*/true);
+      return false;
+    }
     Backoff backoff;
     uint64_t waited = 0;
     while (!table_.TryUpgrade(v)) {
       if (++waited > kMaxWaitIterations) {
         graph_.ClearWaiting(slot);
+        NotifyVictim(slot, v, /*cycle=*/false);
         return false;
       }
       backoff.Pause();
@@ -122,6 +142,7 @@ class LockManager {
     }
     if (policy_ == DeadlockPolicy::kDetection &&
         graph_.SetWaitingAndCheck(slot, v)) {
+      NotifyVictim(slot, v, /*cycle=*/true);
       return false;  // Waiting would close a cycle: we are the victim.
     }
     Backoff backoff;
@@ -130,6 +151,7 @@ class LockManager {
     while (!try_lock()) {
       if (++waited > bound) {
         if (policy_ == DeadlockPolicy::kDetection) graph_.ClearWaiting(slot);
+        NotifyVictim(slot, v, /*cycle=*/false);
         return false;
       }
       backoff.Pause();
@@ -148,9 +170,15 @@ class LockManager {
     }
   }
 
+  void NotifyVictim(int slot, VertexId v, bool cycle) {
+    if (victim_hook_ != nullptr) victim_hook_(victim_ctx_, slot, v, cycle);
+  }
+
   LockTable<Htm>& table_;
   const DeadlockPolicy policy_;
   DeadlockGraph graph_;
+  VictimHook victim_hook_ = nullptr;
+  void* victim_ctx_ = nullptr;
 };
 
 }  // namespace tufast

@@ -7,6 +7,7 @@
 #include "common/types.h"
 #include "htm/htm_config.h"
 #include "tm/outcome.h"
+#include "tm/telemetry.h"
 
 namespace tufast {
 
@@ -27,9 +28,29 @@ concept TransactionContext =
       txn.Abort();  // [[noreturn]]; user aborts are final.
     };
 
+/// The telemetry-sink contract: the typed event hooks every scheduler
+/// threads through its worker runtime. NullTelemetry satisfies it with
+/// empty inline bodies (kEnabled == false lets schedulers skip hook
+/// registration and clock reads entirely); EventTelemetry aggregates.
+template <typename T>
+concept TelemetrySink =
+    requires(T& sink, const T& csink, TxnClass cls, SchedMode mode,
+             AbortReason reason, uint32_t period, uint64_t ops, bool cycle) {
+      { T::kEnabled } -> std::convertible_to<bool>;
+      sink.TxnBegin();
+      sink.EnterMode(mode);
+      sink.AttemptAbort(reason);
+      sink.PeriodChange(period);
+      sink.DeadlockVictim(cycle);
+      sink.TxnCommit(cls, ops);
+      sink.TxnUserAbort(cls);
+      sink.Merge(csink);
+    };
+
 /// The scheduler contract shared by TuFast and all six baselines: a
-/// worker-scoped Run() plus merged statistics. `Fn` is checked at the
-/// Run call site (it must accept every mode's context type).
+/// worker-scoped Run() plus merged statistics and telemetry. `Fn` is
+/// checked at the Run call site (it must accept every mode's context
+/// type).
 template <typename S>
 concept Scheduler = requires(S& tm, const S& ctm, int worker,
                              uint64_t hint) {
@@ -37,6 +58,8 @@ concept Scheduler = requires(S& tm, const S& ctm, int worker,
     tm.Run(worker, hint, [](auto& txn) { (void)txn; })
   } -> std::same_as<RunOutcome>;
   { ctm.AggregatedStats() } -> std::same_as<SchedulerStats>;
+  requires TelemetrySink<decltype(ctm.AggregatedTelemetry())>;
+  { ctm.TelemetryForWorker(worker) };
   tm.ResetStats();
 };
 

@@ -14,10 +14,16 @@ namespace tufast {
 /// maximized at P* = -1 / ln(1-p)  (≈ 1/p for small p).
 inline uint32_t OptimalPeriod(double p, uint32_t min_period,
                               uint32_t max_period) {
+  // NaN (e.g. a 0/0 abort ratio) would fail both ordered comparisons
+  // below and reach the uint32 cast, which is UB; treat it as "no
+  // signal", like p == 0.
+  if (std::isnan(p)) return max_period;
   if (p <= 0.0) return max_period;
   if (p >= 1.0) return min_period;
   const double p_star = -1.0 / std::log1p(-p);
   const double rounded = std::nearbyint(p_star);
+  // Clamp in double before casting: for p near 0, p_star overflows
+  // uint32 range long before it overflows double.
   if (rounded <= min_period) return min_period;
   if (rounded >= max_period) return max_period;
   return static_cast<uint32_t>(rounded);

@@ -1,15 +1,13 @@
 #ifndef TUFAST_TM_SCHEDULER_2PL_H_
 #define TUFAST_TM_SCHEDULER_2PL_H_
 
-#include <array>
-#include <memory>
-
-#include "common/rng.h"
 #include "common/types.h"
 #include "sync/lock_manager.h"
 #include "sync/lock_table.h"
 #include "tm/modes.h"
 #include "tm/outcome.h"
+#include "tm/telemetry.h"
+#include "tm/worker_runtime.h"
 
 namespace tufast {
 
@@ -19,76 +17,55 @@ namespace tufast {
 /// recovery: with millions of tiny transactions, per-acquire waits-for
 /// bookkeeping would dominate the measurement (TuFast's own L mode keeps
 /// full detection — its lock-mode transactions are rare and huge).
-template <typename Htm>
+template <typename Htm, typename Telemetry = NullTelemetry>
 class TwoPhaseLocking {
  public:
   TwoPhaseLocking(Htm& htm, VertexId num_vertices,
                   DeadlockPolicy policy = DeadlockPolicy::kTimeout)
       : htm_(htm), lock_table_(htm, num_vertices),
-        lock_manager_(lock_table_, policy) {}
+        lock_manager_(lock_table_, policy), runtime_(0x2b1u) {
+    if constexpr (Telemetry::kEnabled) {
+      lock_manager_.SetVictimHook(
+          [](void* ctx, int slot, VertexId /*v*/, bool cycle) {
+            auto* self = static_cast<TwoPhaseLocking*>(ctx);
+            if (auto* w = self->runtime_.worker(slot)) {
+              w->telemetry.DeadlockVictim(cycle);
+            }
+          },
+          this);
+    }
+  }
   TUFAST_DISALLOW_COPY_AND_MOVE(TwoPhaseLocking);
 
   template <typename Fn>
   RunOutcome Run(int worker_id, uint64_t /*size_hint*/, Fn&& fn) {
-    Worker& w = GetWorker(worker_id);
-    uint32_t attempt = 0;
-    while (true) {
-      w.ltxn.Reset();
-      try {
-        fn(w.ltxn);
-        w.ltxn.CommitApplyAndRelease();
-        w.stats.RecordCommit(TxnClass::kL, w.ltxn.ops());
-        return RunOutcome{true, TxnClass::kL, w.ltxn.ops()};
-      } catch (const UserAbortSignal&) {
-        w.ltxn.ReleaseAll();
-        ++w.stats.user_aborts;
-        return RunOutcome{false, TxnClass::kL, 0};
-      } catch (const DeadlockVictimSignal&) {
-        w.ltxn.ReleaseAll();
-        ++w.stats.deadlock_aborts;
-        // Exponential randomized backoff: under extreme contention every
-        // concurrent attempt closes a cycle, and constant short backoff
-        // livelocks — grow the window until somebody runs alone.
-        DeadlockRetryBackoff(w.rng, attempt++);
-      }
-    }
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    w.telemetry.TxnBegin();
+    return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kL);
   }
 
-  SchedulerStats AggregatedStats() const {
-    SchedulerStats total;
-    for (const auto& w : workers_) {
-      if (w != nullptr) total.Merge(w->stats);
-    }
-    return total;
+  SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
+  Telemetry AggregatedTelemetry() const {
+    return runtime_.AggregatedTelemetry();
   }
-
-  void ResetStats() {
-    for (auto& w : workers_) {
-      if (w != nullptr) w->stats = SchedulerStats{};
-    }
+  const Telemetry* TelemetryForWorker(int worker_id) const {
+    return runtime_.TelemetryForWorker(worker_id);
   }
+  void ResetStats() { runtime_.ResetStats(); }
 
  private:
-  struct Worker {
-    Worker(TwoPhaseLocking& parent, int slot)
-        : ltxn(parent.htm_, slot, parent.lock_manager_),
-          rng(0x2b1u + static_cast<uint64_t>(slot) * 0x9e3779b9u) {}
+  struct State {
+    State(TwoPhaseLocking& parent, int slot)
+        : ltxn(parent.htm_, slot, parent.lock_manager_) {}
     LTxn<Htm> ltxn;
-    SchedulerStats stats;
-    Rng rng;
   };
-
-  Worker& GetWorker(int worker_id) {
-    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
-    auto& slot = workers_[worker_id];
-    if (slot == nullptr) slot = std::make_unique<Worker>(*this, worker_id);
-    return *slot;
-  }
+  using Runtime = WorkerRuntime<State, Telemetry>;
+  using Worker = typename Runtime::Worker;
 
   Htm& htm_;
   LockTable<Htm> lock_table_;
   LockManager<Htm> lock_manager_;
-  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+  Runtime runtime_;
 };
 
 }  // namespace tufast

@@ -1,16 +1,15 @@
 #ifndef TUFAST_TM_SCHEDULER_HSYNC_H_
 #define TUFAST_TM_SCHEDULER_HSYNC_H_
 
-#include <array>
 #include <bit>
-#include <memory>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/spin.h"
 #include "common/types.h"
 #include "htm/htm_config.h"
 #include "tm/outcome.h"
+#include "tm/telemetry.h"
+#include "tm/worker_runtime.h"
 
 namespace tufast {
 
@@ -21,7 +20,7 @@ namespace tufast {
 /// non-transactionally (which dooms all concurrent hardware attempts).
 /// Unlike TuFast it is degree-oblivious: one policy for every size, and a
 /// single global lock that serializes all fallbacks.
-template <typename Htm>
+template <typename Htm, typename Telemetry = NullTelemetry>
 class HsyncHybrid {
  public:
   struct Config {
@@ -29,7 +28,7 @@ class HsyncHybrid {
   };
 
   HsyncHybrid(Htm& htm, VertexId /*num_vertices*/ = 0, Config config = {})
-      : htm_(htm), config_(config) {}
+      : htm_(htm), config_(config), runtime_(0x45c0u) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(HsyncHybrid);
 
   /// Hardware-path transaction context.
@@ -123,36 +122,35 @@ class HsyncHybrid {
 
   template <typename Fn>
   RunOutcome Run(int worker_id, uint64_t /*size_hint*/, Fn&& fn) {
-    Worker& w = GetWorker(worker_id);
-    HwTxn hw(w.htx, &global_lock_);
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    w.telemetry.TxnBegin();
+    w.telemetry.EnterMode(SchedMode::kHardware);
+    HwTxn hw(w.state.htx, &global_lock_);
     for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
       hw.ResetOps();
-      const AbortStatus status = w.htx.Execute([&] {
+      const AbortStatus status = w.state.htx.Execute([&] {
         hw.SubscribeGlobalLock();
         fn(hw);
       });
       if (status.ok()) {
         w.stats.RecordCommit(TxnClass::kH, hw.ops());
+        w.telemetry.TxnCommit(TxnClass::kH, hw.ops());
         return RunOutcome{true, TxnClass::kH, hw.ops()};
       }
-      if (status.cause == AbortCause::kExplicit &&
-          status.user_code == kAbortCodeUser) {
+      const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
+      if (verdict == HtmAttemptVerdict::kUserAbort) {
         ++w.stats.user_aborts;
+        w.telemetry.TxnUserAbort(TxnClass::kH);
         return RunOutcome{false, TxnClass::kH, 0};
       }
-      if (status.cause == AbortCause::kCapacity) {
-        ++w.stats.capacity_aborts;
+      if (verdict == HtmAttemptVerdict::kCapacity) {
         break;  // Deterministic: go to the fallback immediately.
-      }
-      if (status.cause == AbortCause::kExplicit) {
-        ++w.stats.lock_busy_aborts;
-      } else {
-        ++w.stats.conflict_aborts;
       }
     }
 
     // Global-lock fallback: serialize, run plain, publish with dooming
     // stores so concurrent hardware attempts stay correct.
+    w.telemetry.EnterMode(SchedMode::kLock);
     AcquireGlobalLock();
     FallbackTxn fb;
     try {
@@ -160,42 +158,32 @@ class HsyncHybrid {
     } catch (const UserAbortSignal&) {
       ReleaseGlobalLock();
       ++w.stats.user_aborts;
+      w.telemetry.TxnUserAbort(TxnClass::kL);
       return RunOutcome{false, TxnClass::kL, 0};
     }
     for (const auto& p : fb.pending_) htm_.NonTxStore(p.addr, p.value);
     ReleaseGlobalLock();
     w.stats.RecordCommit(TxnClass::kL, fb.ops());
+    w.telemetry.TxnCommit(TxnClass::kL, fb.ops());
     return RunOutcome{true, TxnClass::kL, fb.ops()};
   }
 
-  SchedulerStats AggregatedStats() const {
-    SchedulerStats total;
-    for (const auto& w : workers_) {
-      if (w != nullptr) total.Merge(w->stats);
-    }
-    return total;
+  SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
+  Telemetry AggregatedTelemetry() const {
+    return runtime_.AggregatedTelemetry();
   }
-
-  void ResetStats() {
-    for (auto& w : workers_) {
-      if (w != nullptr) w->stats = SchedulerStats{};
-    }
+  const Telemetry* TelemetryForWorker(int worker_id) const {
+    return runtime_.TelemetryForWorker(worker_id);
   }
+  void ResetStats() { runtime_.ResetStats(); }
 
  private:
-  struct Worker {
-    Worker(Htm& htm, int slot)
-        : htx(htm, slot) {}
+  struct State {
+    State(HsyncHybrid& parent, int slot) : htx(parent.htm_, slot) {}
     typename Htm::Tx htx;
-    SchedulerStats stats;
   };
-
-  Worker& GetWorker(int worker_id) {
-    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
-    auto& slot = workers_[worker_id];
-    if (slot == nullptr) slot = std::make_unique<Worker>(htm_, worker_id);
-    return *slot;
-  }
+  using Runtime = WorkerRuntime<State, Telemetry>;
+  using Worker = typename Runtime::Worker;
 
   void AcquireGlobalLock() {
     Backoff backoff;
@@ -219,7 +207,7 @@ class HsyncHybrid {
   Htm& htm_;
   const Config config_;
   alignas(kCacheLineBytes) TmWord global_lock_ = 0;
-  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+  Runtime runtime_;
 };
 
 }  // namespace tufast

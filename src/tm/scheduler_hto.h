@@ -1,10 +1,8 @@
 #ifndef TUFAST_TM_SCHEDULER_HTO_H_
 #define TUFAST_TM_SCHEDULER_HTO_H_
 
-#include <array>
 #include <atomic>
 #include <bit>
-#include <memory>
 
 #include "common/rng.h"
 #include "common/spin.h"
@@ -12,6 +10,8 @@
 #include "htm/htm_config.h"
 #include "tm/outcome.h"
 #include "tm/scheduler_to.h"
+#include "tm/telemetry.h"
+#include "tm/worker_runtime.h"
 
 namespace tufast {
 
@@ -24,7 +24,7 @@ namespace tufast {
 /// falls back to the pure timestamp-ordering scheduler. Degree-oblivious:
 /// rts updates make even read-read sharing conflict in the hardware path,
 /// which is exactly the overhead the paper's H mode avoids.
-template <typename Htm>
+template <typename Htm, typename Telemetry = NullTelemetry>
 class HtmTimestampOrdering {
  public:
   struct Config {
@@ -32,7 +32,10 @@ class HtmTimestampOrdering {
   };
 
   HtmTimestampOrdering(Htm& htm, VertexId num_vertices, Config config = {})
-      : htm_(htm), config_(config), fallback_(htm, num_vertices) {}
+      : htm_(htm),
+        config_(config),
+        fallback_(htm, num_vertices),
+        runtime_(0x470u) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(HtmTimestampOrdering);
 
   /// Hardware-path context: direct loads/stores plus transactional
@@ -95,66 +98,65 @@ class HtmTimestampOrdering {
 
   template <typename Fn>
   RunOutcome Run(int worker_id, uint64_t size_hint, Fn&& fn) {
-    Worker& w = GetWorker(worker_id);
-    HwTxn hw(*this, w.htx);
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    w.telemetry.TxnBegin();
+    w.telemetry.EnterMode(SchedMode::kHardware);
+    HwTxn hw(*this, w.state.htx);
     for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
       hw.Reset(fallback_.NextTs());
-      const AbortStatus status = w.htx.Execute([&] { fn(hw); });
+      const AbortStatus status = w.state.htx.Execute([&] { fn(hw); });
       if (status.ok()) {
         w.stats.RecordCommit(TxnClass::kH, hw.ops());
+        w.telemetry.TxnCommit(TxnClass::kH, hw.ops());
         return RunOutcome{true, TxnClass::kH, hw.ops()};
       }
-      if (status.cause == AbortCause::kExplicit &&
-          status.user_code == kAbortCodeUser) {
+      const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
+      if (verdict == HtmAttemptVerdict::kUserAbort) {
         ++w.stats.user_aborts;
+        w.telemetry.TxnUserAbort(TxnClass::kH);
         return RunOutcome{false, TxnClass::kH, 0};
       }
-      if (status.cause == AbortCause::kCapacity) {
-        ++w.stats.capacity_aborts;
-        break;
-      }
-      if (status.cause == AbortCause::kExplicit) {
-        ++w.stats.lock_busy_aborts;
-      } else {
-        ++w.stats.conflict_aborts;
-      }
+      if (verdict == HtmAttemptVerdict::kCapacity) break;
     }
+    // Hand off to the software path. The fallback scheduler begins its
+    // own telemetry transaction (begins count hand-offs twice by design;
+    // commit latency for fallen-back txns is attributed to the fallback).
+    w.telemetry.EnterMode(SchedMode::kOptimistic);
     return fallback_.Run(worker_id, size_hint, fn);
   }
 
   SchedulerStats AggregatedStats() const {
     SchedulerStats total = fallback_.AggregatedStats();
-    for (const auto& w : workers_) {
-      if (w != nullptr) total.Merge(w->stats);
-    }
+    total.Merge(runtime_.AggregatedStats());
     return total;
+  }
+
+  Telemetry AggregatedTelemetry() const {
+    Telemetry total = runtime_.AggregatedTelemetry();
+    total.Merge(fallback_.AggregatedTelemetry());
+    return total;
+  }
+  const Telemetry* TelemetryForWorker(int worker_id) const {
+    return runtime_.TelemetryForWorker(worker_id);
   }
 
   void ResetStats() {
     fallback_.ResetStats();
-    for (auto& w : workers_) {
-      if (w != nullptr) w->stats = SchedulerStats{};
-    }
+    runtime_.ResetStats();
   }
 
  private:
-  struct Worker {
-    Worker(Htm& htm, int slot) : htx(htm, slot) {}
+  struct State {
+    State(HtmTimestampOrdering& parent, int slot) : htx(parent.htm_, slot) {}
     typename Htm::Tx htx;
-    SchedulerStats stats;
   };
-
-  Worker& GetWorker(int worker_id) {
-    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
-    auto& slot = workers_[worker_id];
-    if (slot == nullptr) slot = std::make_unique<Worker>(htm_, worker_id);
-    return *slot;
-  }
+  using Runtime = WorkerRuntime<State, Telemetry>;
+  using Worker = typename Runtime::Worker;
 
   Htm& htm_;
   const Config config_;
-  TimestampOrdering<Htm> fallback_;
-  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+  TimestampOrdering<Htm, Telemetry> fallback_;
+  Runtime runtime_;
 };
 
 }  // namespace tufast

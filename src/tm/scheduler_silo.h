@@ -2,17 +2,16 @@
 #define TUFAST_TM_SCHEDULER_SILO_H_
 
 #include <algorithm>
-#include <array>
 #include <bit>
-#include <memory>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/spin.h"
 #include "common/types.h"
 #include "htm/htm_config.h"
 #include "tm/addr_map.h"
 #include "tm/outcome.h"
+#include "tm/telemetry.h"
+#include "tm/worker_runtime.h"
 
 namespace tufast {
 
@@ -21,11 +20,11 @@ namespace tufast {
 /// reads record the observed TID, commit locks the write set (sorted, so
 /// lock acquisition cannot deadlock), validates the read set, installs
 /// writes non-transactionally and bumps versions.
-template <typename Htm>
+template <typename Htm, typename Telemetry = NullTelemetry>
 class SiloOcc {
  public:
   SiloOcc(Htm& htm, VertexId num_vertices)
-      : htm_(htm), tids_(num_vertices, 0) {}
+      : htm_(htm), tids_(num_vertices, 0), runtime_(0x5170u) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(SiloOcc);
 
   class Txn {
@@ -119,59 +118,31 @@ class SiloOcc {
 
   template <typename Fn>
   RunOutcome Run(int worker_id, uint64_t /*size_hint*/, Fn&& fn) {
-    Worker& w = GetWorker(worker_id);
-    while (true) {
-      w.txn.Reset();
-      try {
-        fn(w.txn);
-        if (TryCommit(w.txn)) {
-          w.stats.RecordCommit(TxnClass::kO, w.txn.ops());
-          return RunOutcome{true, TxnClass::kO, w.txn.ops()};
-        }
-        ++w.stats.validation_aborts;
-      } catch (const UserAbortSignal&) {
-        ++w.stats.user_aborts;
-        return RunOutcome{false, TxnClass::kO, 0};
-      } catch (const SiloAbortSignal&) {
-        ++w.stats.conflict_aborts;
-      }
-      Backoff backoff;
-      const uint64_t pauses = 2 + w.rng.NextBounded(14);
-      for (uint64_t i = 0; i < pauses; ++i) backoff.Pause();
-    }
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    w.telemetry.TxnBegin();
+    return RunOptimisticRetryLoop<SiloAbortSignal>(
+        w, w.state.txn, fn, [](Txn& txn) { txn.Reset(); },
+        [this](Txn& txn) { return TryCommit(txn); }, [](Txn&) {});
   }
 
-  SchedulerStats AggregatedStats() const {
-    SchedulerStats total;
-    for (const auto& w : workers_) {
-      if (w != nullptr) total.Merge(w->stats);
-    }
-    return total;
+  SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
+  Telemetry AggregatedTelemetry() const {
+    return runtime_.AggregatedTelemetry();
   }
-
-  void ResetStats() {
-    for (auto& w : workers_) {
-      if (w != nullptr) w->stats = SchedulerStats{};
-    }
+  const Telemetry* TelemetryForWorker(int worker_id) const {
+    return runtime_.TelemetryForWorker(worker_id);
   }
+  void ResetStats() { runtime_.ResetStats(); }
 
  private:
   struct SiloAbortSignal {};
 
-  struct Worker {
-    explicit Worker(SiloOcc& parent)
-        : txn(parent), rng(0x5170u ^ reinterpret_cast<uintptr_t>(this)) {}
+  struct State {
+    State(SiloOcc& parent, int /*slot*/) : txn(parent) {}
     Txn txn;
-    SchedulerStats stats;
-    Rng rng;
   };
-
-  Worker& GetWorker(int worker_id) {
-    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
-    auto& slot = workers_[worker_id];
-    if (slot == nullptr) slot = std::make_unique<Worker>(*this);
-    return *slot;
-  }
+  using Runtime = WorkerRuntime<State, Telemetry>;
+  using Worker = typename Runtime::Worker;
 
   TmWord LoadTid(VertexId v) const {
     return __atomic_load_n(&tids_[v], __ATOMIC_ACQUIRE);
@@ -237,7 +208,7 @@ class SiloOcc {
 
   Htm& htm_;
   std::vector<TmWord> tids_;
-  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+  Runtime runtime_;
 };
 
 }  // namespace tufast

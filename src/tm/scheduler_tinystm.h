@@ -1,18 +1,17 @@
 #ifndef TUFAST_TM_SCHEDULER_TINYSTM_H_
 #define TUFAST_TM_SCHEDULER_TINYSTM_H_
 
-#include <array>
 #include <atomic>
 #include <bit>
-#include <memory>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/spin.h"
 #include "common/types.h"
 #include "htm/htm_config.h"
 #include "tm/addr_map.h"
 #include "tm/outcome.h"
+#include "tm/telemetry.h"
+#include "tm/worker_runtime.h"
 
 namespace tufast {
 
@@ -22,11 +21,11 @@ namespace tufast {
 /// encounter-time write locking with write-back buffering, and
 /// timestamp-validated invisible reads. This is what TuFast degrades to
 /// when all hardware instructions are replaced by software counterparts.
-template <typename Htm>
+template <typename Htm, typename Telemetry = NullTelemetry>
 class TinyStm {
  public:
   explicit TinyStm(Htm& htm, VertexId /*num_vertices*/ = 0)
-      : htm_(htm), orecs_(kOrecCount, 0) {}
+      : htm_(htm), orecs_(kOrecCount, 0), runtime_(0x57u) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(TinyStm);
 
   class Txn {
@@ -134,62 +133,33 @@ class TinyStm {
 
   template <typename Fn>
   RunOutcome Run(int worker_id, uint64_t /*size_hint*/, Fn&& fn) {
-    Worker& w = GetWorker(worker_id);
-    while (true) {
-      w.txn.Reset();
-      try {
-        fn(w.txn);
-        if (TryCommit(w.txn)) {
-          w.stats.RecordCommit(TxnClass::kO, w.txn.ops());
-          return RunOutcome{true, TxnClass::kO, w.txn.ops()};
-        }
-        ++w.stats.validation_aborts;
-      } catch (const UserAbortSignal&) {
-        RollbackOrecs(w.txn);
-        ++w.stats.user_aborts;
-        return RunOutcome{false, TxnClass::kO, 0};
-      } catch (const StmAbortSignal&) {
-        RollbackOrecs(w.txn);
-        ++w.stats.conflict_aborts;
-      }
-      Backoff backoff;
-      const uint64_t pauses = 2 + w.rng.NextBounded(14);
-      for (uint64_t i = 0; i < pauses; ++i) backoff.Pause();
-    }
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    w.telemetry.TxnBegin();
+    return RunOptimisticRetryLoop<StmAbortSignal>(
+        w, w.state.txn, fn, [](Txn& txn) { txn.Reset(); },
+        [this](Txn& txn) { return TryCommit(txn); },
+        [this](Txn& txn) { RollbackOrecs(txn); });
   }
 
-  SchedulerStats AggregatedStats() const {
-    SchedulerStats total;
-    for (const auto& w : workers_) {
-      if (w != nullptr) total.Merge(w->stats);
-    }
-    return total;
+  SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
+  Telemetry AggregatedTelemetry() const {
+    return runtime_.AggregatedTelemetry();
   }
-
-  void ResetStats() {
-    for (auto& w : workers_) {
-      if (w != nullptr) w->stats = SchedulerStats{};
-    }
+  const Telemetry* TelemetryForWorker(int worker_id) const {
+    return runtime_.TelemetryForWorker(worker_id);
   }
+  void ResetStats() { runtime_.ResetStats(); }
 
  private:
   struct StmAbortSignal {};
   static constexpr size_t kOrecCount = size_t{1} << 20;
 
-  struct Worker {
-    Worker(TinyStm& parent, int slot)
-        : txn(parent, slot), rng(0x57u + static_cast<uint64_t>(slot) * 31) {}
+  struct State {
+    State(TinyStm& parent, int slot) : txn(parent, slot) {}
     Txn txn;
-    SchedulerStats stats;
-    Rng rng;
   };
-
-  Worker& GetWorker(int worker_id) {
-    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
-    auto& slot = workers_[worker_id];
-    if (slot == nullptr) slot = std::make_unique<Worker>(*this, worker_id);
-    return *slot;
-  }
+  using Runtime = WorkerRuntime<State, Telemetry>;
+  using Worker = typename Runtime::Worker;
 
   size_t OrecIndex(const void* addr) const {
     const uint64_t line = reinterpret_cast<uintptr_t>(addr) >> 3;
@@ -237,7 +207,7 @@ class TinyStm {
   Htm& htm_;
   std::atomic<uint64_t> clock_{0};
   std::vector<uint64_t> orecs_;
-  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+  Runtime runtime_;
 };
 
 }  // namespace tufast

@@ -2,18 +2,17 @@
 #define TUFAST_TM_SCHEDULER_TO_H_
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <bit>
-#include <memory>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/spin.h"
 #include "common/types.h"
 #include "htm/htm_config.h"
 #include "tm/addr_map.h"
 #include "tm/outcome.h"
+#include "tm/telemetry.h"
+#include "tm/worker_runtime.h"
 
 namespace tufast {
 
@@ -23,14 +22,15 @@ namespace tufast {
 /// order — an operation arriving "too late" aborts the transaction, which
 /// retries with a fresh timestamp. Writes are buffered and installed at
 /// commit under per-vertex latches.
-template <typename Htm>
+template <typename Htm, typename Telemetry = NullTelemetry>
 class TimestampOrdering {
  public:
   TimestampOrdering(Htm& htm, VertexId num_vertices)
       : htm_(htm),
         read_ts_(num_vertices, 0),
         write_ts_(num_vertices, 0),
-        latches_(num_vertices, 0) {}
+        latches_(num_vertices, 0),
+        runtime_(0x70u) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(TimestampOrdering);
 
   class Txn {
@@ -121,41 +121,21 @@ class TimestampOrdering {
 
   template <typename Fn>
   RunOutcome Run(int worker_id, uint64_t /*size_hint*/, Fn&& fn) {
-    Worker& w = GetWorker(worker_id);
-    while (true) {
-      w.txn.Reset(NextTs());
-      try {
-        fn(w.txn);
-        if (TryCommit(w.txn)) {
-          w.stats.RecordCommit(TxnClass::kO, w.txn.ops());
-          return RunOutcome{true, TxnClass::kO, w.txn.ops()};
-        }
-        ++w.stats.validation_aborts;
-      } catch (const UserAbortSignal&) {
-        ++w.stats.user_aborts;
-        return RunOutcome{false, TxnClass::kO, 0};
-      } catch (const ToAbortSignal&) {
-        ++w.stats.conflict_aborts;
-      }
-      Backoff backoff;
-      const uint64_t pauses = 2 + w.rng.NextBounded(14);
-      for (uint64_t i = 0; i < pauses; ++i) backoff.Pause();
-    }
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    w.telemetry.TxnBegin();
+    return RunOptimisticRetryLoop<ToAbortSignal>(
+        w, w.state.txn, fn, [this](Txn& txn) { txn.Reset(NextTs()); },
+        [this](Txn& txn) { return TryCommit(txn); }, [](Txn&) {});
   }
 
-  SchedulerStats AggregatedStats() const {
-    SchedulerStats total;
-    for (const auto& w : workers_) {
-      if (w != nullptr) total.Merge(w->stats);
-    }
-    return total;
+  SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
+  Telemetry AggregatedTelemetry() const {
+    return runtime_.AggregatedTelemetry();
   }
-
-  void ResetStats() {
-    for (auto& w : workers_) {
-      if (w != nullptr) w->stats = SchedulerStats{};
-    }
+  const Telemetry* TelemetryForWorker(int worker_id) const {
+    return runtime_.TelemetryForWorker(worker_id);
   }
+  void ResetStats() { runtime_.ResetStats(); }
 
   /// Shared-metadata access for the H-TO hybrid: its hardware path must
   /// maintain the SAME timestamp words as this software path, or the two
@@ -169,20 +149,12 @@ class TimestampOrdering {
  private:
   struct ToAbortSignal {};
 
-  struct Worker {
-    explicit Worker(TimestampOrdering& parent)
-        : txn(parent), rng(0x70u ^ reinterpret_cast<uintptr_t>(this)) {}
+  struct State {
+    State(TimestampOrdering& parent, int /*slot*/) : txn(parent) {}
     Txn txn;
-    SchedulerStats stats;
-    Rng rng;
   };
-
-  Worker& GetWorker(int worker_id) {
-    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
-    auto& slot = workers_[worker_id];
-    if (slot == nullptr) slot = std::make_unique<Worker>(*this);
-    return *slot;
-  }
+  using Runtime = WorkerRuntime<State, Telemetry>;
+  using Worker = typename Runtime::Worker;
 
   void Latch(VertexId v) {
     Backoff backoff;
@@ -229,7 +201,7 @@ class TimestampOrdering {
   std::vector<TmWord> read_ts_;
   std::vector<TmWord> write_ts_;
   std::vector<TmWord> latches_;
-  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+  Runtime runtime_;
 };
 
 }  // namespace tufast

@@ -1,11 +1,9 @@
 #ifndef TUFAST_TM_TUFAST_H_
 #define TUFAST_TM_TUFAST_H_
 
-#include <array>
 #include <memory>
 
 #include "common/compiler.h"
-#include "common/rng.h"
 #include "common/types.h"
 #include "htm/emulated_htm.h"
 #include "sync/lock_manager.h"
@@ -13,6 +11,8 @@
 #include "tm/contention_monitor.h"
 #include "tm/modes.h"
 #include "tm/outcome.h"
+#include "tm/telemetry.h"
+#include "tm/worker_runtime.h"
 
 namespace tufast {
 
@@ -35,9 +35,14 @@ namespace tufast {
 /// locks. `period` starts at the contention monitor's analytic optimum
 /// (§IV-D) unless adaptive_period is off.
 ///
+/// Per-worker state (mode contexts, contention monitor, stats, RNG) and
+/// the `Telemetry` sink live in the shared WorkerRuntime; `Telemetry` is
+/// NullTelemetry by default (zero overhead) or EventTelemetry for
+/// per-mode latency/time-in-mode/abort-reason aggregation.
+///
 /// Thread model: worker ids in [0, kMaxHtmThreads) map 1:1 to OS threads;
 /// each id's per-worker state must only ever be used by one thread.
-template <typename Htm>
+template <typename Htm, typename Telemetry = NullTelemetry>
 class TuFastScheduler {
  public:
   struct Config {
@@ -72,8 +77,19 @@ class TuFastScheduler {
                               ? config.h_hint_threshold
                               : htm.config().MaxLines() / 2),
         max_period_(config.max_period != 0 ? config.max_period
-                                           : htm.config().MaxLines() / 2 - 16) {
+                                           : htm.config().MaxLines() / 2 - 16),
+        runtime_(0x70f5a7u) {
     TUFAST_CHECK(max_period_ >= config_.min_period);
+    if constexpr (Telemetry::kEnabled) {
+      lock_manager_.SetVictimHook(
+          [](void* ctx, int slot, VertexId /*v*/, bool cycle) {
+            auto* self = static_cast<TuFastScheduler*>(ctx);
+            if (auto* w = self->runtime_.worker(slot)) {
+              w->telemetry.DeadlockVictim(cycle);
+            }
+          },
+          this);
+    }
   }
   TUFAST_DISALLOW_COPY_AND_MOVE(TuFastScheduler);
 
@@ -81,48 +97,46 @@ class TuFastScheduler {
   /// returns once the body committed or called txn.Abort().
   template <typename Fn>
   RunOutcome Run(int worker_id, uint64_t size_hint, Fn&& fn) {
-    Worker& w = GetWorker(worker_id);
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    w.telemetry.TxnBegin();
     if (size_hint > config_.o_hint_threshold) {
-      return RunLockMode(w, fn, TxnClass::kL);
+      return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kL);
     }
 
     if (config_.enable_h_mode && size_hint <= h_hint_threshold_) {
-      HTxn<Htm> htxn(w.htx, lock_table_);
-      bool capacity = false;
+      w.telemetry.EnterMode(SchedMode::kHardware);
+      HTxn<Htm> htxn(w.state.htx, lock_table_);
       // Adaptive retry budget (paper SIV-D): under a high attempt-abort
       // rate, each retry re-executes the whole body just to abort again.
-      const int h_retries = w.monitor.CurrentHRetries(config_.h_retries);
+      const int h_retries =
+          w.state.monitor.CurrentHRetries(config_.h_retries);
       for (int attempt = 0; attempt <= h_retries; ++attempt) {
         htxn.ResetOps();
-        const AbortStatus status = w.htx.Execute([&] { fn(htxn); });
+        const AbortStatus status = w.state.htx.Execute([&] { fn(htxn); });
         if (status.ok()) {
-          w.monitor.RecordAttempt(htxn.ops(), /*aborted=*/false);
+          w.state.monitor.RecordAttempt(htxn.ops(), /*aborted=*/false);
           w.stats.RecordCommit(TxnClass::kH, htxn.ops());
+          w.telemetry.TxnCommit(TxnClass::kH, htxn.ops());
           return RunOutcome{true, TxnClass::kH, htxn.ops()};
         }
-        if (status.cause == AbortCause::kExplicit &&
-            status.user_code == kAbortCodeUser) {
+        const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
+        if (verdict == HtmAttemptVerdict::kUserAbort) {
           ++w.stats.user_aborts;
+          w.telemetry.TxnUserAbort(TxnClass::kH);
           return RunOutcome{false, TxnClass::kH, 0};
         }
-        w.monitor.RecordAttempt(htxn.ops(), /*aborted=*/true);
-        if (status.cause == AbortCause::kCapacity) {
+        w.state.monitor.RecordAttempt(htxn.ops(), /*aborted=*/true);
+        if (verdict == HtmAttemptVerdict::kCapacity) {
           // Capacity aborts repeat deterministically: go to O directly
           // (paper Fig. 10).
-          ++w.stats.capacity_aborts;
-          capacity = true;
           break;
         }
-        if (status.cause == AbortCause::kExplicit) {
-          ++w.stats.lock_busy_aborts;
-        } else {
-          ++w.stats.conflict_aborts;
-        }
       }
-      (void)capacity;
     }
 
-    if (!config_.enable_o_mode) return RunLockMode(w, fn, TxnClass::kO2L);
+    if (!config_.enable_o_mode) {
+      return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kO2L);
+    }
     return RunOptimisticThenLock(w, fn);
   }
 
@@ -133,39 +147,38 @@ class TuFastScheduler {
 
   /// Stats merged across all workers. Call only while no transaction is
   /// in flight (workers mutate their stats without synchronization).
-  SchedulerStats AggregatedStats() const {
-    SchedulerStats total;
-    for (const auto& w : workers_) {
-      if (w != nullptr) total.Merge(w->stats);
-    }
-    return total;
+  SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
+
+  /// Telemetry merged across all workers (same in-flight contract).
+  Telemetry AggregatedTelemetry() const {
+    return runtime_.AggregatedTelemetry();
+  }
+  const Telemetry* TelemetryForWorker(int worker_id) const {
+    return runtime_.TelemetryForWorker(worker_id);
   }
 
   HtmStats AggregatedHtmStats() const {
     HtmStats total;
-    for (const auto& w : workers_) {
-      if (w != nullptr) total.Merge(w->htx.stats());
-    }
+    runtime_.ForEachWorker(
+        [&](const Worker& w) { total.Merge(w.state.htx.stats()); });
     return total;
   }
 
   void ResetStats() {
-    for (auto& w : workers_) {
-      if (w != nullptr) {
-        w->stats = SchedulerStats{};
-        w->htx.ResetStats();
-      }
-    }
+    runtime_.ResetStats([](State& s) { s.htx.ResetStats(); });
   }
 
   /// Monitor introspection for the adaptive-period trace (Fig. 17).
   const ContentionMonitor* MonitorForWorker(int worker_id) const {
-    return workers_[worker_id] ? &workers_[worker_id]->monitor : nullptr;
+    const Worker* w = runtime_.worker(worker_id);
+    return w != nullptr ? &w->state.monitor : nullptr;
   }
 
  private:
-  struct Worker {
-    Worker(TuFastScheduler& parent, int slot)
+  /// Scheduler-specific per-worker payload; stats/telemetry/RNG live in
+  /// the shared WorkerRuntime slot around it.
+  struct State {
+    State(TuFastScheduler& parent, int slot)
         : htx(parent.htm_, slot),
           otxn(parent.htm_, htx, parent.lock_table_,
                parent.config_.o_hint_threshold + 64),
@@ -174,23 +187,15 @@ class TuFastScheduler {
               .decay = 0.999,
               .min_period = parent.config_.min_period,
               .max_period = parent.max_period_,
-              .initial_p = 0.0}),
-          rng(0x70f5a7u + static_cast<uint64_t>(slot) * 0x9e3779b9u) {}
+              .initial_p = 0.0}) {}
 
     typename Htm::Tx htx;
     OTxn<Htm> otxn;
     LTxn<Htm> ltxn;
     ContentionMonitor monitor;
-    SchedulerStats stats;
-    Rng rng;
   };
-
-  Worker& GetWorker(int worker_id) {
-    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
-    auto& slot = workers_[worker_id];
-    if (slot == nullptr) slot = std::make_unique<Worker>(*this, worker_id);
-    return *slot;
-  }
+  using Runtime = WorkerRuntime<State, Telemetry>;
+  using Worker = typename Runtime::Worker;
 
   /// O-mode loop plus the L-mode fallthrough (paper Fig. 10, lower half).
   /// Outlined and cold: only medium/huge transactions come here, and
@@ -198,72 +203,48 @@ class TuFastScheduler {
   /// code generation (see TUFAST_NOINLINE_COLD).
   template <typename Fn>
   TUFAST_NOINLINE_COLD RunOutcome RunOptimisticThenLock(Worker& w, Fn& fn) {
+    w.telemetry.EnterMode(SchedMode::kOptimistic);
     // Halve the segment length until it commits or sinks below
     // min_period.
-    uint32_t period = config_.adaptive_period ? w.monitor.CurrentPeriod()
+    uint32_t period = config_.adaptive_period ? w.state.monitor.CurrentPeriod()
                                               : config_.static_period;
     bool first_attempt = true;
     while (period >= config_.min_period) {
-      w.otxn.Reset(period);
-      const AbortStatus status = w.htx.Execute([&] { fn(w.otxn); });
+      w.telemetry.PeriodChange(period);
+      w.state.otxn.Reset(period);
+      const AbortStatus status = w.state.htx.Execute([&] { fn(w.state.otxn); });
       if (status.ok()) {
-        const OCommitResult result = w.otxn.CommitSoftware();
+        const OCommitResult result = w.state.otxn.CommitSoftware();
         if (result == OCommitResult::kOk) {
           const TxnClass cls =
               first_attempt ? TxnClass::kO : TxnClass::kOPlus;
-          w.monitor.RecordAttempt(w.otxn.ops(), /*aborted=*/false);
-          w.stats.RecordCommit(cls, w.otxn.ops());
-          return RunOutcome{true, cls, w.otxn.ops()};
+          w.state.monitor.RecordAttempt(w.state.otxn.ops(), /*aborted=*/false);
+          w.stats.RecordCommit(cls, w.state.otxn.ops());
+          w.telemetry.TxnCommit(cls, w.state.otxn.ops());
+          return RunOutcome{true, cls, w.state.otxn.ops()};
         }
         if (result == OCommitResult::kLockBusy) {
           ++w.stats.lock_busy_aborts;
+          w.telemetry.AttemptAbort(AbortReason::kLockBusy);
         } else {
           ++w.stats.validation_aborts;
+          w.telemetry.AttemptAbort(AbortReason::kValidation);
         }
-        w.monitor.RecordAttempt(w.otxn.ops(), /*aborted=*/true);
+        w.state.monitor.RecordAttempt(w.state.otxn.ops(), /*aborted=*/true);
       } else {
-        if (status.cause == AbortCause::kExplicit &&
-            status.user_code == kAbortCodeUser) {
+        const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
+        if (verdict == HtmAttemptVerdict::kUserAbort) {
           ++w.stats.user_aborts;
+          w.telemetry.TxnUserAbort(TxnClass::kO);
           return RunOutcome{false, TxnClass::kO, 0};
         }
-        if (status.cause == AbortCause::kCapacity) {
-          ++w.stats.capacity_aborts;
-        } else if (status.cause == AbortCause::kExplicit) {
-          ++w.stats.lock_busy_aborts;
-        } else {
-          ++w.stats.conflict_aborts;
-        }
-        w.monitor.RecordAttempt(w.otxn.ops(), /*aborted=*/true);
+        w.state.monitor.RecordAttempt(w.state.otxn.ops(), /*aborted=*/true);
       }
       period /= 2;
       first_attempt = false;
     }
 
-    return RunLockMode(w, fn, TxnClass::kO2L);
-  }
-
-  template <typename Fn>
-  TUFAST_NOINLINE_COLD RunOutcome RunLockMode(Worker& w, Fn& fn,
-                                              TxnClass cls) {
-    uint32_t attempt = 0;
-    while (true) {
-      w.ltxn.Reset();
-      try {
-        fn(w.ltxn);
-        w.ltxn.CommitApplyAndRelease();
-        w.stats.RecordCommit(cls, w.ltxn.ops());
-        return RunOutcome{true, cls, w.ltxn.ops()};
-      } catch (const UserAbortSignal&) {
-        w.ltxn.ReleaseAll();
-        ++w.stats.user_aborts;
-        return RunOutcome{false, cls, 0};
-      } catch (const DeadlockVictimSignal&) {
-        w.ltxn.ReleaseAll();
-        ++w.stats.deadlock_aborts;
-        DeadlockRetryBackoff(w.rng, attempt++);
-      }
-    }
+    return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kO2L);
   }
 
   Htm& htm_;
@@ -272,11 +253,14 @@ class TuFastScheduler {
   LockManager<Htm> lock_manager_;
   const uint64_t h_hint_threshold_;
   const uint32_t max_period_;
-  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+  Runtime runtime_;
 };
 
 /// Default TuFast instantiation on the emulated HTM backend.
 using TuFast = TuFastScheduler<EmulatedHtm>;
+
+/// Instrumented variant: identical routing, EventTelemetry aggregation.
+using TuFastInstrumented = TuFastScheduler<EmulatedHtm, EventTelemetry>;
 
 }  // namespace tufast
 

@@ -1,0 +1,233 @@
+#ifndef TUFAST_TM_WORKER_RUNTIME_H_
+#define TUFAST_TM_WORKER_RUNTIME_H_
+
+#include <array>
+#include <memory>
+
+#include "common/compiler.h"
+#include "common/rng.h"
+#include "common/spin.h"
+#include "htm/abort.h"
+#include "htm/htm_config.h"
+#include "tm/outcome.h"
+#include "tm/telemetry.h"
+
+namespace tufast {
+
+/// Shared per-worker runtime core for every scheduler in the repository
+/// (TuFast + the six baselines). Owns the lazily-constructed per-worker
+/// slots — scheduler-specific transaction state, SchedulerStats, RNG and
+/// the pluggable telemetry sink — plus the aggregation/reset machinery
+/// and the retry-loop scaffolding the schedulers used to hand-roll.
+///
+/// `State` is the scheduler's own per-worker payload (mode contexts, HTM
+/// handles, contention monitor, ...) and must be constructible as
+/// `State(parent, slot)` where `parent` is whatever the scheduler passes
+/// to GetWorker. `Telemetry` is NullTelemetry (default, zero overhead) or
+/// EventTelemetry (tm/telemetry.h).
+///
+/// Thread model: worker ids in [0, kMaxHtmThreads) map 1:1 to OS threads;
+/// a slot's contents are only ever touched by its owning thread, so
+/// stats/telemetry mutate without synchronization and Aggregated*() may
+/// only run while no transaction is in flight.
+template <typename State, typename Telemetry = NullTelemetry>
+class WorkerRuntime {
+ public:
+  struct Worker {
+    template <typename Parent>
+    Worker(Parent& parent, int slot, uint64_t seed)
+        : state(parent, slot), rng(seed) {}
+
+    State state;
+    SchedulerStats stats;
+    Telemetry telemetry;
+    Rng rng;
+  };
+
+  /// `seed_base` keeps per-scheduler RNG streams distinct and every run
+  /// reproducible; worker `i` draws from seed_base + i * golden-ratio.
+  explicit WorkerRuntime(uint64_t seed_base) : seed_base_(seed_base) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(WorkerRuntime);
+
+  template <typename Parent>
+  Worker& GetWorker(int worker_id, Parent& parent) {
+    TUFAST_CHECK(worker_id >= 0 && worker_id < kMaxHtmThreads);
+    auto& slot = workers_[worker_id];
+    if (slot == nullptr) {
+      slot = std::make_unique<Worker>(
+          parent, worker_id,
+          seed_base_ + static_cast<uint64_t>(worker_id) * 0x9e3779b9u);
+    }
+    return *slot;
+  }
+
+  /// Worker access without construction (introspection; may be null).
+  Worker* worker(int worker_id) {
+    return workers_[worker_id] ? workers_[worker_id].get() : nullptr;
+  }
+  const Worker* worker(int worker_id) const {
+    return workers_[worker_id] ? workers_[worker_id].get() : nullptr;
+  }
+
+  SchedulerStats AggregatedStats() const {
+    SchedulerStats total;
+    for (const auto& w : workers_) {
+      if (w != nullptr) total.Merge(w->stats);
+    }
+    return total;
+  }
+
+  Telemetry AggregatedTelemetry() const {
+    Telemetry total;
+    for (const auto& w : workers_) {
+      if (w != nullptr) total.Merge(w->telemetry);
+    }
+    return total;
+  }
+
+  const Telemetry* TelemetryForWorker(int worker_id) const {
+    return workers_[worker_id] ? &workers_[worker_id]->telemetry : nullptr;
+  }
+
+  void ResetStats() {
+    ResetStats([](State&) {});
+  }
+
+  /// Reset with a per-state hook for scheduler-owned counters that live
+  /// inside State (e.g. the HTM handle's HtmStats).
+  template <typename StateFn>
+  void ResetStats(StateFn&& per_state) {
+    for (auto& w : workers_) {
+      if (w != nullptr) {
+        w->stats = SchedulerStats{};
+        w->telemetry = Telemetry{};
+        per_state(w->state);
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEachWorker(Fn&& fn) const {
+    for (const auto& w : workers_) {
+      if (w != nullptr) fn(*w);
+    }
+  }
+
+ private:
+  const uint64_t seed_base_;
+  std::array<std::unique_ptr<Worker>, kMaxHtmThreads> workers_;
+};
+
+/// Short randomized backoff between software retry attempts (the loop
+/// pacing Silo/TO/TinySTM shared by copy before the runtime existed).
+template <typename RngT>
+inline void RetryBackoff(RngT& rng) {
+  Backoff backoff;
+  const uint64_t pauses = 2 + rng.NextBounded(14);
+  for (uint64_t i = 0; i < pauses; ++i) backoff.Pause();
+}
+
+/// How one failed hardware attempt should be handled by the retry loop.
+enum class HtmAttemptVerdict {
+  kUserAbort,  // body called Abort(): final, return to caller
+  kCapacity,   // deterministic repeat: leave the loop for the fallback
+  kRetryable,  // conflict / lock-busy: retry or fall through on budget
+};
+
+/// Classifies a failed AbortStatus, bumping the matching SchedulerStats
+/// counter and telemetry event. Shared by every HTM-first retry loop
+/// (TuFast H mode, HSync, H-TO).
+template <typename Worker>
+inline HtmAttemptVerdict RecordHtmAbort(Worker& w, const AbortStatus& status) {
+  if (status.cause == AbortCause::kExplicit &&
+      status.user_code == kAbortCodeUser) {
+    return HtmAttemptVerdict::kUserAbort;
+  }
+  if (status.cause == AbortCause::kCapacity) {
+    ++w.stats.capacity_aborts;
+    w.telemetry.AttemptAbort(AbortReason::kCapacity);
+    return HtmAttemptVerdict::kCapacity;
+  }
+  if (status.cause == AbortCause::kExplicit) {
+    ++w.stats.lock_busy_aborts;
+    w.telemetry.AttemptAbort(AbortReason::kLockBusy);
+  } else {
+    ++w.stats.conflict_aborts;
+    w.telemetry.AttemptAbort(AbortReason::kConflict);
+  }
+  return HtmAttemptVerdict::kRetryable;
+}
+
+/// Two-phase-locking retry loop shared by TuFast's L mode and the 2PL
+/// baseline: run the body on `ltxn`, commit-and-release, restart with
+/// exponential randomized backoff when picked as a deadlock victim.
+template <typename Worker, typename LockTxn, typename Fn>
+RunOutcome RunLockTxnLoop(Worker& w, LockTxn& ltxn, Fn& fn, TxnClass cls) {
+  w.telemetry.EnterMode(SchedMode::kLock);
+  uint32_t attempt = 0;
+  while (true) {
+    ltxn.Reset();
+    try {
+      fn(ltxn);
+      ltxn.CommitApplyAndRelease();
+      w.stats.RecordCommit(cls, ltxn.ops());
+      w.telemetry.TxnCommit(cls, ltxn.ops());
+      return RunOutcome{true, cls, ltxn.ops()};
+    } catch (const UserAbortSignal&) {
+      ltxn.ReleaseAll();
+      ++w.stats.user_aborts;
+      w.telemetry.TxnUserAbort(cls);
+      return RunOutcome{false, cls, 0};
+    } catch (const DeadlockVictimSignal&) {
+      ltxn.ReleaseAll();
+      ++w.stats.deadlock_aborts;
+      w.telemetry.AttemptAbort(AbortReason::kDeadlock);
+      // Exponential randomized backoff: under extreme contention every
+      // concurrent attempt closes a cycle, and constant short backoff
+      // livelocks — grow the window until somebody runs alone.
+      DeadlockRetryBackoff(w.rng, attempt++);
+    }
+  }
+}
+
+/// Software-optimistic retry loop shared by the Silo, TO and TinySTM
+/// baselines: reset, run the body, validate/commit; on a scheduler abort
+/// signal roll back and retry after a short randomized backoff.
+///
+/// `AbortSignal` is the scheduler's internal conflict exception.
+/// `reset(txn)` prepares one attempt (e.g. draws a fresh timestamp);
+/// `try_commit(txn)` returns commit success; `rollback(txn)` undoes
+/// encounter-time side effects (no-op for most).
+template <typename AbortSignal, typename Worker, typename Txn, typename Fn,
+          typename ResetFn, typename CommitFn, typename RollbackFn>
+RunOutcome RunOptimisticRetryLoop(Worker& w, Txn& txn, Fn& fn, ResetFn reset,
+                                  CommitFn try_commit, RollbackFn rollback) {
+  w.telemetry.EnterMode(SchedMode::kOptimistic);
+  while (true) {
+    reset(txn);
+    try {
+      fn(txn);
+      if (try_commit(txn)) {
+        w.stats.RecordCommit(TxnClass::kO, txn.ops());
+        w.telemetry.TxnCommit(TxnClass::kO, txn.ops());
+        return RunOutcome{true, TxnClass::kO, txn.ops()};
+      }
+      ++w.stats.validation_aborts;
+      w.telemetry.AttemptAbort(AbortReason::kValidation);
+    } catch (const UserAbortSignal&) {
+      rollback(txn);
+      ++w.stats.user_aborts;
+      w.telemetry.TxnUserAbort(TxnClass::kO);
+      return RunOutcome{false, TxnClass::kO, 0};
+    } catch (const AbortSignal&) {
+      rollback(txn);
+      ++w.stats.conflict_aborts;
+      w.telemetry.AttemptAbort(AbortReason::kConflict);
+    }
+    RetryBackoff(w.rng);
+  }
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_WORKER_RUNTIME_H_

@@ -39,7 +39,13 @@ static_assert(TransactionContext<HsyncHybrid<EmulatedHtm>::HwTxn>);
 static_assert(TransactionContext<HsyncHybrid<EmulatedHtm>::FallbackTxn>);
 static_assert(TransactionContext<HtmTimestampOrdering<EmulatedHtm>::HwTxn>);
 
-// Schedulers.
+// Telemetry sinks.
+static_assert(TelemetrySink<NullTelemetry>);
+static_assert(TelemetrySink<EventTelemetry>);
+static_assert(!NullTelemetry::kEnabled);
+static_assert(EventTelemetry::kEnabled);
+
+// Schedulers (default NullTelemetry).
 static_assert(Scheduler<TuFastScheduler<EmulatedHtm>>);
 static_assert(Scheduler<TuFastScheduler<NativeHtm>>);
 static_assert(Scheduler<TwoPhaseLocking<EmulatedHtm>>);
@@ -48,6 +54,15 @@ static_assert(Scheduler<TimestampOrdering<EmulatedHtm>>);
 static_assert(Scheduler<TinyStm<EmulatedHtm>>);
 static_assert(Scheduler<HsyncHybrid<EmulatedHtm>>);
 static_assert(Scheduler<HtmTimestampOrdering<EmulatedHtm>>);
+
+// Schedulers with the instrumented sink: same contract must hold.
+static_assert(Scheduler<TuFastScheduler<EmulatedHtm, EventTelemetry>>);
+static_assert(Scheduler<TwoPhaseLocking<EmulatedHtm, EventTelemetry>>);
+static_assert(Scheduler<SiloOcc<EmulatedHtm, EventTelemetry>>);
+static_assert(Scheduler<TimestampOrdering<EmulatedHtm, EventTelemetry>>);
+static_assert(Scheduler<TinyStm<EmulatedHtm, EventTelemetry>>);
+static_assert(Scheduler<HsyncHybrid<EmulatedHtm, EventTelemetry>>);
+static_assert(Scheduler<HtmTimestampOrdering<EmulatedHtm, EventTelemetry>>);
 
 TEST(ConceptsTest, ContractsHoldAtCompileTime) {
   SUCCEED();  // Everything above is checked by the compiler.
