@@ -17,6 +17,9 @@ namespace tufast {
 ///   --seed=<n>      workload RNG seed (default 7)
 ///   --json-out=<p>  mirror all report tables/telemetry to a JSON file
 ///   --quick         shrink everything for smoke runs
+///   --failpoint-trace=<p>  stress drivers: dump fired fault injections
+///                   (site slot hit_index action, one per line) to a file
+///                   for failing-seed replay diagnosis
 /// Malformed values (non-numeric, trailing junk, out of range) are hard
 /// errors: a bench silently running with scale 0 measures nothing.
 struct BenchFlags {
@@ -24,6 +27,7 @@ struct BenchFlags {
   int threads = 4;
   uint64_t seed = 7;
   std::string json_out;
+  std::string failpoint_trace;
   bool quick = false;
 
   static BenchFlags Parse(int argc, char** argv, double default_scale) {
@@ -45,6 +49,9 @@ struct BenchFlags {
       } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
         if (arg[11] == '\0') Fail(arg, "path must be non-empty");
         flags.json_out = arg + 11;
+      } else if (std::strncmp(arg, "--failpoint-trace=", 18) == 0) {
+        if (arg[18] == '\0') Fail(arg, "path must be non-empty");
+        flags.failpoint_trace = arg + 18;
       } else if (std::strcmp(arg, "--quick") == 0) {
         flags.quick = true;
         flags.scale = default_scale * 0.2;

@@ -1,0 +1,144 @@
+// Standalone schedule/fault fuzzer: sweeps seeds over the invariant
+// stress workloads for every scheduler x applicable deadlock policy,
+// under probabilistic fault injection and schedule perturbation. Exits
+// non-zero on the first invariant violation, printing the failing
+// (scheduler, policy, seed) triple; rerun with --seed=<that seed> and
+// --failpoint-trace=<path> to replay it deterministically and capture
+// the exact injection sequence.
+//
+//   ./stress_fuzz --seed=1 --scale=4 --threads=3
+//   ./stress_fuzz --quick                       # smoke-sized sweep
+//   ./stress_fuzz --seed=1337 --failpoint-trace=/tmp/trace.txt
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "bench_support/reporting.h"
+#include "testing/failpoints.h"
+#include "testing/stress_workloads.h"
+
+namespace tufast {
+namespace {
+
+const char* PolicyName(DeadlockPolicy p) {
+  switch (p) {
+    case DeadlockPolicy::kDetection: return "detection";
+    case DeadlockPolicy::kPrevention: return "prevention";
+    case DeadlockPolicy::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+FailpointPlan::Config ChaosConfig(uint64_t seed) {
+  FailpointPlan::Config config;
+  config.seed = seed;
+  config.Arm(FailSite::kHtmLoad, 0.002, FailAction::kAbortConflict);
+  config.Arm(FailSite::kHtmStore, 0.001, FailAction::kAbortCapacity);
+  config.Arm(FailSite::kHtmCommit, 0.002, FailAction::kAbortConflict);
+  config.Arm(FailSite::kRouterSkipH, 0.05, FailAction::kFail);
+  config.Arm(FailSite::kRouterSkipO, 0.05, FailAction::kFail);
+  config.Arm(FailSite::kLockAcquireShared, 0.005, FailAction::kFail);
+  config.Arm(FailSite::kLockAcquireExclusive, 0.01, FailAction::kFail);
+  config.Arm(FailSite::kLockUpgrade, 0.01, FailAction::kFail);
+  config.Arm(FailSite::kLockTryExclusive, 0.01, FailAction::kFail);
+  config.Arm(FailSite::kLockTryUpgrade, 0.01, FailAction::kFail);
+  config.yield_prob = 0.05;
+  return config;
+}
+
+struct FuzzTotals {
+  uint64_t runs = 0;
+  uint64_t injections = 0;
+};
+
+void DumpTraceTo(const FailpointPlan& plan, const std::string& path) {
+  if (path.empty()) {
+    plan.DumpTrace(stderr);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open trace file %s\n", path.c_str());
+    return;
+  }
+  plan.DumpTrace(f);
+  std::fclose(f);
+  std::fprintf(stderr, "failpoint trace written to %s\n", path.c_str());
+}
+
+template <typename Scheduler>
+bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
+                   FuzzTotals& totals) {
+  std::vector<DeadlockPolicy> policies;
+  if constexpr (kSchedulerUsesPolicy<Scheduler, FaultyHtm>) {
+    policies = {DeadlockPolicy::kDetection, DeadlockPolicy::kPrevention,
+                DeadlockPolicy::kTimeout};
+  } else {
+    policies = {DeadlockPolicy::kDetection};
+  }
+  for (DeadlockPolicy policy : policies) {
+    for (uint64_t i = 0; i < seeds; ++i) {
+      const uint64_t seed = flags.seed + i;
+      FaultyHtm htm;
+      auto tm = MakeSchedulerFor<Scheduler>(htm, /*vertices=*/48, policy);
+      FailpointPlan plan(ChaosConfig(seed));
+      FailpointScope scope(plan);
+      StressConfig cfg;
+      cfg.threads = flags.threads;
+      cfg.txns_per_thread = flags.quick ? 50 : 150;
+      cfg.vertices = 48;
+      cfg.seed = seed;
+      cfg.ordered_for_update = policy == DeadlockPolicy::kPrevention;
+      const auto err = RunInvariantSuite(*tm, cfg);
+      ++totals.runs;
+      totals.injections += plan.InjectionCount();
+      if (err) {
+        std::fprintf(stderr,
+                     "FAIL %s policy=%s seed=%llu: %s\n"
+                     "replay: --seed=%llu --threads=%d\n",
+                     name, PolicyName(policy),
+                     static_cast<unsigned long long>(seed), err->c_str(),
+                     static_cast<unsigned long long>(seed), flags.threads);
+        DumpTraceTo(plan, flags.failpoint_trace);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv, /*default_scale=*/1.0);
+  const uint64_t seeds =
+      flags.quick ? 2 : static_cast<uint64_t>(8 * flags.scale + 0.5);
+
+  FuzzTotals totals;
+  bool ok = true;
+  ok = ok && FuzzScheduler<TuFastScheduler<FaultyHtm>>("tufast", flags, seeds,
+                                                       totals);
+  ok = ok && FuzzScheduler<TwoPhaseLocking<FaultyHtm>>("2pl", flags, seeds,
+                                                       totals);
+  ok = ok && FuzzScheduler<SiloOcc<FaultyHtm>>("silo", flags, seeds, totals);
+  ok = ok && FuzzScheduler<TimestampOrdering<FaultyHtm>>("to", flags, seeds,
+                                                         totals);
+  ok = ok &&
+       FuzzScheduler<TinyStm<FaultyHtm>>("tinystm", flags, seeds, totals);
+  ok = ok &&
+       FuzzScheduler<HsyncHybrid<FaultyHtm>>("hsync", flags, seeds, totals);
+  ok = ok && FuzzScheduler<HtmTimestampOrdering<FaultyHtm>>("hto", flags,
+                                                            seeds, totals);
+
+  ReportTable table({"metric", "value"});
+  table.AddRow({"suite runs", ReportTable::Int(totals.runs)});
+  table.AddRow({"seeds per combo", ReportTable::Int(seeds)});
+  table.AddRow({"fault injections", ReportTable::Int(totals.injections)});
+  table.AddRow({"verdict", ok ? "PASS" : "FAIL"});
+  table.Print("stress fuzz");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tufast
+
+int main(int argc, char** argv) { return tufast::Main(argc, argv); }

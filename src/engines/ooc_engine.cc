@@ -5,6 +5,14 @@
 #include <cinttypes>
 #include <thread>
 
+#if defined(_WIN32)
+#include <process.h>
+#define TUFAST_OOC_GETPID _getpid
+#else
+#include <unistd.h>
+#define TUFAST_OOC_GETPID getpid
+#endif
+
 namespace tufast {
 
 namespace {
@@ -65,9 +73,15 @@ OocEngine::~OocEngine() {
 }
 
 std::string OocEngine::ShardPath(int s) const {
+  // instance_id_ only disambiguates engines within one process; the pid
+  // keeps concurrent processes (ctest -j runs the test binary many times
+  // in parallel) from sharing shard files — engine A's destructor would
+  // otherwise delete the file engine B is streaming.
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "%s/tufast_ooc_%" PRIu64 "_shard_%d.bin",
-                config_.tmp_dir.c_str(), instance_id_, s);
+  std::snprintf(buf, sizeof(buf),
+                "%s/tufast_ooc_p%ld_%" PRIu64 "_shard_%d.bin",
+                config_.tmp_dir.c_str(),
+                static_cast<long>(TUFAST_OOC_GETPID()), instance_id_, s);
   return buf;
 }
 

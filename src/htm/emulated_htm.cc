@@ -1,326 +1,12 @@
 #include "htm/emulated_htm.h"
 
-#include <bit>
-
-#include "common/spin.h"
-
 namespace tufast {
 
-namespace {
-
-uint64_t NextPow2(uint64_t x) {
-  return x <= 1 ? 1 : uint64_t{1} << (64 - std::countl_zero(x - 1));
-}
-
-uintptr_t LineOf(const void* addr) {
-  return reinterpret_cast<uintptr_t>(addr) >> 6;
-}
-
-}  // namespace
-
-EmulatedHtm::EmulatedHtm(HtmConfig config) : config_(config) {
-  TUFAST_CHECK(std::has_single_bit(config_.num_sets));
-  TUFAST_CHECK(config_.num_ways >= 1);
-  const uint64_t table_size = uint64_t{1} << config_.table_bits;
-  table_mask_ = table_size - 1;
-  table_ = std::vector<LineEntry>(table_size);
-}
-
-void EmulatedHtm::LockEntry(LineEntry& e) {
-  Backoff backoff;
-  while (true) {
-    if (!e.lock.exchange(true, std::memory_order_acquire)) return;
-    while (e.lock.load(std::memory_order_relaxed)) backoff.Pause();
-  }
-}
-
-bool EmulatedHtm::DoomWriterMustWait(int16_t writer) {
-  // Requester wins: doom the owner. If it already published kCommitting it
-  // may be flushing its buffer, so the caller must wait for the ownership
-  // to drain; otherwise the Dekker handshake guarantees it will observe
-  // the doom at its commit point and abort, so it can be displaced now.
-  slots_[writer].doomed.store(true, std::memory_order_seq_cst);
-  return slots_[writer].progress.load(std::memory_order_seq_cst) ==
-         TxSlot::kCommitting;
-}
-
-bool EmulatedHtm::ClearForeignOwners(LineEntry& e, int self_slot) {
-  const int16_t writer = e.writer.load(std::memory_order_relaxed);
-  if (writer >= 0 && writer != self_slot) {
-    if (DoomWriterMustWait(writer)) return false;
-    e.writer.store(int16_t{-1}, std::memory_order_relaxed);  // Displace.
-  }
-  uint64_t readers = e.readers.load(std::memory_order_relaxed);
-  const uint64_t self_bit =
-      self_slot >= 0 ? uint64_t{1} << self_slot : uint64_t{0};
-  uint64_t foreign = readers & ~self_bit;
-  while (foreign != 0) {
-    const int slot = std::countr_zero(foreign);
-    slots_[slot].doomed.store(true, std::memory_order_seq_cst);
-    foreign &= foreign - 1;
-  }
-  e.readers.store(readers & self_bit, std::memory_order_relaxed);
-  return true;
-}
-
-void EmulatedHtm::NonTxStore(TmWord* addr, TmWord value) {
-  LineEntry& e = EntryFor(LineOf(addr));
-  Backoff backoff;
-  while (true) {
-    LockEntry(e);
-    if (ClearForeignOwners(e, /*self_slot=*/-1)) {
-      __atomic_store_n(addr, value, __ATOMIC_RELEASE);
-      UnlockEntry(e);
-      return;
-    }
-    const int16_t writer = e.writer.load(std::memory_order_relaxed);
-    UnlockEntry(e);
-    // Wait (yielding) for the doomed writer to abort or finish flushing.
-    while (e.writer.load(std::memory_order_acquire) == writer) {
-      backoff.Pause();
-    }
-  }
-}
-
-void EmulatedHtm::NotifyNonTxWrite(const void* addr) {
-  LineEntry& e = EntryFor(LineOf(addr));
-  Backoff backoff;
-  while (true) {
-    LockEntry(e);
-    if (ClearForeignOwners(e, /*self_slot=*/-1)) {
-      UnlockEntry(e);
-      return;
-    }
-    const int16_t writer = e.writer.load(std::memory_order_relaxed);
-    UnlockEntry(e);
-    while (e.writer.load(std::memory_order_acquire) == writer) {
-      backoff.Pause();
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Tx
-// ---------------------------------------------------------------------------
-
-EmulatedHtm::Tx::Tx(EmulatedHtm& htm, int slot) : htm_(htm), slot_(slot) {
-  TUFAST_CHECK(slot >= 0 && slot < kMaxHtmThreads);
-  const HtmConfig& cfg = htm_.config_;
-  const uint64_t rec_cap = NextPow2(uint64_t{cfg.MaxLines()} * 4);
-  rec_mask_ = rec_cap - 1;
-  rec_keys_.assign(rec_cap, kEmptyKey);
-  rec_index_.assign(rec_cap, 0);
-  rec_store_.reserve(cfg.MaxLines() + 1);
-  rec_list_.reserve(cfg.MaxLines() + 1);
-  set_counts_.assign(cfg.num_sets, 0);
-  const uint64_t wb_cap = NextPow2(uint64_t{cfg.MaxLines()} * 16);
-  wb_mask_ = wb_cap - 1;
-  wb_keys_.assign(wb_cap, kEmptyKey);
-  wb_vals_.assign(wb_cap, 0);
-  wb_list_.reserve(cfg.MaxLines() * 8);
-}
-
-void EmulatedHtm::Tx::Begin() {
-  TUFAST_CHECK(!active_);
-  htm_.slots_[slot_].progress.store(TxSlot::kActive,
-                                    std::memory_order_seq_cst);
-  htm_.slots_[slot_].doomed.store(false, std::memory_order_seq_cst);
-  active_ = true;
-  ++stats_.begins;
-}
-
-void EmulatedHtm::Tx::Commit() {
-  TUFAST_CHECK(active_);
-  // Commit point: publish kCommitting *before* checking doomed (Dekker
-  // handshake with DoomWriterMustWait). Any doom sequenced before the
-  // check forces an abort; a doom after it means the conflicting
-  // transaction either waits for our flush (writers) or serializes after
-  // us (readers). See DESIGN.md.
-  htm_.slots_[slot_].progress.store(TxSlot::kCommitting,
-                                    std::memory_order_seq_cst);
-  if (htm_.slots_[slot_].doomed.load(std::memory_order_seq_cst)) {
-    ThrowAbort(AbortStatus::Conflict());
-  }
-  // Publish buffered writes. All written lines are exclusively owned, and
-  // conflicting accessors wait for ownership to drain, so this is atomic
-  // with respect to every transactional reader.
-  for (uint32_t pos : wb_list_) {
-    __atomic_store_n(reinterpret_cast<TmWord*>(wb_keys_[pos]), wb_vals_[pos],
-                     __ATOMIC_RELEASE);
-  }
-  ReleaseAndReset();
-  active_ = false;
-  ++stats_.commits;
-}
-
-void EmulatedHtm::Tx::ThrowAbort(AbortStatus status) {
-  ReleaseAndReset();
-  active_ = false;
-  stats_.RecordAbort(status);
-  throw TxAbortSignal{status};
-}
-
-void EmulatedHtm::Tx::ReleaseAndReset() {
-  for (uint32_t key_pos : rec_list_) {
-    const Record& rec = rec_store_[rec_index_[key_pos]];
-    LineEntry& e = htm_.EntryFor(rec.line);
-    LockEntry(e);
-    if (rec.flags & kWriteFlag) {
-      int16_t expected = static_cast<int16_t>(slot_);
-      e.writer.compare_exchange_strong(expected, int16_t{-1},
-                                       std::memory_order_acq_rel);
-    }
-    if (rec.flags & kReadFlag) {
-      e.readers.fetch_and(~(uint64_t{1} << slot_), std::memory_order_relaxed);
-    }
-    UnlockEntry(e);
-    rec_keys_[key_pos] = kEmptyKey;
-    set_counts_[rec.line & (htm_.config_.num_sets - 1)] = 0;
-  }
-  // set_counts_ entries were zeroed above only for touched sets; decrement
-  // semantics are unnecessary because we fully reset per transaction.
-  rec_list_.clear();
-  rec_store_.clear();
-  for (uint32_t pos : wb_list_) wb_keys_[pos] = kEmptyKey;
-  wb_list_.clear();
-}
-
-EmulatedHtm::Tx::Record& EmulatedHtm::Tx::FindOrInsertRecord(uintptr_t line) {
-  uint64_t pos = HashLine(line) & rec_mask_;
-  while (true) {
-    const uintptr_t key = rec_keys_[pos];
-    if (key == line) return rec_store_[rec_index_[pos]];
-    if (key == kEmptyKey) break;
-    pos = (pos + 1) & rec_mask_;
-  }
-  // New line: charge it against the modeled L1 set before admitting it.
-  const HtmConfig& cfg = htm_.config_;
-  const uint32_t set = static_cast<uint32_t>(line) & (cfg.num_sets - 1);
-  if (TUFAST_UNLIKELY(set_counts_[set] >= cfg.num_ways)) {
-    ThrowAbort(AbortStatus::Capacity());
-  }
-  ++set_counts_[set];
-  rec_keys_[pos] = line;
-  rec_index_[pos] = static_cast<uint32_t>(rec_store_.size());
-  rec_store_.push_back(Record{line, 0});
-  rec_list_.push_back(static_cast<uint32_t>(pos));
-  return rec_store_.back();
-}
-
-void EmulatedHtm::Tx::AcquireForRead(LineEntry& entry) {
-  Backoff backoff;
-  uint32_t spins = 0;
-  while (true) {
-    LockEntry(entry);
-    const int16_t writer = entry.writer.load(std::memory_order_relaxed);
-    if (writer < 0 || writer == slot_ || !htm_.DoomWriterMustWait(writer)) {
-      if (writer >= 0 && writer != slot_) {
-        entry.writer.store(int16_t{-1}, std::memory_order_relaxed);
-      }
-      entry.readers.fetch_or(uint64_t{1} << slot_, std::memory_order_relaxed);
-      UnlockEntry(entry);
-      return;
-    }
-    UnlockEntry(entry);
-    while (entry.writer.load(std::memory_order_acquire) == writer) {
-      CheckDoom();
-      if (++spins > htm_.config_.max_conflict_spins) {
-        ThrowAbort(AbortStatus::Conflict());
-      }
-      backoff.Pause();
-    }
-  }
-}
-
-void EmulatedHtm::Tx::AcquireForWrite(LineEntry& entry) {
-  Backoff backoff;
-  uint32_t spins = 0;
-  while (true) {
-    LockEntry(entry);
-    if (htm_.ClearForeignOwners(entry, slot_)) {
-      entry.writer.store(static_cast<int16_t>(slot_),
-                         std::memory_order_relaxed);
-      UnlockEntry(entry);
-      return;
-    }
-    const int16_t writer = entry.writer.load(std::memory_order_relaxed);
-    UnlockEntry(entry);
-    while (entry.writer.load(std::memory_order_acquire) == writer) {
-      CheckDoom();
-      if (++spins > htm_.config_.max_conflict_spins) {
-        ThrowAbort(AbortStatus::Conflict());
-      }
-      backoff.Pause();
-    }
-  }
-}
-
-TmWord EmulatedHtm::Tx::Load(const TmWord* addr) {
-  TUFAST_CHECK(active_);
-  CheckDoom();
-  const uintptr_t line = LineOf(addr);
-  Record& rec = FindOrInsertRecord(line);
-  if ((rec.flags & (kReadFlag | kWriteFlag)) == 0) {
-    AcquireForRead(htm_.EntryFor(line));
-    rec.flags |= kReadFlag;
-  }
-  if (rec.flags & kWriteFlag) {
-    if (const TmWord* buffered =
-            WriteBufferFind(reinterpret_cast<uintptr_t>(addr))) {
-      return *buffered;
-    }
-  }
-  return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
-}
-
-void EmulatedHtm::Tx::Store(TmWord* addr, TmWord value) {
-  TUFAST_CHECK(active_);
-  CheckDoom();
-  const uintptr_t line = LineOf(addr);
-  Record& rec = FindOrInsertRecord(line);
-  if ((rec.flags & kWriteFlag) == 0) {
-    AcquireForWrite(htm_.EntryFor(line));
-    rec.flags |= kWriteFlag;
-  }
-  WriteBufferPut(reinterpret_cast<uintptr_t>(addr), value);
-}
-
-void EmulatedHtm::Tx::SegmentBoundary() {
-  Commit();  // Throws TxAbortSignal if this segment was doomed.
-  Begin();
-}
-
-void EmulatedHtm::Tx::DoExplicitAbort(uint8_t code) {
-  TUFAST_CHECK(active_);
-  ThrowAbort(AbortStatus::Explicit(code));
-}
-
-TmWord* EmulatedHtm::Tx::WriteBufferFind(uintptr_t word_addr) {
-  uint64_t pos = HashLine(word_addr) & wb_mask_;
-  while (true) {
-    const uintptr_t key = wb_keys_[pos];
-    if (key == word_addr) return &wb_vals_[pos];
-    if (key == kEmptyKey) return nullptr;
-    pos = (pos + 1) & wb_mask_;
-  }
-}
-
-void EmulatedHtm::Tx::WriteBufferPut(uintptr_t word_addr, TmWord value) {
-  uint64_t pos = HashLine(word_addr) & wb_mask_;
-  while (true) {
-    const uintptr_t key = wb_keys_[pos];
-    if (key == word_addr) {
-      wb_vals_[pos] = value;
-      return;
-    }
-    if (key == kEmptyKey) {
-      wb_keys_[pos] = word_addr;
-      wb_vals_[pos] = value;
-      wb_list_.push_back(static_cast<uint32_t>(pos));
-      return;
-    }
-    pos = (pos + 1) & wb_mask_;
-  }
-}
+// The production (NullFailpoints) instantiation lives here so downstream
+// translation units share one copy of the emulation instead of each
+// instantiating the template. The stress instantiation (FaultyHtm,
+// src/testing/failpoints.h) is implicit in the few test/bench TUs that
+// use it.
+template class BasicEmulatedHtm<NullFailpoints>;
 
 }  // namespace tufast

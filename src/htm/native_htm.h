@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/compiler.h"
+#include "common/failpoints.h"
 #include "htm/abort.h"
 #include "htm/htm_config.h"
 
@@ -25,6 +26,9 @@ namespace tufast {
 /// it microcode-disabled, in which case every transaction aborts.
 class NativeHtm {
  public:
+  /// No software failpoints on real hardware: aborts come from the CPU.
+  using Failpoints = NullFailpoints;
+
   explicit NativeHtm(HtmConfig config = {}) : config_(config) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(NativeHtm);
 

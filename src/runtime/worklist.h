@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/compiler.h"
+#include "common/failpoints.h"
 #include "common/spin.h"
 
 namespace tufast {
@@ -68,7 +69,12 @@ class ConcurrentPriorityQueue {
   std::optional<T> TryPop() {
     std::lock_guard<std::mutex> guard(mutex_);
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.top().second);
+    // top() returns a const reference, so moving through it would silently
+    // copy T. Casting away const is safe here: the element is removed by
+    // the pop() below and never compared again, so the moved-from state is
+    // unobservable to the heap invariant.
+    T item = std::move(
+        const_cast<std::pair<Priority, T>&>(items_.top()).second);
     items_.pop();
     return item;
   }
@@ -94,21 +100,46 @@ class ConcurrentPriorityQueue {
 /// Drives workers against a worklist until it drains: terminates when the
 /// list is empty AND no worker is mid-item (a mid-item worker may still
 /// push). `queue` needs TryPop/Empty; `fn(worker_id, item)` may push.
-template <typename Queue, typename Fn>
+/// `active` counts workers that may still pop or push; share one zero-
+/// initialized counter across all workers of a drain.
+///
+/// A worker registers in `active` BEFORE it pops and stays registered
+/// until a pop comes back empty — never between pop and item execution.
+/// (The previous scheme incremented only after a successful pop, so a
+/// peer could observe `active == 0 && Empty()` and exit while an item —
+/// which may push more work — was in flight between pop and increment.)
+/// Quiescence proof sketch: a worker returns only after observing
+/// `active == 0` with the queue empty; pushes happen only inside fn,
+/// which runs while its worker is registered; and a registered worker
+/// deregisters only after its own TryPop returned empty — so an
+/// unconsumed item would imply a still-registered worker, contradicting
+/// the `active == 0` observation (the queue mutex orders the accesses).
+///
+/// `Failpoints` (common/failpoints.h) lets the stress harness inject
+/// schedule perturbation between pop and execution — the exact window of
+/// the historical termination race.
+template <typename Failpoints = NullFailpoints, typename Queue, typename Fn>
 void DrainWorklist(Queue& queue, int worker_id, std::atomic<int>& active,
                    Fn&& fn) {
   Backoff backoff;
+  active.fetch_add(1, std::memory_order_acq_rel);
   while (true) {
     auto item = queue.TryPop();
     if (item.has_value()) {
-      active.fetch_add(1, std::memory_order_acq_rel);
+      if constexpr (Failpoints::kEnabled) {
+        Failpoints::Hit(FailSite::kWorklistPop, worker_id);
+      }
       fn(worker_id, *item);
-      active.fetch_sub(1, std::memory_order_acq_rel);
       backoff.Reset();
       continue;
     }
-    if (active.load(std::memory_order_acquire) == 0 && queue.Empty()) return;
-    backoff.Pause();
+    active.fetch_sub(1, std::memory_order_acq_rel);
+    while (queue.Empty()) {
+      if (active.load(std::memory_order_acquire) == 0) return;
+      backoff.Pause();
+    }
+    active.fetch_add(1, std::memory_order_acq_rel);
+    backoff.Reset();
   }
 }
 

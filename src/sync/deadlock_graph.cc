@@ -5,11 +5,17 @@
 namespace tufast {
 
 void DeadlockGraph::AddHolder(VertexId v, int slot, bool exclusive) {
+  // Validate before the int16_t narrowing below and before this slot id
+  // can reach the fixed-size waiting_/is_waiting_ arrays: an out-of-range
+  // slot would silently alias another worker's wait state and corrupt
+  // cycle detection.
+  TUFAST_CHECK(slot >= 0 && slot < kMaxHtmThreads);
   std::lock_guard<std::mutex> guard(mutex_);
   holders_[v].push_back(Holder{static_cast<int16_t>(slot), exclusive});
 }
 
 void DeadlockGraph::RemoveHolder(VertexId v, int slot, bool exclusive) {
+  TUFAST_CHECK(slot >= 0 && slot < kMaxHtmThreads);
   std::lock_guard<std::mutex> guard(mutex_);
   auto it = holders_.find(v);
   if (it == holders_.end()) return;
@@ -25,6 +31,7 @@ void DeadlockGraph::RemoveHolder(VertexId v, int slot, bool exclusive) {
 }
 
 bool DeadlockGraph::SetWaitingAndCheck(int slot, VertexId v) {
+  TUFAST_CHECK(slot >= 0 && slot < kMaxHtmThreads);
   std::lock_guard<std::mutex> guard(mutex_);
   waiting_[slot] = v;
   is_waiting_[slot] = true;
@@ -36,6 +43,7 @@ bool DeadlockGraph::SetWaitingAndCheck(int slot, VertexId v) {
 }
 
 void DeadlockGraph::ClearWaiting(int slot) {
+  TUFAST_CHECK(slot >= 0 && slot < kMaxHtmThreads);
   std::lock_guard<std::mutex> guard(mutex_);
   is_waiting_[slot] = false;
 }

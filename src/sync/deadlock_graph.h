@@ -26,6 +26,11 @@ namespace tufast {
 /// aborts itself (SetWaitingAndCheck returns true). Every cycle is closed
 /// by some waiter's edge insertion, so every deadlock is detected by the
 /// thread that completes it.
+///
+/// Slot ids are range-checked (TUFAST_CHECK) at every entry point: they
+/// index fixed kMaxHtmThreads arrays and are narrowed to int16_t, so an
+/// out-of-range id would corrupt another worker's wait state instead of
+/// failing loudly.
 class DeadlockGraph {
  public:
   DeadlockGraph() = default;

@@ -1,6 +1,7 @@
 #ifndef TUFAST_SYNC_LOCK_MANAGER_H_
 #define TUFAST_SYNC_LOCK_MANAGER_H_
 
+#include "common/failpoints.h"
 #include "common/spin.h"
 #include "common/types.h"
 #include "sync/deadlock_graph.h"
@@ -32,6 +33,8 @@ enum class DeadlockPolicy {
 template <typename Htm>
 class LockManager {
  public:
+  using Failpoints = HtmFailpoints<Htm>;
+
   LockManager(LockTable<Htm>& table,
               DeadlockPolicy policy = DeadlockPolicy::kDetection)
       : table_(table), policy_(policy) {}
@@ -68,6 +71,15 @@ class LockManager {
   /// victim) the shared lock is STILL HELD; the caller releases it during
   /// transaction abort as usual.
   bool Upgrade(int slot, VertexId v) {
+    if constexpr (Failpoints::kEnabled) {
+      // Forced victim before any state change: the shared registration is
+      // untouched, exactly the "shared lock still held" failure contract.
+      if (Failpoints::Hit(FailSite::kLockUpgrade, slot) ==
+          FailAction::kFail) {
+        NotifyVictim(slot, v, /*cycle=*/false);
+        return false;
+      }
+    }
     if (table_.TryUpgrade(v)) {
       SwapHolderRegistration(slot, v);
       return true;
@@ -134,6 +146,16 @@ class LockManager {
 
   template <typename TryFn>
   bool AcquireLoop(int slot, VertexId v, TryFn&& try_lock, bool exclusive) {
+    if constexpr (Failpoints::kEnabled) {
+      // Forced victim before any acquisition: the caller must release its
+      // whole lock set and restart, the same contract as a real victim.
+      if (Failpoints::Hit(exclusive ? FailSite::kLockAcquireExclusive
+                                    : FailSite::kLockAcquireShared,
+                          slot) == FailAction::kFail) {
+        NotifyVictim(slot, v, /*cycle=*/false);
+        return false;
+      }
+    }
     if (try_lock()) {
       if (policy_ == DeadlockPolicy::kDetection) {
         graph_.AddHolder(v, slot, exclusive);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/compiler.h"
+#include "common/failpoints.h"
 #include "common/types.h"
 #include "htm/htm_config.h"
 
@@ -27,6 +28,8 @@ namespace tufast {
 template <typename Htm>
 class LockTable {
  public:
+  using Failpoints = HtmFailpoints<Htm>;
+
   static constexpr TmWord kExclusiveBit = TmWord{1} << 31;
 
   LockTable(Htm& htm, size_t num_vertices)
@@ -58,6 +61,14 @@ class LockTable {
   }
 
   bool TryLockExclusive(VertexId v) {
+    if constexpr (Failpoints::kEnabled) {
+      // Synthesized contention: report "busy" without touching the word.
+      // Exercises O-mode commit lock-busy retries and L-mode wait loops.
+      if (Failpoints::Hit(FailSite::kLockTryExclusive, /*slot=*/-1) ==
+          FailAction::kFail) {
+        return false;
+      }
+    }
     TmWord expected = 0;
     if (__atomic_compare_exchange_n(&words_[v], &expected, kExclusiveBit,
                                     /*weak=*/false, __ATOMIC_ACQUIRE,
@@ -70,6 +81,14 @@ class LockTable {
 
   /// Shared -> exclusive upgrade; succeeds only for a sole shared holder.
   bool TryUpgrade(VertexId v) {
+    if constexpr (Failpoints::kEnabled) {
+      // Synthesized upgrade contention: behaves exactly like a second
+      // shared holder showing up, the hard case of the upgrade protocol.
+      if (Failpoints::Hit(FailSite::kLockTryUpgrade, /*slot=*/-1) ==
+          FailAction::kFail) {
+        return false;
+      }
+    }
     TmWord expected = 1;
     if (__atomic_compare_exchange_n(&words_[v], &expected, kExclusiveBit,
                                     /*weak=*/false, __ATOMIC_ACQUIRE,

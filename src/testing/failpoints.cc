@@ -1,0 +1,139 @@
+#include "testing/failpoints.h"
+
+#include <thread>
+
+namespace tufast {
+
+namespace {
+
+const char* ActionName(FailAction action) {
+  switch (action) {
+    case FailAction::kNone:
+      return "none";
+    case FailAction::kAbortConflict:
+      return "abort-conflict";
+    case FailAction::kAbortCapacity:
+      return "abort-capacity";
+    case FailAction::kFail:
+      return "fail";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FailpointPlan::FailpointPlan(const Config& config) : config_(config) {
+  for (int i = 0; i < kNumStreams; ++i) {
+    // Distinct deterministic stream per worker slot: a slot's draw
+    // sequence depends only on (seed, slot).
+    streams_[i].rng = Rng(config.seed + 0x9e3779b97f4a7c15ULL *
+                                            static_cast<uint64_t>(i + 1));
+  }
+  trace_.reserve(256);
+}
+
+void FailpointPlan::ForceAt(FailSite site, int slot, uint64_t hit_index,
+                            FailAction action) {
+  forced_.push_back(Forced{site, slot, hit_index, action});
+}
+
+FailAction FailpointPlan::DefaultActionFor(FailSite site) {
+  switch (site) {
+    case FailSite::kHtmLoad:
+    case FailSite::kHtmStore:
+    case FailSite::kHtmCommit:
+      return FailAction::kAbortConflict;
+    default:
+      return FailAction::kFail;
+  }
+}
+
+FailAction FailpointPlan::Decide(SlotStream& stream, FailSite site, int slot,
+                                 uint64_t hit_index, uint32_t* yield_burst) {
+  if (config_.yield_prob > 0.0 && stream.rng.NextBool(config_.yield_prob)) {
+    *yield_burst = 1 + static_cast<uint32_t>(stream.rng.NextBounded(
+                           config_.max_yield_burst > 0 ? config_.max_yield_burst
+                                                       : 1));
+  }
+  for (const Forced& f : forced_) {
+    if (f.site == site && f.slot == slot && f.hit_index == hit_index) {
+      return f.action;
+    }
+  }
+  const int idx = static_cast<int>(site);
+  if (config_.site_prob[idx] > 0.0 &&
+      stream.rng.NextBool(config_.site_prob[idx])) {
+    const FailAction configured = config_.site_action[idx];
+    return configured == FailAction::kNone ? DefaultActionFor(site)
+                                           : configured;
+  }
+  return FailAction::kNone;
+}
+
+FailAction FailpointPlan::OnHit(FailSite site, int slot) {
+  const int idx = static_cast<int>(site);
+  uint32_t yield_burst = 0;
+  FailAction action = FailAction::kNone;
+  uint64_t hit_index = 0;
+  if (slot >= 0 && slot < kMaxHtmThreads) {
+    SlotStream& stream = streams_[slot];
+    hit_index = stream.hits[idx]++;
+    action = Decide(stream, site, slot, hit_index, &yield_burst);
+  } else {
+    // Slotless sites (LockTable try-ops) share one stream; the lock keeps
+    // the RNG and hit counter coherent, though the cross-thread order of
+    // draws is inherently schedule-dependent.
+    SpinLockGuard guard(shared_stream_lock_);
+    SlotStream& stream = streams_[kMaxHtmThreads];
+    hit_index = stream.hits[idx]++;
+    action = Decide(stream, site, -1, hit_index, &yield_burst);
+  }
+  if (action != FailAction::kNone) {
+    injections_.fetch_add(1, std::memory_order_relaxed);
+    RecordTrace(site, slot, hit_index, action);
+  }
+  // Yield AFTER all bookkeeping so no lock is held across the reschedule.
+  for (uint32_t i = 0; i < yield_burst; ++i) std::this_thread::yield();
+  return action;
+}
+
+void FailpointPlan::RecordTrace(FailSite site, int slot, uint64_t hit_index,
+                                FailAction action) {
+  SpinLockGuard guard(trace_lock_);
+  if (trace_.size() >= kMaxTraceEntries) return;
+  trace_.push_back(TraceEntry{site, static_cast<int16_t>(slot < 0 ? -1 : slot),
+                              hit_index, action});
+}
+
+uint64_t FailpointPlan::HitCount(FailSite site, int slot) const {
+  const int idx = static_cast<int>(site);
+  if (slot >= 0 && slot < kMaxHtmThreads) return streams_[slot].hits[idx];
+  SpinLockGuard guard(shared_stream_lock_);
+  return streams_[kMaxHtmThreads].hits[idx];
+}
+
+std::vector<FailpointPlan::TraceEntry> FailpointPlan::TraceSnapshot() const {
+  SpinLockGuard guard(trace_lock_);
+  return trace_;
+}
+
+std::string FailpointPlan::FormatTrace() const {
+  std::string out;
+  for (const TraceEntry& e : TraceSnapshot()) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%s %d %llu %s\n", FailSiteName(e.site),
+                  static_cast<int>(e.slot),
+                  static_cast<unsigned long long>(e.hit_index),
+                  ActionName(e.action));
+    out += line;
+  }
+  return out;
+}
+
+void FailpointPlan::DumpTrace(std::FILE* out) const {
+  const std::string text = FormatTrace();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fflush(out);
+}
+
+}  // namespace tufast

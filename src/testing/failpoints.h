@@ -1,0 +1,172 @@
+#ifndef TUFAST_TESTING_FAILPOINTS_H_
+#define TUFAST_TESTING_FAILPOINTS_H_
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/failpoints.h"
+#include "common/rng.h"
+#include "common/spin.h"
+#include "htm/emulated_htm.h"
+#include "htm/htm_config.h"
+
+namespace tufast {
+
+/// Deterministic, seed-replayable fault-injection plan for the stress
+/// harness (DESIGN.md "Failpoints and schedule fuzzing").
+///
+/// Two trigger kinds per site:
+///  * probabilistic — `Arm(site, prob, action)`: each hit of `site` fires
+///    `action` with probability `prob`, drawn from a per-worker-slot RNG
+///    stream seeded by (plan seed, slot). A worker's injection sequence
+///    therefore depends only on the seed and its own operation sequence,
+///    never on cross-thread timing — the property that makes a failing
+///    seed replayable.
+///  * forced — `ForceAt(site, slot, hit_index, action)`: fires exactly at
+///    the `hit_index`-th hit (0-based) of `site` on `slot`. This is how a
+///    regression test pins an abort to one chosen operation.
+///
+/// Independent of injection, every hit may perturb the thread schedule
+/// (`yield_prob`): a burst of sched_yield calls moves the preemption
+/// point, so repeated seeds explore many interleavings even on a
+/// single-core host — the DyAdHyTM-style adversarial timing that real
+/// HTM concurrency would provide on a many-core machine.
+///
+/// Sites hit without a worker slot (LockTable try-ops) share one extra
+/// stream guarded by a spinlock; its draws are deterministic per seed but
+/// its interleaving across threads is not — forced triggers on slotless
+/// sites fire at plan-global hit indices.
+///
+/// Every fired injection is appended to a bounded trace
+/// (site, slot, hit_index, action) for diagnosis and exact replay
+/// (`--failpoint-trace=` in the stress driver).
+class FailpointPlan {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    /// Per-site probabilistic trigger; kNone action means "site default"
+    /// (conflict abort for HTM sites, kFail for lock/router sites).
+    double site_prob[kNumFailSites] = {};
+    FailAction site_action[kNumFailSites] = {};
+    /// Schedule perturbation: probability of a yield burst at any hit.
+    double yield_prob = 0.0;
+    /// Yield burst length is 1 + uniform[0, max_yield_burst).
+    uint32_t max_yield_burst = 3;
+
+    Config& Arm(FailSite site, double prob,
+                FailAction action = FailAction::kNone) {
+      site_prob[static_cast<int>(site)] = prob;
+      site_action[static_cast<int>(site)] = action;
+      return *this;
+    }
+  };
+
+  struct TraceEntry {
+    FailSite site;
+    int16_t slot;  // -1 for slotless sites
+    uint64_t hit_index;
+    FailAction action;
+  };
+
+  explicit FailpointPlan(const Config& config);
+  TUFAST_DISALLOW_COPY_AND_MOVE(FailpointPlan);
+
+  /// Forces `action` at one exact hit. Call before workers start; forced
+  /// triggers are scanned read-only afterwards.
+  void ForceAt(FailSite site, int slot, uint64_t hit_index,
+               FailAction action);
+
+  /// The hook entry point (hot when installed): decides injection and
+  /// perturbation for one site hit. Thread-safe.
+  FailAction OnHit(FailSite site, int slot);
+
+  const Config& config() const { return config_; }
+  uint64_t HitCount(FailSite site, int slot) const;
+  uint64_t InjectionCount() const {
+    return injections_.load(std::memory_order_relaxed);
+  }
+
+  /// Fired injections in firing order (bounded at kMaxTraceEntries).
+  std::vector<TraceEntry> TraceSnapshot() const;
+  /// One line per fired injection: `<site> <slot> <hit_index> <action>`.
+  std::string FormatTrace() const;
+  void DumpTrace(std::FILE* out) const;
+
+ private:
+  static constexpr size_t kMaxTraceEntries = 1 << 14;
+  // Stream kMaxHtmThreads serves slotless hits (slot < 0).
+  static constexpr int kNumStreams = kMaxHtmThreads + 1;
+
+  struct alignas(kCacheLineBytes) SlotStream {
+    Rng rng;
+    uint64_t hits[kNumFailSites] = {};
+  };
+
+  struct Forced {
+    FailSite site;
+    int slot;
+    uint64_t hit_index;
+    FailAction action;
+  };
+
+  static FailAction DefaultActionFor(FailSite site);
+  FailAction Decide(SlotStream& stream, FailSite site, int slot,
+                    uint64_t hit_index, uint32_t* yield_burst);
+  void RecordTrace(FailSite site, int slot, uint64_t hit_index,
+                   FailAction action);
+
+  const Config config_;
+  std::vector<Forced> forced_;
+  SlotStream streams_[kNumStreams];
+  mutable SpinLock shared_stream_lock_;  // Guards streams_[kMaxHtmThreads].
+  std::atomic<uint64_t> injections_{0};
+  mutable SpinLock trace_lock_;
+  std::vector<TraceEntry> trace_;
+};
+
+/// The active failpoint policy: satisfies the same compile-time contract
+/// as NullFailpoints but consults the installed FailpointPlan (if any).
+/// Installation is process-global — one stress plan at a time, which is
+/// what a deterministic harness wants anyway.
+struct StressFailpoints {
+  static constexpr bool kEnabled = true;
+
+  static FailAction Hit(FailSite site, int slot) {
+    FailpointPlan* plan = plan_.load(std::memory_order_acquire);
+    return plan == nullptr ? FailAction::kNone : plan->OnHit(site, slot);
+  }
+
+  static void Install(FailpointPlan* plan) {
+    plan_.store(plan, std::memory_order_release);
+  }
+  static FailpointPlan* Current() {
+    return plan_.load(std::memory_order_acquire);
+  }
+
+ private:
+  inline static std::atomic<FailpointPlan*> plan_{nullptr};
+};
+
+/// RAII plan installation: install on construction, uninstall (not
+/// destroy) on destruction. Keep the scope alive for the whole run —
+/// workers dereference the plan on every hit.
+class FailpointScope {
+ public:
+  explicit FailpointScope(FailpointPlan& plan) {
+    StressFailpoints::Install(&plan);
+  }
+  ~FailpointScope() { StressFailpoints::Install(nullptr); }
+  TUFAST_DISALLOW_COPY_AND_MOVE(FailpointScope);
+};
+
+/// The emulated HTM backend with failpoints armed. Every scheduler is
+/// templated on the backend, so `TuFastScheduler<FaultyHtm>` etc. give
+/// the whole stack — HTM, lock substrate, router — injected faults.
+using FaultyHtm = BasicEmulatedHtm<StressFailpoints>;
+
+}  // namespace tufast
+
+#endif  // TUFAST_TESTING_FAILPOINTS_H_

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/compiler.h"
+#include "common/failpoints.h"
 #include "common/types.h"
 #include "htm/emulated_htm.h"
 #include "sync/lock_manager.h"
@@ -45,6 +46,10 @@ namespace tufast {
 template <typename Htm, typename Telemetry = NullTelemetry>
 class TuFastScheduler {
  public:
+  /// Fault-injection policy inherited from the HTM backend; Null (free)
+  /// unless the backend is the stress harness's FaultyHtm.
+  using Failpoints = HtmFailpoints<Htm>;
+
   struct Config {
     /// H-mode retries after conflict aborts before falling to O mode.
     int h_retries = 4;
@@ -103,7 +108,16 @@ class TuFastScheduler {
       return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kL);
     }
 
-    if (config_.enable_h_mode && size_hint <= h_hint_threshold_) {
+    bool try_h = config_.enable_h_mode && size_hint <= h_hint_threshold_;
+    if constexpr (Failpoints::kEnabled) {
+      // Forced H -> O demotion: the transaction behaves exactly as if its
+      // H retry budget were exhausted up front (paper Fig. 10 hand-off).
+      if (try_h && Failpoints::Hit(FailSite::kRouterSkipH, worker_id) ==
+                       FailAction::kFail) {
+        try_h = false;
+      }
+    }
+    if (try_h) {
       w.telemetry.EnterMode(SchedMode::kHardware);
       HTxn<Htm> htxn(w.state.htx, lock_table_);
       // Adaptive retry budget (paper SIV-D): under a high attempt-abort
@@ -134,7 +148,15 @@ class TuFastScheduler {
       }
     }
 
-    if (!config_.enable_o_mode) {
+    bool try_o = config_.enable_o_mode;
+    if constexpr (Failpoints::kEnabled) {
+      // Forced O -> L demotion: as if every period halving had failed.
+      if (try_o && Failpoints::Hit(FailSite::kRouterSkipO, worker_id) ==
+                       FailAction::kFail) {
+        try_o = false;
+      }
+    }
+    if (!try_o) {
       return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kO2L);
     }
     return RunOptimisticThenLock(w, fn);

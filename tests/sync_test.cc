@@ -158,6 +158,94 @@ TEST(LockManagerTest, TimeoutPolicyRecoversFromDeadlock) {
   EXPECT_GE(victims.load(), 1);
 }
 
+TEST(DeadlockGraphTest, RejectsOutOfRangeSlots) {
+  // Slot ids index fixed kMaxHtmThreads arrays and narrow to int16_t; the
+  // entry points must fail loudly instead of aliasing another worker's
+  // wait state (see deadlock_graph.cc).
+  DeadlockGraph graph;
+  EXPECT_DEATH(graph.AddHolder(0, kMaxHtmThreads, true), "check failed");
+  EXPECT_DEATH(graph.AddHolder(0, -1, false), "check failed");
+  EXPECT_DEATH(graph.RemoveHolder(0, kMaxHtmThreads + 5, true),
+               "check failed");
+  EXPECT_DEATH(graph.SetWaitingAndCheck(-3, 1), "check failed");
+  EXPECT_DEATH(graph.ClearWaiting(1 << 20), "check failed");
+  // In-range ids keep working after the death-test forks.
+  graph.AddHolder(0, kMaxHtmThreads - 1, true);
+  EXPECT_EQ(graph.HolderEntriesForTest(), 1u);
+}
+
+// "Shared lock still held after failed upgrade" contract, asserted
+// directly: under kTimeout a sole-loser upgrade fails by wait-bound
+// expiry without touching the shared registration.
+TEST(LockManagerTest, FailedUpgradeKeepsSharedHeldTimeout) {
+  EmulatedHtm htm;
+  LockTable<EmulatedHtm> table(htm, 16);
+  LockManager<EmulatedHtm> manager(table, DeadlockPolicy::kTimeout);
+  ASSERT_TRUE(manager.AcquireShared(0, 4));
+  ASSERT_TRUE(manager.AcquireShared(1, 4));
+  // Two shared holders: slot 0's upgrade can never succeed and the
+  // timeout bound (short under kTimeout) picks it as victim.
+  EXPECT_FALSE(manager.Upgrade(0, 4));
+  // Both shared registrations must be intact: exclusive is blocked, and
+  // releasing ONE shared makes an upgrade possible again (sole holder) —
+  // which could not happen had the failed upgrade leaked slot 0's share.
+  EXPECT_FALSE(table.TryLockExclusive(4));
+  manager.ReleaseShared(1, 4);
+  EXPECT_TRUE(table.TryUpgrade(4));
+  table.UnlockExclusive(4);
+}
+
+// Two upgraders on one vertex under every policy that can resolve it on
+// its own (kDetection closes the waits-for cycle; kTimeout expires the
+// wait bound). Exactly one thread may win; the loser must still hold its
+// shared lock and release it, leaving the vertex free.
+class UpgradeContentionTest
+    : public ::testing::TestWithParam<DeadlockPolicy> {};
+
+TEST_P(UpgradeContentionTest, TwoUpgradersOneVertex) {
+  EmulatedHtm htm;
+  LockTable<EmulatedHtm> table(htm, 16);
+  LockManager<EmulatedHtm> manager(table, GetParam());
+  ASSERT_TRUE(manager.AcquireShared(0, 2));
+  ASSERT_TRUE(manager.AcquireShared(1, 2));
+  std::atomic<int> winners{0};
+  std::atomic<int> victims{0};
+  auto upgrader = [&](int slot) {
+    if (manager.Upgrade(slot, 2)) {
+      ++winners;
+      manager.ReleaseExclusive(slot, 2);
+    } else {
+      // Contract: the shared lock survives the failed upgrade, so the
+      // victim releases shared — an unbalanced release here would corrupt
+      // the lock word and break the final freeness check.
+      ++victims;
+      manager.ReleaseShared(slot, 2);
+    }
+  };
+  std::thread other([&] { upgrader(1); });
+  upgrader(0);
+  other.join();
+  EXPECT_GE(victims.load(), 1);
+  EXPECT_LE(winners.load(), 1);
+  EXPECT_EQ(winners.load() + victims.load(), 2);
+  EXPECT_TRUE(table.TryLockExclusive(2));  // Fully released afterwards.
+  table.UnlockExclusive(2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, UpgradeContentionTest,
+                         ::testing::Values(DeadlockPolicy::kDetection,
+                                           DeadlockPolicy::kTimeout),
+                         [](const auto& info) {
+                           return info.param == DeadlockPolicy::kDetection
+                                      ? "Detection"
+                                      : "Timeout";
+                         });
+
+// kPrevention has no recovery mechanism by design (the caller promises
+// ordered acquisition), so its upgrade-failure contract is exercised with
+// a forced failpoint victim in stress_test.cc instead of a real 1M-pause
+// wait-bound expiry here.
+
 TEST(LockManagerTest, PreventionPolicySkipsBookkeeping) {
   EmulatedHtm htm;
   LockTable<EmulatedHtm> table(htm, 16);

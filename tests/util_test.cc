@@ -161,6 +161,41 @@ TEST(PriorityQueueTest, PopsInPriorityOrder) {
   EXPECT_FALSE(queue.TryPop().has_value());
 }
 
+// Instrumented payload: TryPop must move the element out, never copy.
+// (priority_queue::top() returns a const reference; a std::move through
+// it silently degrades to a copy, which this counter catches.)
+struct CopyCounted {
+  static inline int copies = 0;
+  int value = 0;
+  CopyCounted() = default;
+  explicit CopyCounted(int v) : value(v) {}
+  CopyCounted(const CopyCounted& o) : value(o.value) { ++copies; }
+  CopyCounted& operator=(const CopyCounted& o) {
+    value = o.value;
+    ++copies;
+    return *this;
+  }
+  CopyCounted(CopyCounted&& o) noexcept : value(o.value) {}
+  CopyCounted& operator=(CopyCounted&& o) noexcept {
+    value = o.value;
+    return *this;
+  }
+};
+
+TEST(PriorityQueueTest, TryPopMovesInsteadOfCopying) {
+  ConcurrentPriorityQueue<CopyCounted, uint64_t> queue;
+  CopyCounted::copies = 0;
+  for (int i = 0; i < 32; ++i) queue.Push(CopyCounted(i), 31 - i);
+  for (int i = 31; i >= 0; --i) {
+    auto item = queue.TryPop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->value, i);
+  }
+  // Pushes and heap sifts move; a copy anywhere (one per pop, pre-fix)
+  // is a regression.
+  EXPECT_EQ(CopyCounted::copies, 0);
+}
+
 TEST(DatasetsTest, SpecsMatchPaperRatios) {
   const auto specs = BenchDatasets(0.1);
   ASSERT_EQ(specs.size(), 4u);
