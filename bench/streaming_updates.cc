@@ -1,0 +1,293 @@
+// Streaming-update engine benchmark: transactional insert/delete/
+// reweight mixes applied to the dynamic adjacency store over RMAT
+// (skewed) and uniform-degree (even) generators, with the incremental
+// analytics drivers cross-checked against from-scratch runs on frozen
+// snapshots.
+//
+// Reported per dataset:
+//   - update throughput per mix (growth-only and churn), with the
+//     committed insert/delete/reweight/missing tallies;
+//   - the per-mode commit breakdown (H/O/O+/O2L/L) of the update
+//     transactions — the degree-as-size-hint routing made visible:
+//     skewed datasets push hub mutations into O/L, uniform ones stay
+//     almost entirely in H;
+//   - incremental WCC and warm-start PageRank versus from-scratch runs
+//     on the same frozen snapshot (equality / tolerance checked here,
+//     not just timed).
+// Sanity failures (conservation, audit, analytics mismatch) exit 1.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/reference.h"
+#include "algorithms/wcc.h"
+#include "bench/bench_common.h"
+#include "bench_support/reporting.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/dynamic/dynamic_graph.h"
+#include "graph/dynamic/incremental.h"
+#include "graph/generators.h"
+#include "htm/emulated_htm.h"
+#include "runtime/thread_pool.h"
+#include "tm/tufast.h"
+
+namespace tufast {
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "SANITY FAILURE: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+struct MixSpec {
+  const char* name;
+  int insert_pct;  // Remainder after insert+delete is reweight.
+  int delete_pct;
+  bool zipf_sources;  // Skew update sources onto hubs.
+};
+
+struct MixOutcome {
+  ApplyResult tally;
+  double seconds = 0;
+  uint64_t updates = 0;
+  std::vector<EdgeUpdate> applied;  // Insert-only mixes: feed for WCC.
+};
+
+MixOutcome RunMix(DynamicGraph& dyn, TuFastInstrumented& tm, ThreadPool& pool,
+                  const MixSpec& mix, int batches_per_thread, int batch_size,
+                  uint64_t seed, bool keep_updates) {
+  const int threads = pool.num_threads();
+  const VertexId n = dyn.NumVertices();
+  std::vector<ApplyResult> tallies(threads);
+  std::vector<std::vector<EdgeUpdate>> logs(threads);
+  WallTimer timer;
+  pool.RunOnAll([&](int worker) {
+    uint64_t sm = seed + 0x100 * static_cast<uint64_t>(worker + 1);
+    Rng rng(SplitMix64(sm) ^ 0x5eedULL);
+    std::vector<EdgeUpdate> batch;
+    for (int i = 0; i < batches_per_thread; ++i) {
+      batch.clear();
+      for (int k = 0; k < batch_size; ++k) {
+        const VertexId u = static_cast<VertexId>(
+            mix.zipf_sources ? rng.NextZipf(n, 0.8) : rng.NextBounded(n));
+        const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        const int r = static_cast<int>(rng.NextBounded(100));
+        const uint32_t w = static_cast<uint32_t>(1 + rng.NextBounded(255));
+        if (r < mix.insert_pct) {
+          batch.push_back(EdgeUpdate::Insert(u, v, w));
+        } else if (r < mix.insert_pct + mix.delete_pct) {
+          batch.push_back(EdgeUpdate::Delete(u, v));
+        } else {
+          batch.push_back(EdgeUpdate::Reweight(u, v, w));
+        }
+      }
+      tallies[worker].Merge(dyn.ApplyBatch(tm, worker, batch));
+      if (keep_updates) {
+        logs[worker].insert(logs[worker].end(), batch.begin(), batch.end());
+      }
+    }
+  });
+
+  MixOutcome out;
+  out.seconds = timer.ElapsedSeconds();
+  out.updates = static_cast<uint64_t>(threads) * batches_per_thread *
+                batch_size;
+  for (const ApplyResult& t : tallies) out.tally.Merge(t);
+  for (auto& log : logs) {
+    out.applied.insert(out.applied.end(), log.begin(), log.end());
+  }
+  return out;
+}
+
+void ReportModeBreakdown(const TuFastInstrumented& tm,
+                         const std::string& title) {
+  const TelemetrySnapshot& snap = tm.AggregatedTelemetry().Snapshot();
+  JsonReport::AddTelemetry(title, snap);
+  const uint64_t total = snap.TotalCommits();
+  ReportTable table({"class", "committed txns", "% txns", "avg ops/txn"});
+  for (int c = 0; c < kNumTxnClasses; ++c) {
+    const uint64_t count = snap.commits[c];
+    table.AddRow({TxnClassName(static_cast<TxnClass>(c)),
+                  ReportTable::Int(count),
+                  ReportTable::Num(total ? 100.0 * count / total : 0),
+                  ReportTable::Num(
+                      count ? static_cast<double>(snap.commit_ops[c]) / count
+                            : 0)});
+  }
+  table.Print(title);
+}
+
+void RunDataset(const std::string& name, const Graph& base,
+                const BenchFlags& flags, bool skewed) {
+  ThreadPool pool(flags.threads);
+  const int batches = flags.quick ? 50 : 200;
+  const int batch_size = 32;
+
+  auto dyn = DynamicGraph::FromCsr(base);
+  const uint64_t initial_live = dyn->TotalLiveEdges();
+
+  // Baseline analytics state on the pre-stream snapshot.
+  EmulatedHtm algo_htm;
+  TuFast algo_tm(algo_htm, base.NumVertices());
+  const Graph g0 = dyn->Freeze();
+  PageRankOptions pr_options;
+  pr_options.tolerance = 1e-10;
+  pr_options.max_iterations = 200;
+  IncrementalPageRank ipr(pr_options);
+  ipr.Update(algo_tm, pool, g0, g0.Reversed());
+  IncrementalWcc wcc(base.NumVertices());
+  wcc.RebuildFromSnapshot(g0);
+
+  ReportTable mixes({"mix", "updates", "inserted", "removed", "reweighted",
+                     "missing", "seconds", "updates/s"});
+
+  // Growth-only mix: every update is an insert, so the incremental WCC
+  // driver can track the stream without a rebuild.
+  const MixSpec growth{"growth", 100, 0, skewed};
+  {
+    EmulatedHtm htm;
+    TuFastInstrumented tm(htm, dyn->capacity());
+    const MixOutcome out = RunMix(*dyn, tm, pool, growth, batches,
+                                  batch_size, flags.seed, true);
+    mixes.AddRow({growth.name, ReportTable::Int(out.updates),
+                  ReportTable::Int(out.tally.inserted),
+                  ReportTable::Int(out.tally.removed),
+                  ReportTable::Int(out.tally.updated),
+                  ReportTable::Int(out.tally.missing),
+                  ReportTable::Num(out.seconds),
+                  ReportTable::Num(out.updates / out.seconds)});
+    Check(dyn->TotalLiveEdges() ==
+              initial_live + out.tally.inserted - out.tally.removed,
+          name + " growth: live-edge conservation");
+    Check(dyn->CheckInvariantsQuiesced() == std::nullopt,
+          name + " growth: structural audit");
+    ReportModeBreakdown(tm, "mode breakdown — " + name + ", growth mix");
+
+    // Incremental analytics versus from-scratch on the new snapshot.
+    WallTimer inc_timer;
+    wcc.OnBatch(out.applied);
+    const std::vector<TmWord> inc_labels = wcc.Labels();
+    const double inc_wcc_s = inc_timer.ElapsedSeconds();
+    const Graph g1 = dyn->Freeze();
+    const Graph g1u = g1.Undirected();
+    WallTimer scratch_timer;
+    const std::vector<TmWord> tm_labels = WccTm(algo_tm, pool, g1u);
+    const double scratch_wcc_s = scratch_timer.ElapsedSeconds();
+    Check(!wcc.NeedsRebuild(), name + ": insert-only stream flagged rebuild");
+    Check(inc_labels == tm_labels,
+          name + ": incremental WCC diverged from WccTm");
+    Check(inc_labels == ReferenceWcc(g1u),
+          name + ": incremental WCC diverged from the reference");
+
+    const Graph g1r = g1.Reversed();
+    WallTimer warm_timer;
+    const PageRankResult warm = ipr.Update(algo_tm, pool, g1, g1r);
+    const double warm_s = warm_timer.ElapsedSeconds();
+    WallTimer cold_timer;
+    const PageRankResult cold = PageRankTm(algo_tm, pool, g1, g1r,
+                                           pr_options);
+    const double cold_s = cold_timer.ElapsedSeconds();
+    double max_diff = 0;
+    for (size_t v = 0; v < warm.ranks.size(); ++v) {
+      max_diff = std::max(max_diff,
+                          std::fabs(warm.ranks[v] - cold.ranks[v]));
+    }
+    Check(max_diff < 1e-6, name + ": warm-start PageRank diverged (" +
+                               std::to_string(max_diff) + ")");
+
+    ReportTable analytics({"algorithm", "incremental s", "from-scratch s",
+                           "inc iters", "scratch iters", "agrees"});
+    analytics.AddRow({"WCC", ReportTable::Num(inc_wcc_s),
+                      ReportTable::Num(scratch_wcc_s), "-", "-",
+                      inc_labels == tm_labels ? "yes" : "NO"});
+    analytics.AddRow({"PageRank", ReportTable::Num(warm_s),
+                      ReportTable::Num(cold_s),
+                      ReportTable::Int(warm.iterations),
+                      ReportTable::Int(cold.iterations),
+                      max_diff < 1e-6 ? "yes" : "NO"});
+    analytics.Print("incremental analytics — " + name);
+  }
+
+  // Churn mix: inserts, deletes and reweights with skew-matched sources;
+  // afterwards the compaction pass reclaims the tombstoned slack.
+  const MixSpec churn{"churn", 50, 40, skewed};
+  {
+    EmulatedHtm htm;
+    TuFastInstrumented tm(htm, dyn->capacity());
+    const uint64_t live_before = dyn->TotalLiveEdges();
+    const MixOutcome out = RunMix(*dyn, tm, pool, churn, batches, batch_size,
+                                  flags.seed + 1, false);
+    mixes.AddRow({churn.name, ReportTable::Int(out.updates),
+                  ReportTable::Int(out.tally.inserted),
+                  ReportTable::Int(out.tally.removed),
+                  ReportTable::Int(out.tally.updated),
+                  ReportTable::Int(out.tally.missing),
+                  ReportTable::Num(out.seconds),
+                  ReportTable::Num(out.updates / out.seconds)});
+    Check(dyn->TotalLiveEdges() ==
+              live_before + out.tally.inserted - out.tally.removed,
+          name + " churn: live-edge conservation");
+    Check(dyn->CheckInvariantsQuiesced() == std::nullopt,
+          name + " churn: structural audit");
+    ReportModeBreakdown(tm, "mode breakdown — " + name + ", churn mix");
+
+    const uint64_t blocks_before = dyn->AllocatedBlocks();
+    const Graph before = dyn->Freeze();
+    dyn->CompactQuiesced();
+    const Graph after = dyn->Freeze();
+    Check(before.offsets() == after.offsets() &&
+              before.targets() == after.targets() &&
+              before.weights() == after.weights(),
+          name + ": compaction changed the frozen snapshot");
+    std::printf("%s: compaction %llu -> %llu blocks\n", name.c_str(),
+                static_cast<unsigned long long>(blocks_before),
+                static_cast<unsigned long long>(dyn->AllocatedBlocks()));
+  }
+
+  mixes.Print("streaming updates — " + name + " (" +
+              std::to_string(flags.threads) + " threads)");
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = BenchFlags::Parse(argc, argv, /*default=*/1.0);
+  // log2-scaled RMAT size; --quick lands two scales down.
+  const int rmat_scale = std::max(
+      8, 11 + static_cast<int>(std::llround(std::log2(flags.scale))));
+  const VertexId n = VertexId{1} << rmat_scale;
+
+  const Graph rmat =
+      GenerateRmat(static_cast<uint32_t>(rmat_scale), 8, flags.seed + 17,
+                   {.weighted = true});
+  RunDataset("rmat-" + std::to_string(rmat_scale), rmat, flags,
+             /*skewed=*/true);
+
+  const Graph uniform =
+      GenerateUniformDegree(n, 8, flags.seed + 29, /*weighted=*/true);
+  RunDataset("uniform-" + std::to_string(rmat_scale), uniform, flags,
+             /*skewed=*/false);
+
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d sanity failure(s)\n", g_failures);
+    return 1;
+  }
+  std::printf(
+      "expected shape: the skewed dataset routes a visible share of "
+      "update transactions through O/L (hub chains exceed the H hint "
+      "threshold); the uniform dataset stays almost entirely in H; the "
+      "warm-started PageRank re-converges in fewer sweeps than the "
+      "from-scratch run.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tufast
+
+int main(int argc, char** argv) { return tufast::Main(argc, argv); }

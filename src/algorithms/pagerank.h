@@ -17,6 +17,12 @@ struct PageRankOptions {
   int max_iterations = 100;
   /// Converged when the L1 delta per vertex drops below this.
   double tolerance = 1e-9;
+  /// Warm start: begin iterating from these ranks instead of uniform
+  /// 1/n. Must have exactly NumVertices() entries (callers pad/normalize
+  /// when the graph grew). The incremental driver (graph/dynamic) uses
+  /// this to re-converge after an update batch in a fraction of the
+  /// from-scratch iterations.
+  const std::vector<double>* initial_ranks = nullptr;
 };
 
 struct PageRankResult {
@@ -39,7 +45,12 @@ PageRankResult PageRankTm(Scheduler& tm, ThreadPool& pool, const Graph& graph,
   const VertexId n = graph.NumVertices();
   TUFAST_CHECK(reversed.NumVertices() == n);
   PageRankResult result;
-  result.ranks.assign(n, 1.0 / n);
+  if (options.initial_ranks != nullptr) {
+    TUFAST_CHECK(options.initial_ranks->size() == n);
+    result.ranks = *options.initial_ranks;
+  } else {
+    result.ranks.assign(n, 1.0 / n);
+  }
   std::vector<double>& rank = result.ranks;
 
   // Precomputed private data: out-degrees never change.

@@ -20,6 +20,25 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/// Reads one full logical line regardless of length, growing `out` chunk
+/// by chunk. fgets alone would silently split a line longer than its
+/// buffer into several, misparsing the tail as fresh (mis-numbered)
+/// lines. Returns false at EOF with nothing read.
+bool ReadFullLine(std::FILE* f, std::string* out) {
+  out->clear();
+  char chunk[256];
+  while (std::fgets(chunk, sizeof(chunk), f) != nullptr) {
+    out->append(chunk);
+    if (out->back() == '\n') return true;
+  }
+  return !out->empty();  // Final line may legally lack the newline.
+}
+
+/// Bound on one edge-list line: two 20-digit ids + weight + separators
+/// fit in well under 1 KiB; anything this long is a corrupt file, not an
+/// edge, and growing further would just defer the parse error.
+constexpr size_t kMaxLineBytes = 1u << 20;
+
 }  // namespace
 
 StatusOr<Graph> LoadEdgeList(const std::string& path) {
@@ -31,13 +50,18 @@ StatusOr<Graph> LoadEdgeList(const std::string& path) {
   bool weighted = true;  // Until a 2-column line proves otherwise.
   VertexId max_id = 0;
 
-  char line[256];
+  std::string line;
   size_t line_number = 0;
-  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+  while (ReadFullLine(file.get(), &line)) {
     ++line_number;
+    if (line.size() > kMaxLineBytes) {
+      return Status::InvalidArgument(
+          path + ": line " + std::to_string(line_number) + " exceeds " +
+          std::to_string(kMaxLineBytes) + " bytes");
+    }
     if (line[0] == '#' || line[0] == '\n' || line[0] == '\r') continue;
     unsigned long long u = 0, v = 0, w = 0;
-    const int fields = std::sscanf(line, "%llu %llu %llu", &u, &v, &w);
+    const int fields = std::sscanf(line.c_str(), "%llu %llu %llu", &u, &v, &w);
     if (fields < 2) {
       return Status::InvalidArgument(path + ": malformed line " +
                                      std::to_string(line_number));
@@ -95,6 +119,34 @@ StatusOr<Graph> LoadBinary(const std::string& path) {
     return Status::InvalidArgument(path + ": not a tufast binary graph");
   }
   const uint64_t n = header[1], m = header[2], weighted = header[3];
+  if (weighted > 1) {
+    return Status::InvalidArgument(path + ": bad weighted flag " +
+                                   std::to_string(weighted));
+  }
+
+  // Validate the declared counts against the actual file size BEFORE
+  // sizing any allocation: a corrupt header must produce a clean error,
+  // not a multi-GB bad_alloc. The divisions also make the arithmetic
+  // overflow-proof for arbitrary 64-bit n/m.
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    return Status::IoError(path + ": cannot seek");
+  }
+  const long file_size = std::ftell(file.get());
+  if (file_size < static_cast<long>(sizeof(header))) {
+    return Status::IoError(path + ": cannot size");
+  }
+  const uint64_t body = static_cast<uint64_t>(file_size) - sizeof(header);
+  const uint64_t per_edge = sizeof(VertexId) + (weighted != 0 ? 4 : 0);
+  if (n >= body / sizeof(EdgeId) || m > body / per_edge ||
+      (n + 1) * sizeof(EdgeId) + m * per_edge != body) {
+    return Status::InvalidArgument(
+        path + ": header claims " + std::to_string(n) + " vertices / " +
+        std::to_string(m) + " edges, inconsistent with " +
+        std::to_string(body) + " payload bytes");
+  }
+  if (std::fseek(file.get(), sizeof(header), SEEK_SET) != 0) {
+    return Status::IoError(path + ": cannot seek");
+  }
 
   std::vector<EdgeId> offsets(n + 1);
   std::vector<VertexId> targets(m);
@@ -106,8 +158,21 @@ StatusOr<Graph> LoadBinary(const std::string& path) {
        std::fread(weights.data(), sizeof(uint32_t), m, file.get()) != m)) {
     return Status::IoError(path + ": truncated body");
   }
-  if (offsets.back() != m) {
+  if (offsets.front() != 0 || offsets.back() != m) {
     return Status::InvalidArgument(path + ": inconsistent CSR offsets");
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument(path + ": non-monotonic CSR offsets at " +
+                                     std::to_string(v));
+    }
+  }
+  for (uint64_t e = 0; e < m; ++e) {
+    if (targets[e] >= n) {
+      return Status::InvalidArgument(path + ": edge target " +
+                                     std::to_string(targets[e]) +
+                                     " out of range");
+    }
   }
   return Graph(std::move(offsets), std::move(targets), std::move(weights));
 }

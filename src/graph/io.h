@@ -12,11 +12,21 @@ namespace tufast {
 /// `#`-prefixed comment lines ignored. Vertex ids need not be dense; the
 /// graph is sized to max id + 1. Drop real datasets (e.g. friendster from
 /// SNAP) into the benches through this entry point.
+///
+/// Lines of any length are handled as single logical lines (no internal
+/// buffer limit splits them), errors report 1-based line numbers, and a
+/// line longer than 1 MiB is rejected as corrupt input.
 StatusOr<Graph> LoadEdgeList(const std::string& path);
 
 /// Compact binary CSR format (magic + counts + raw arrays), for fast
 /// reload of generated datasets between bench runs.
 Status SaveBinary(const Graph& graph, const std::string& path);
+
+/// Loads a SaveBinary file. The header's vertex/edge counts are checked
+/// against the actual file size before anything is allocated, and the
+/// CSR arrays are validated (offsets start at 0, end at m, monotonic;
+/// targets in range) — corrupt files yield InvalidArgument, never a
+/// bad_alloc or an out-of-bounds graph.
 StatusOr<Graph> LoadBinary(const std::string& path);
 
 }  // namespace tufast

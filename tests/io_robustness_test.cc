@@ -1,0 +1,226 @@
+// Graph I/O robustness: long edge-list lines (the fgets-split bug),
+// corrupt binary headers/bodies, and SaveBinary/LoadBinary round-trips
+// over the shapes that exercise the format's edge cases.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace tufast {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(contents.data(), 1, contents.size(), f),
+            contents.size());
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-list lines longer than any internal read buffer. Pre-fix, fgets
+// split such lines into several: the tail re-parsed as fresh lines
+// (misparse or phantom "malformed line" errors with wrong numbers).
+
+TEST(EdgeListLongLines, PaddedLineParsesAsOneEdge) {
+  const std::string path = TempPath("long_pad.txt");
+  // One logical line, way past any fixed buffer: "5 <600 spaces> 6".
+  WriteFile(path, "0 1\n5" + std::string(600, ' ') + "6\n2 3\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumEdges(), 3u);
+  EXPECT_EQ(loaded.value().NumVertices(), 7u);  // Max id 6.
+  EXPECT_EQ(loaded.value().OutNeighbors(5)[0], 6u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListLongLines, LeadingWhitespaceBeyondBufferStillParses) {
+  const std::string path = TempPath("long_lead.txt");
+  WriteFile(path, std::string(700, ' ') + "7 8\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumEdges(), 1u);
+  EXPECT_EQ(loaded.value().OutNeighbors(7)[0], 8u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListLongLines, LongWeightedLineKeepsTheWeight) {
+  const std::string path = TempPath("long_weight.txt");
+  WriteFile(path, "1" + std::string(400, ' ') + "2" +
+                      std::string(400, ' ') + "42\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().HasWeights());
+  EXPECT_EQ(loaded.value().OutWeights(1)[0], 42u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListLongLines, MalformedLineAfterLongLineReportsCorrectNumber) {
+  const std::string path = TempPath("long_then_bad.txt");
+  // Pre-fix, the 600-byte line counted as several, shifting the number
+  // that line 3's error reported.
+  WriteFile(path,
+            "0 1\n2" + std::string(600, ' ') + "3\nnot an edge\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("line 3"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListLongLines, AbsurdlyLongLineIsRejectedNotBuffered) {
+  const std::string path = TempPath("line_bomb.txt");
+  WriteFile(path, "0 1\n" + std::string((1u << 20) + 512, '9') + "\n");
+  auto loaded = LoadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt binary files: the header must be validated against the actual
+// file size BEFORE any allocation happens.
+
+constexpr uint64_t kMagic = 0x7475466173744731ULL;  // "tuFastG1"
+
+std::string PackU64(std::initializer_list<uint64_t> words) {
+  std::string out;
+  for (const uint64_t w : words) {
+    out.append(reinterpret_cast<const char*>(&w), sizeof(w));
+  }
+  return out;
+}
+
+std::string PackU32(std::initializer_list<uint32_t> words) {
+  std::string out;
+  for (const uint32_t w : words) {
+    out.append(reinterpret_cast<const char*>(&w), sizeof(w));
+  }
+  return out;
+}
+
+TEST(BinaryGraphCorruption, HugeHeaderCountsRejectedBeforeAllocation) {
+  const std::string path = TempPath("huge_header.bin");
+  // Claims ~2^48 vertices / 2^50 edges with an empty body: pre-fix this
+  // tried to allocate multi-TB vectors (bad_alloc at best).
+  WriteFile(path, PackU64({kMagic, uint64_t{1} << 48, uint64_t{1} << 50, 0}));
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("inconsistent"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphCorruption, BodySizeMismatchRejected) {
+  const std::string path = TempPath("short_body.bin");
+  // Header says 10 vertices / 20 edges; body holds only 3 words.
+  WriteFile(path, PackU64({kMagic, 10, 20, 0}) + PackU64({0, 0, 0}));
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphCorruption, NonMonotonicOffsetsRejected) {
+  const std::string path = TempPath("nonmono.bin");
+  // n=2, m=2, offsets {0, 3, 2}: ends at m but dips mid-way.
+  WriteFile(path, PackU64({kMagic, 2, 2, 0}) + PackU64({0, 3, 2}) +
+                      PackU32({0, 1}));
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("non-monotonic"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphCorruption, OutOfRangeTargetRejected) {
+  const std::string path = TempPath("bad_target.bin");
+  // n=2, m=1, offsets {0, 1, 1}, target 5 >= n.
+  WriteFile(path, PackU64({kMagic, 2, 1, 0}) + PackU64({0, 1, 1}) +
+                      PackU32({5}));
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphCorruption, BadWeightedFlagRejected) {
+  const std::string path = TempPath("bad_flag.bin");
+  WriteFile(path, PackU64({kMagic, 1, 0, 7}) + PackU64({0, 0}));
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips over the format's edge-case shapes.
+
+void ExpectRoundTrip(const Graph& g, const std::string& name) {
+  const std::string path = TempPath(name);
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().offsets(), g.offsets());
+  EXPECT_EQ(loaded.value().targets(), g.targets());
+  EXPECT_EQ(loaded.value().weights(), g.weights());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryRoundTrip, WeightedGraph) {
+  ExpectRoundTrip(GenerateErdosRenyi(500, 3000, 13, /*weighted=*/true),
+                  "rt_weighted.bin");
+}
+
+TEST(BinaryRoundTrip, ZeroEdgeGraph) {
+  GraphBuilder builder(64);
+  const Graph g = builder.Build();
+  ASSERT_EQ(g.NumEdges(), 0u);
+  ExpectRoundTrip(g, "rt_zero_edges.bin");
+}
+
+TEST(BinaryRoundTrip, EmptyGraph) {
+  GraphBuilder builder(0);
+  ExpectRoundTrip(builder.Build(), "rt_empty.bin");
+}
+
+TEST(BinaryRoundTrip, IsolatedTrailingVertices) {
+  // Edges touch only ids 0..2; vertices 3..5 exist solely through the
+  // offsets array — exactly what a sloppy loader drops.
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  const Graph g = builder.Build();
+  ASSERT_EQ(g.NumVertices(), 6u);
+  const std::string path = TempPath("rt_trailing.bin");
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumVertices(), 6u);
+  EXPECT_EQ(loaded.value().OutDegree(5), 0u);
+  EXPECT_EQ(loaded.value().offsets(), g.offsets());
+  EXPECT_EQ(loaded.value().targets(), g.targets());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tufast
