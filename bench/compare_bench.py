@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Merge and compare --json-out reports from the bench binaries.
+
+Subcommands:
+
+  merge   Combine several --json-out documents into one (the format used
+          for the checked-in BENCH_baseline.json):
+            python3 bench/compare_bench.py merge \
+                --out BENCH_baseline.json --note "seed 7, scale 1.0" \
+                micro.json fig13.json
+
+  compare Diff a current report against a baseline with a relative
+          tolerance band; non-zero exit on regression:
+            python3 bench/compare_bench.py compare \
+                --baseline BENCH_baseline.json --current now.json \
+                --tolerance 0.25 --min-fusion-gain 1.2
+
+Comparison semantics: cells are keyed by (table title, row key, column
+header) and every numeric cell present in both documents under the
+included titles is treated as a higher-is-better rate. A cell fails when
+  current < baseline * (1 - tolerance).
+Improvements never fail. Share/ratio/size columns (%..., "/", iters,
+seconds, updates) are skipped by default, as are the instrumented-pass,
+contended, and native-RTM tables, whose numbers are either not rates or
+too machine-dependent for a tolerance band.
+
+--min-fusion-gain additionally checks the *current* report's
+"micro ops" fusion_gain_x metric (fused / per-item committed-ops/sec on
+small H transactions) against an absolute floor. Unlike wall-clock
+rates, the gain is a same-machine ratio, so it is the most portable
+regression signal this script has: keep it enabled in CI even where the
+timing tolerance has to be loose.
+
+Stdlib only (json/argparse/re); no third-party dependencies.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+DEFAULT_INCLUDE = r"micro ops|scheduler throughput"
+DEFAULT_EXCLUDE = r"instrumented pass|contended|native RTM"
+DEFAULT_EXCLUDE_COLS = r"%|/|^iters$|^seconds$|^updates$"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def numeric(cell):
+    """Returns float(cell) or None (tables mix rates with labels/'-')."""
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def cells(doc, include_re, exclude_re, exclude_cols_re):
+    """Yields ((title, row_key, column), value) for comparable cells."""
+    out = {}
+    for table in doc.get("tables", []):
+        title = table["title"]
+        if not include_re.search(title):
+            continue
+        if exclude_re.search(title):
+            continue
+        headers = table["headers"]
+        for row in table["rows"]:
+            if not row:
+                continue
+            key = row[0]
+            for col, cell in zip(headers[1:], row[1:]):
+                if exclude_cols_re.search(col):
+                    continue
+                value = numeric(cell)
+                if value is not None:
+                    out[(title, key, col)] = value
+    return out
+
+
+def metric_value(doc, table_title, metric):
+    for table in doc.get("tables", []):
+        if table["title"] != table_title:
+            continue
+        for row in table["rows"]:
+            if row and row[0] == metric:
+                return numeric(row[1])
+    return None
+
+
+def cmd_merge(args):
+    merged = {"tables": [], "telemetry": [], "meta": {"sources": []}}
+    for path in args.inputs:
+        doc = load(path)
+        merged["tables"].extend(doc.get("tables", []))
+        merged["telemetry"].extend(doc.get("telemetry", []))
+        merged["meta"]["sources"].append(path)
+    if args.note:
+        merged["meta"]["note"] = args.note
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"merged {len(args.inputs)} report(s), "
+          f"{len(merged['tables'])} table(s) -> {args.out}")
+    return 0
+
+
+def cmd_compare(args):
+    include_re = re.compile(args.include_titles)
+    exclude_re = re.compile(args.exclude_titles)
+    exclude_cols_re = re.compile(args.exclude_cols)
+    baseline = cells(load(args.baseline), include_re, exclude_re,
+                     exclude_cols_re)
+    current_doc = load(args.current)
+    current = cells(current_doc, include_re, exclude_re, exclude_cols_re)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: no comparable cells shared between baseline and "
+              "current (wrong --include-titles, or a bench was not run?)",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in shared:
+        base, cur = baseline[key], current[key]
+        floor = base * (1.0 - args.tolerance)
+        ratio = cur / base if base else float("inf")
+        status = "ok"
+        if base > 0 and cur < floor:
+            status = "REGRESSION"
+            failures.append(key)
+        title, row, col = key
+        print(f"{status:>10}  {cur:>12.5g} vs {base:>12.5g} "
+              f"({ratio:6.2f}x)  {title} | {row} | {col}")
+
+    if args.min_fusion_gain is not None:
+        gain = metric_value(current_doc, "micro ops", "fusion_gain_x")
+        if gain is None:
+            print("error: current report has no 'micro ops' fusion_gain_x "
+                  "metric", file=sys.stderr)
+            return 2
+        ok = gain >= args.min_fusion_gain
+        print(f"{'ok' if ok else 'REGRESSION':>10}  fusion_gain_x "
+              f"{gain:.3f} (floor {args.min_fusion_gain:.3f})")
+        if not ok:
+            failures.append(("micro ops", "fusion_gain_x", "floor"))
+
+    print(f"\ncompared {len(shared)} cell(s), tolerance "
+          f"{args.tolerance:.0%}: {len(failures)} regression(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    merge = sub.add_parser("merge", help="merge --json-out documents")
+    merge.add_argument("--out", required=True)
+    merge.add_argument("--note", default="",
+                       help="provenance note (commands, seed, machine)")
+    merge.add_argument("inputs", nargs="+")
+    merge.set_defaults(func=cmd_merge)
+
+    compare = sub.add_parser("compare", help="diff current vs baseline")
+    compare.add_argument("--baseline", required=True)
+    compare.add_argument("--current", required=True)
+    compare.add_argument("--tolerance", type=float, default=0.25,
+                         help="relative regression band (default 0.25)")
+    compare.add_argument("--min-fusion-gain", type=float, default=None,
+                         help="absolute floor for micro ops fusion_gain_x")
+    compare.add_argument("--include-titles", default=DEFAULT_INCLUDE)
+    compare.add_argument("--exclude-titles", default=DEFAULT_EXCLUDE)
+    compare.add_argument("--exclude-cols", default=DEFAULT_EXCLUDE_COLS)
+    compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -123,6 +123,10 @@ void ReportModeBreakdown(const TuFastInstrumented& tm,
                             : 0)});
   }
   table.Print(title);
+  // ApplyBatch routes per-source update groups through the batch
+  // executor, so the update mixes exercise group-commit fusion; surface
+  // the achieved widths alongside the mode split.
+  PrintFusionSummary(snap, "fusion summary — " + title);
 }
 
 void RunDataset(const std::string& name, const Graph& base,

@@ -7,6 +7,7 @@
 #include "htm/htm_config.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "tm/batch_executor.h"
 
 namespace tufast {
 
@@ -27,21 +28,24 @@ std::vector<TmWord> GreedyColoringTm(Scheduler& tm, ThreadPool& pool,
   ParallelForChunked(
       pool, 0, n, /*grain=*/128,
       [&](int worker, uint64_t lo, uint64_t hi) {
-        std::vector<uint8_t> used;  // Scratch, reused across vertices.
-        for (uint64_t i = lo; i < hi; ++i) {
-          const VertexId v = static_cast<VertexId>(i);
-          tm.Run(worker, graph.OutDegree(v) + 1, [&](auto& txn) {
-            used.assign(graph.OutDegree(v) + 1, 0);
-            for (const VertexId u : graph.OutNeighbors(v)) {
-              if (u == v) continue;
-              const TmWord c = txn.Read(u, &color[u]);
-              if (c < used.size()) used[c] = 1;
-            }
-            TmWord smallest = 0;
-            while (smallest < used.size() && used[smallest]) ++smallest;
-            txn.Write(v, &color[v], smallest);
-          });
-        }
+        std::vector<uint8_t> used;  // Scratch; each item resets it on entry.
+        RunBatch(
+            tm, worker, lo, hi,
+            [&](uint64_t i) {
+              return graph.OutDegree(static_cast<VertexId>(i)) + 1;
+            },
+            [&](auto& txn, uint64_t i) {
+              const VertexId v = static_cast<VertexId>(i);
+              used.assign(graph.OutDegree(v) + 1, 0);
+              for (const VertexId u : graph.OutNeighbors(v)) {
+                if (u == v) continue;
+                const TmWord c = txn.Read(u, &color[u]);
+                if (c < used.size()) used[c] = 1;
+              }
+              TmWord smallest = 0;
+              while (smallest < used.size() && used[smallest]) ++smallest;
+              txn.Write(v, &color[v], smallest);
+            });
       });
   return color;
 }

@@ -1,6 +1,7 @@
 #ifndef TUFAST_ALGORITHMS_KCORE_H_
 #define TUFAST_ALGORITHMS_KCORE_H_
 
+#include <array>
 #include <atomic>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "htm/htm_config.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "tm/batch_executor.h"
 
 namespace tufast {
 
@@ -37,38 +39,42 @@ std::vector<TmWord> KCoreTm(Scheduler& tm, ThreadPool& pool,
     std::atomic<bool> changed{true};
     while (changed.load(std::memory_order_relaxed)) {
       changed.store(false, std::memory_order_relaxed);
+      constexpr uint64_t kGrain = 256;
       ParallelForChunked(
-          pool, 0, n, /*grain=*/256,
+          pool, 0, n, kGrain,
           [&](int worker, uint64_t lo, uint64_t hi) {
-            uint64_t retired = 0;
-            bool local_changed = false;
+            // Already-retired vertices are skipped up front (same rule as
+            // the per-item loop); the batch covers the rest.
+            std::array<VertexId, kGrain> vs;
+            std::array<bool, kGrain> removed;
+            uint64_t cnt = 0;
             for (uint64_t i = lo; i < hi; ++i) {
               const VertexId v = static_cast<VertexId>(i);
               if (__atomic_load_n(&alive[v], __ATOMIC_RELAXED) == 0) continue;
-              bool removed = false;
-              tm.Run(worker, graph.OutDegree(v) + 1, [&](auto& txn) {
-                removed = false;
-                if (txn.Read(v, &alive[v]) == 0) return;
-                if (txn.Read(v, &degree[v]) >= k) return;
-                txn.Write(v, &alive[v], 0);
-                txn.Write(v, &core[v], k - 1);
-                for (const VertexId u : graph.OutNeighbors(v)) {
-                  if (u == v) continue;
-                  if (txn.Read(u, &alive[u]) != 0) {
-                    txn.Write(u, &degree[u], txn.Read(u, &degree[u]) - 1);
-                  }
-                }
-                removed = true;
-              });
-              if (removed) {
-                ++retired;
-                local_changed = true;
-              }
+              vs[cnt++] = v;
             }
+            RunBatch(
+                tm, worker, 0, cnt,
+                [&](uint64_t j) { return graph.OutDegree(vs[j]) + 1; },
+                [&](auto& txn, uint64_t j) {
+                  const VertexId v = vs[j];
+                  removed[j] = false;
+                  if (txn.Read(v, &alive[v]) == 0) return;
+                  if (txn.Read(v, &degree[v]) >= k) return;
+                  txn.Write(v, &alive[v], 0);
+                  txn.Write(v, &core[v], k - 1);
+                  for (const VertexId u : graph.OutNeighbors(v)) {
+                    if (u == v) continue;
+                    if (txn.Read(u, &alive[u]) != 0) {
+                      txn.Write(u, &degree[u], txn.Read(u, &degree[u]) - 1);
+                    }
+                  }
+                  removed[j] = true;
+                });
+            uint64_t retired = 0;
+            for (uint64_t j = 0; j < cnt; ++j) retired += removed[j] ? 1 : 0;
             if (retired > 0) {
               remaining.fetch_sub(retired, std::memory_order_relaxed);
-            }
-            if (local_changed) {
               changed.store(true, std::memory_order_relaxed);
             }
           });

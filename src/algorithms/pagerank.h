@@ -1,6 +1,7 @@
 #ifndef TUFAST_ALGORITHMS_PAGERANK_H_
 #define TUFAST_ALGORITHMS_PAGERANK_H_
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "htm/htm_config.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
+#include "tm/batch_executor.h"
 
 namespace tufast {
 
@@ -61,25 +63,34 @@ PageRankResult PageRankTm(Scheduler& tm, ThreadPool& pool, const Graph& graph,
   }
   const double base = (1.0 - options.damping) / n;
 
+  constexpr uint64_t kGrain = 256;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     std::atomic<double> total_delta{0.0};
     ParallelForChunked(
-        pool, 0, n, /*grain=*/256,
+        pool, 0, n, kGrain,
         [&](int worker, uint64_t lo, uint64_t hi) {
+          // Per-item outputs, set by each item's committed execution and
+          // read only after RunBatch returns (batch_executor.h contract).
+          std::array<double, kGrain> next, prev;
+          RunBatch(
+              tm, worker, lo, hi,
+              [&](uint64_t i) {
+                return reversed.OutDegree(static_cast<VertexId>(i)) + 1;
+              },
+              [&](auto& txn, uint64_t i) {
+                const VertexId v = static_cast<VertexId>(i);
+                double sum = 0;
+                for (const VertexId u : reversed.OutNeighbors(v)) {
+                  sum += txn.ReadDouble(u, &rank[u]) * inv_out_degree[u];
+                }
+                const double nv = base + options.damping * sum;
+                prev[i - lo] = txn.ReadDouble(v, &rank[v]);
+                txn.WriteDouble(v, &rank[v], nv);
+                next[i - lo] = nv;
+              });
           double local_delta = 0;
           for (uint64_t i = lo; i < hi; ++i) {
-            const VertexId v = static_cast<VertexId>(i);
-            double next = 0, prev = 0;  // Set by the committed execution.
-            tm.Run(worker, reversed.OutDegree(v) + 1, [&](auto& txn) {
-              double sum = 0;
-              for (const VertexId u : reversed.OutNeighbors(v)) {
-                sum += txn.ReadDouble(u, &rank[u]) * inv_out_degree[u];
-              }
-              next = base + options.damping * sum;
-              prev = txn.ReadDouble(v, &rank[v]);
-              txn.WriteDouble(v, &rank[v], next);
-            });
-            local_delta += std::fabs(next - prev);
+            local_delta += std::fabs(next[i - lo] - prev[i - lo]);
           }
           // total_delta is only read after the parallel loop joins.
           double expected = total_delta.load(std::memory_order_relaxed);

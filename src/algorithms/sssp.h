@@ -2,12 +2,14 @@
 #define TUFAST_ALGORITHMS_SSSP_H_
 
 #include <atomic>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "htm/htm_config.h"
 #include "runtime/thread_pool.h"
 #include "runtime/worklist.h"
+#include "tm/batch_executor.h"
 
 namespace tufast {
 
@@ -44,40 +46,52 @@ std::vector<TmWord> SsspTm(Scheduler& tm, ThreadPool& pool, const Graph& graph,
     prio.Push(source, 0);
   }
 
+  // Popped vertices are relaxed in batches so the batch executor can
+  // fuse their transactions; relaxation is confluent, so the final
+  // distances are independent of the pop grouping.
+  constexpr size_t kDrainBatch = 16;
   std::atomic<int> active{0};
   pool.RunOnAll([&](int worker) {
-    auto process = [&](int w, VertexId v) {
-      // Collected by the committed execution only.
-      std::vector<std::pair<VertexId, TmWord>> to_push;
-      tm.Run(w, graph.OutDegree(v) + 1, [&](auto& txn) {
-        to_push.clear();
-        txn.Write(v, &in_queue[v], 0);
-        const TmWord dv = txn.Read(v, &dist[v]);
-        if (dv == kSsspInfinity) return;
-        for (EdgeId e = graph.EdgeBegin(v); e < graph.EdgeEnd(v); ++e) {
-          const VertexId u = graph.EdgeTarget(e);
-          const TmWord candidate = dv + graph.EdgeWeight(e);
-          if (candidate < txn.Read(u, &dist[u])) {
-            txn.Write(u, &dist[u], candidate);
-            if (txn.Read(u, &in_queue[u]) == 0) {
-              txn.Write(u, &in_queue[u], 1);
-              to_push.emplace_back(u, candidate);
+    // Per-item push lists, collected by each item's committed execution
+    // and drained only after RunBatch returns.
+    std::vector<std::vector<std::pair<VertexId, TmWord>>> to_push(kDrainBatch);
+    auto process = [&](int w, const std::vector<VertexId>& batch) {
+      RunBatch(
+          tm, w, 0, batch.size(),
+          [&](uint64_t k) { return graph.OutDegree(batch[k]) + 1; },
+          [&](auto& txn, uint64_t k) {
+            const VertexId v = batch[k];
+            auto& pushes = to_push[k];
+            pushes.clear();
+            txn.Write(v, &in_queue[v], 0);
+            const TmWord dv = txn.Read(v, &dist[v]);
+            if (dv == kSsspInfinity) return;
+            for (EdgeId e = graph.EdgeBegin(v); e < graph.EdgeEnd(v); ++e) {
+              const VertexId u = graph.EdgeTarget(e);
+              const TmWord candidate = dv + graph.EdgeWeight(e);
+              if (candidate < txn.Read(u, &dist[u])) {
+                txn.Write(u, &dist[u], candidate);
+                if (txn.Read(u, &in_queue[u]) == 0) {
+                  txn.Write(u, &in_queue[u], 1);
+                  pushes.emplace_back(u, candidate);
+                }
+              }
             }
+          });
+      for (size_t k = 0; k < batch.size(); ++k) {
+        for (const auto& [u, d] : to_push[k]) {
+          if (use_fifo) {
+            fifo.Push(u);
+          } else {
+            prio.Push(u, d);
           }
-        }
-      });
-      for (const auto& [u, d] : to_push) {
-        if (use_fifo) {
-          fifo.Push(u);
-        } else {
-          prio.Push(u, d);
         }
       }
     };
     if (use_fifo) {
-      DrainWorklist(fifo, worker, active, process);
+      DrainWorklistBatched(fifo, worker, active, kDrainBatch, process);
     } else {
-      DrainWorklist(prio, worker, active, process);
+      DrainWorklistBatched(prio, worker, active, kDrainBatch, process);
     }
   });
   return dist;

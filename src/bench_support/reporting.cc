@@ -251,8 +251,35 @@ std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snap) {
 
   out += ",\"period\":" + LogHistogramToJson(snap.period_hist);
   out += ",\"last_period\":" + U64(snap.last_period);
+
+  out += ",\"fusion\":{";
+  out += "\"fused_regions\":" + U64(snap.fused_regions);
+  out += ",\"fused_items\":" + U64(snap.fused_items);
+  out += ",\"fusion_aborts\":" + U64(snap.fusion_aborts);
+  out += ",\"width\":" + LogHistogramToJson(snap.fusion_width_hist);
+  out += ",\"bisection_depth\":" + LogHistogramToJson(snap.bisection_depth_hist);
+  out += "}";
   out += "}";
   return out;
+}
+
+void PrintFusionSummary(const TelemetrySnapshot& snap,
+                        const std::string& title) {
+  if (snap.fused_regions == 0) return;
+  ReportTable table({"fused regions", "fused items", "avg width",
+                     "p50 width", "p99 width", "fusion aborts",
+                     "p50 bisect depth", "p99 bisect depth"});
+  table.AddRow(
+      {ReportTable::Int(snap.fused_regions),
+       ReportTable::Int(snap.fused_items),
+       ReportTable::Num(static_cast<double>(snap.fused_items) /
+                        snap.fused_regions),
+       ReportTable::Int(snap.fusion_width_hist.ApproxQuantile(0.5)),
+       ReportTable::Int(snap.fusion_width_hist.ApproxQuantile(0.99)),
+       ReportTable::Int(snap.fusion_aborts),
+       ReportTable::Int(snap.bisection_depth_hist.ApproxQuantile(0.5)),
+       ReportTable::Int(snap.bisection_depth_hist.ApproxQuantile(0.99))});
+  table.Print(title);
 }
 
 }  // namespace tufast

@@ -63,6 +63,13 @@ class JsonReport {
 std::string LogHistogramToJson(const LogHistogram& hist);
 std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snapshot);
 
+/// Prints (and mirrors to JSON) the batch-executor fusion summary of a
+/// telemetry snapshot: fused regions/items, fusion aborts, and the
+/// width / bisection-depth histogram quantiles. No-op when the snapshot
+/// recorded no fused regions (per-item benches stay uncluttered).
+void PrintFusionSummary(const TelemetrySnapshot& snapshot,
+                        const std::string& title);
+
 }  // namespace tufast
 
 #endif  // TUFAST_BENCH_SUPPORT_REPORTING_H_

@@ -15,6 +15,7 @@
 #include "common/types.h"
 #include "graph/graph.h"
 #include "htm/htm_config.h"
+#include "tm/batch_executor.h"
 #include "tm/outcome.h"
 
 namespace tufast {
@@ -203,7 +204,11 @@ class DynamicGraph {
   /// each group is ONE transaction (amortizing Run() overhead and lock
   /// traffic across a vertex's updates). Groups preserve the relative
   /// order of a vertex's updates; cross-vertex order is not preserved
-  /// (each group commits independently).
+  /// (each group commits independently). Groups run through the batch
+  /// executor (tm/batch_executor.h), so on TuFast several small groups
+  /// fuse into one H-mode region; per-group private state (spares,
+  /// tallies) keeps each group independently idempotent as the fused
+  /// contract requires.
   template <typename Scheduler>
   ApplyResult ApplyBatch(Scheduler& tm, int worker,
                          std::span<const EdgeUpdate> updates) {
@@ -217,15 +222,50 @@ class DynamicGraph {
                      [&](uint32_t a, uint32_t b) {
                        return updates[a].src < updates[b].src;
                      });
-    std::vector<EdgeUpdate> group;
+    struct GroupCtx {
+      VertexId u = 0;
+      std::vector<EdgeUpdate> updates;
+      std::vector<uint64_t> spares;
+      size_t spares_used = 0;
+      ApplyResult local;
+    };
+    std::vector<GroupCtx> groups;
     size_t i = 0;
     while (i < order.size()) {
-      const VertexId u = updates[order[i]].src;
-      group.clear();
-      for (; i < order.size() && updates[order[i]].src == u; ++i) {
-        group.push_back(updates[order[i]]);
+      GroupCtx& ctx = groups.emplace_back();
+      ctx.u = updates[order[i]].src;
+      size_t inserts = 0;
+      for (; i < order.size() && updates[order[i]].src == ctx.u; ++i) {
+        ctx.updates.push_back(updates[order[i]]);
+        if (ctx.updates.back().op == EdgeUpdate::Op::kInsert) ++inserts;
       }
-      ApplyGroup(tm, worker, u, group, &result);
+      // Spares are pre-allocated outside the transactions (allocation
+      // inside a hardware region would abort real HTM).
+      if (inserts > 0) {
+        GrabSpares((inserts + kSlotsPerBlock - 1) / kSlotsPerBlock,
+                   &ctx.spares);
+      }
+    }
+    RunBatch(
+        tm, worker, 0, groups.size(),
+        [&](uint64_t g) {
+          return SizeHintFor(groups[g].u) + 2 * groups[g].updates.size();
+        },
+        [&](auto& txn, uint64_t g) {
+          GroupCtx& ctx = groups[g];
+          ctx.local = ApplyResult{};  // Reset private state: re-executes.
+          ctx.spares_used = 0;
+          for (const EdgeUpdate& up : ctx.updates) {
+            ApplyOneInTxn(txn, ctx.u, up, ctx.spares, &ctx.spares_used,
+                          &ctx.local);
+          }
+        });
+    // RunBatch only returns after every group committed (no user aborts
+    // here), so the private tallies reflect the committed executions.
+    for (GroupCtx& ctx : groups) {
+      ReturnSpares(
+          std::span<const uint64_t>(ctx.spares).subspan(ctx.spares_used));
+      result.Merge(ctx.local);
     }
     return result;
   }

@@ -18,12 +18,40 @@ void ParallelForChunked(ThreadPool& pool, uint64_t begin, uint64_t end,
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   std::atomic<uint64_t> cursor{begin};
+  // Fast-path safety: the cursor overshoots `end` by at most
+  // (nthreads + 1) * grain — one grain for the claim that crosses end
+  // plus one final fetch_add per worker before it observes lo >= end. The
+  // guard requires end + (nthreads + 1) * grain <= UINT64_MAX, written
+  // division-side so the margin product itself cannot overflow.
+  const uint64_t workers = static_cast<uint64_t>(pool.num_threads());
+  if (grain <= (UINT64_MAX - end) / (workers + 1)) {
+    // Fast path: neither `lo + grain` nor the cursor's overshoot can
+    // wrap, so the cheap fetch_add claim loop is sound.
+    pool.RunOnAll([&](int worker_id) {
+      while (true) {
+        const uint64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (lo >= end) return;
+        const uint64_t hi = lo + grain < end ? lo + grain : end;
+        fn(worker_id, lo, hi);
+      }
+    });
+    return;
+  }
+  // Ranges ending near UINT64_MAX: the fetch_add scheme breaks twice —
+  // `lo + grain` wraps (a wrapped `hi` < `lo` silently skips the tail
+  // chunk) and the cursor itself can wrap past zero, handing out already
+  // processed indices. Claim chunks with a capped CAS instead: the
+  // cursor never exceeds `end`, so no expression here can overflow.
   pool.RunOnAll([&](int worker_id) {
-    while (true) {
-      const uint64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
-      if (lo >= end) return;
-      const uint64_t hi = lo + grain < end ? lo + grain : end;
-      fn(worker_id, lo, hi);
+    uint64_t lo = cursor.load(std::memory_order_relaxed);
+    while (lo < end) {
+      const uint64_t remaining = end - lo;
+      const uint64_t hi = lo + (grain < remaining ? grain : remaining);
+      if (cursor.compare_exchange_weak(lo, hi, std::memory_order_relaxed)) {
+        fn(worker_id, lo, hi);
+        lo = cursor.load(std::memory_order_relaxed);
+      }
+      // CAS failure reloads `lo` in place; retry from the fresh cursor.
     }
   });
 }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "common/compiler.h"
@@ -118,6 +119,47 @@ class ConcurrentPriorityQueue {
 /// `Failpoints` (common/failpoints.h) lets the stress harness inject
 /// schedule perturbation between pop and execution — the exact window of
 /// the historical termination race.
+/// Batched variant of DrainWorklist for the batch executor
+/// (tm/batch_executor.h): pops up to `max_batch` items while registered
+/// and hands them to `fn(worker_id, items)` as one span, so the caller
+/// can fuse their transactions. The termination protocol is unchanged —
+/// the worker registers before its first pop of a batch and deregisters
+/// only after a pop returned empty with nothing batched, so a mid-batch
+/// worker (which may still push) always holds `active`.
+template <typename Failpoints = NullFailpoints, typename Queue, typename Fn>
+void DrainWorklistBatched(Queue& queue, int worker_id,
+                          std::atomic<int>& active, size_t max_batch,
+                          Fn&& fn) {
+  using Item = std::decay_t<decltype(*queue.TryPop())>;
+  std::vector<Item> batch;
+  batch.reserve(max_batch);
+  Backoff backoff;
+  active.fetch_add(1, std::memory_order_acq_rel);
+  while (true) {
+    batch.clear();
+    while (batch.size() < max_batch) {
+      auto item = queue.TryPop();
+      if (!item.has_value()) break;
+      if constexpr (Failpoints::kEnabled) {
+        Failpoints::Hit(FailSite::kWorklistPop, worker_id);
+      }
+      batch.push_back(std::move(*item));
+    }
+    if (!batch.empty()) {
+      fn(worker_id, batch);
+      backoff.Reset();
+      continue;
+    }
+    active.fetch_sub(1, std::memory_order_acq_rel);
+    while (queue.Empty()) {
+      if (active.load(std::memory_order_acquire) == 0) return;
+      backoff.Pause();
+    }
+    active.fetch_add(1, std::memory_order_acq_rel);
+    backoff.Reset();
+  }
+}
+
 template <typename Failpoints = NullFailpoints, typename Queue, typename Fn>
 void DrainWorklist(Queue& queue, int worker_id, std::atomic<int>& active,
                    Fn&& fn) {

@@ -1,6 +1,7 @@
 #ifndef TUFAST_TM_ADDR_MAP_H_
 #define TUFAST_TM_ADDR_MAP_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -11,8 +12,24 @@ namespace tufast {
 /// Open-addressed hash map from uintptr_t keys to uint32_t payloads,
 /// purpose-built for transaction write sets: clear-in-O(used), grows by
 /// rehash at 50% load, no deletion. Key 0 and ~0 are reserved.
+///
+/// Small-map fast path: the first kInlineCap distinct keys live in a pair
+/// of inline arrays probed by linear scan — the common per-vertex
+/// transaction writes 1-2 words, and a scan of <= 8 keys in one or two
+/// cache lines beats hashing into the (large, cold) preallocated table.
+/// The kInlineCap+1-th distinct key promotes every inline entry into the
+/// table, which stays preallocated from construction, so promotion
+/// allocates only if the table must also grow.
+///
+/// Pointer-stability contract: a payload pointer returned by
+/// FindOrInsert/Find is valid only until the next FindOrInsert or Clear
+/// on the same map — inline->table promotion and table growth both move
+/// payloads. Callers must write through the pointer immediately (the
+/// mode contexts in tm/modes.h all do).
 class AddrMap {
  public:
+  static constexpr size_t kInlineCap = 8;
+
   explicit AddrMap(size_t initial_capacity = 256) {
     size_t cap = 16;
     while (cap < initial_capacity * 2) cap <<= 1;
@@ -21,17 +38,63 @@ class AddrMap {
     mask_ = cap - 1;
   }
 
-  size_t size() const { return used_.size(); }
+  size_t size() const { return inline_active_ ? inline_size_ : used_.size(); }
 
   void Clear() {
+    inline_size_ = 0;
+    inline_active_ = true;
     for (const uint32_t pos : used_) keys_[pos] = kEmpty;
     used_.clear();
   }
 
   /// Returns the payload slot for `key`, inserting `fresh` if absent.
-  /// `inserted` reports whether a new entry was created.
+  /// `inserted` reports whether a new entry was created. See the
+  /// pointer-stability contract above.
   uint32_t* FindOrInsert(uintptr_t key, uint32_t fresh, bool* inserted) {
     TUFAST_DCHECK(key != kEmpty && key != 0);
+    if (TUFAST_LIKELY(inline_active_)) {
+      for (size_t i = 0; i < inline_size_; ++i) {
+        if (inline_keys_[i] == key) {
+          *inserted = false;
+          return &inline_values_[i];
+        }
+      }
+      if (inline_size_ < kInlineCap) {
+        inline_keys_[inline_size_] = key;
+        inline_values_[inline_size_] = fresh;
+        *inserted = true;
+        return &inline_values_[inline_size_++];
+      }
+      Promote();
+    }
+    return TableFindOrInsert(key, fresh, inserted);
+  }
+
+  /// Returns the payload for `key` or nullptr. Same stability contract.
+  uint32_t* Find(uintptr_t key) {
+    if (TUFAST_LIKELY(inline_active_)) {
+      for (size_t i = 0; i < inline_size_; ++i) {
+        if (inline_keys_[i] == key) return &inline_values_[i];
+      }
+      return nullptr;
+    }
+    size_t pos = Hash(key) & mask_;
+    while (true) {
+      if (keys_[pos] == key) return &values_[pos];
+      if (keys_[pos] == kEmpty) return nullptr;
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+ private:
+  static constexpr uintptr_t kEmpty = ~uintptr_t{0};
+
+  static uint64_t Hash(uintptr_t key) {
+    uint64_t z = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t* TableFindOrInsert(uintptr_t key, uint32_t fresh, bool* inserted) {
     if (used_.size() * 2 >= keys_.size()) Grow();
     size_t pos = Hash(key) & mask_;
     while (true) {
@@ -50,22 +113,16 @@ class AddrMap {
     }
   }
 
-  /// Returns the payload for `key` or nullptr.
-  uint32_t* Find(uintptr_t key) {
-    size_t pos = Hash(key) & mask_;
-    while (true) {
-      if (keys_[pos] == key) return &values_[pos];
-      if (keys_[pos] == kEmpty) return nullptr;
-      pos = (pos + 1) & mask_;
+  /// Spills the full inline buffer into the table; cold by construction
+  /// (runs at most once per Clear() cycle, only for big write sets).
+  TUFAST_NOINLINE_COLD void Promote() {
+    inline_active_ = false;
+    for (size_t i = 0; i < inline_size_; ++i) {
+      bool inserted;
+      *TableFindOrInsert(inline_keys_[i], inline_values_[i], &inserted) =
+          inline_values_[i];
     }
-  }
-
- private:
-  static constexpr uintptr_t kEmpty = ~uintptr_t{0};
-
-  static uint64_t Hash(uintptr_t key) {
-    uint64_t z = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
-    return z ^ (z >> 31);
+    inline_size_ = 0;
   }
 
   void Grow() {
@@ -80,10 +137,15 @@ class AddrMap {
     mask_ = cap - 1;
     for (const uint32_t pos : old_used) {
       bool inserted;
-      *FindOrInsert(old_keys[pos], old_values[pos], &inserted) =
+      *TableFindOrInsert(old_keys[pos], old_values[pos], &inserted) =
           old_values[pos];
     }
   }
+
+  std::array<uintptr_t, kInlineCap> inline_keys_;
+  std::array<uint32_t, kInlineCap> inline_values_;
+  size_t inline_size_ = 0;
+  bool inline_active_ = true;
 
   std::vector<uintptr_t> keys_;
   std::vector<uint32_t> values_;

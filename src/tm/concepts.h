@@ -35,7 +35,8 @@ concept TransactionContext =
 template <typename T>
 concept TelemetrySink =
     requires(T& sink, const T& csink, TxnClass cls, SchedMode mode,
-             AbortReason reason, uint32_t period, uint64_t ops, bool cycle) {
+             AbortReason reason, uint32_t period, uint64_t ops, bool cycle,
+             uint32_t width, uint32_t depth) {
       { T::kEnabled } -> std::convertible_to<bool>;
       sink.TxnBegin();
       sink.EnterMode(mode);
@@ -44,6 +45,8 @@ concept TelemetrySink =
       sink.DeadlockVictim(cycle);
       sink.TxnCommit(cls, ops);
       sink.TxnUserAbort(cls);
+      sink.FusedCommit(width, depth, ops);
+      sink.FusionAbort(width);
       sink.Merge(csink);
     };
 

@@ -88,6 +88,35 @@ class ContentionMonitor {
     return configured;
   }
 
+  /// Records one *fused* hardware attempt covering `items` per-vertex
+  /// transactions. Fused items play the same role for the fusion-width
+  /// controller that operations play for the O-mode period controller: a
+  /// width-k region commits all k items with probability (1-p_item)^k,
+  /// so the same P* analysis applies with p measured per item.
+  void RecordFusedAttempt(uint64_t items, bool aborted) {
+    if (items == 0) items = 1;
+    decayed_items_ = decayed_items_ * config_.decay + static_cast<double>(items);
+    decayed_item_aborts_ =
+        decayed_item_aborts_ * config_.decay + (aborted ? 1.0 : 0.0);
+  }
+
+  /// Current estimate of the per-fused-item abort probability.
+  double EstimatedItemP() const {
+    if (decayed_items_ <= 0.0) return 0.0;
+    const double p = decayed_item_aborts_ / decayed_items_;
+    return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  }
+
+  /// Target fusion width for the next batched H-mode region: the P*
+  /// formula applied to the per-item abort probability, clamped to
+  /// [1, max_width]. With no abort signal this returns max_width (be
+  /// greedy); under heavy aborting it collapses to 1, i.e. the plain
+  /// per-item router.
+  uint32_t CurrentFusionWidth(uint32_t max_width) const {
+    if (max_width <= 1) return 1;
+    return OptimalPeriod(EstimatedItemP(), 1, max_width);
+  }
+
   const Config& config() const { return config_; }
 
  private:
@@ -95,6 +124,9 @@ class ContentionMonitor {
   double decayed_ops_;
   double decayed_aborts_;
   double decayed_attempts_ = 1.0;
+  // Fusion-width estimator state (per fused item, not per operation).
+  double decayed_items_ = 0.0;
+  double decayed_item_aborts_ = 0.0;
 };
 
 }  // namespace tufast

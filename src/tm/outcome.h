@@ -58,11 +58,35 @@ struct SchedulerStats {
   uint64_t class_count[static_cast<int>(TxnClass::kNumClasses)] = {};
   uint64_t class_ops[static_cast<int>(TxnClass::kNumClasses)] = {};
 
+  // Batch-executor (group-commit fusion) counters. A fused region that
+  // commits counts each of its items as a normal H-class commit above,
+  // so the class totals stay comparable across fusion on/off; these
+  // record how the commits were packaged.
+  uint64_t fused_regions = 0;      // committed fused regions (width >= 2)
+  uint64_t fused_items = 0;        // items committed inside those regions
+  uint64_t fusion_aborts = 0;      // fused-region attempts that aborted
+  uint64_t fusion_bisections = 0;  // abort-driven width halvings
+
   void RecordCommit(TxnClass cls, uint64_t ops) {
     ++commits;
     ops_committed += ops;
     ++class_count[static_cast<int>(cls)];
     class_ops[static_cast<int>(cls)] += ops;
+  }
+
+  /// Commit of one fused H-mode region covering `items` per-vertex
+  /// transactions totalling `total_ops` operations. Counts every item as
+  /// an H-class commit (Fig. 15 parity with the unfused path) plus the
+  /// fusion packaging counters.
+  void RecordFusedCommit(uint64_t items, uint64_t total_ops) {
+    commits += items;
+    ops_committed += total_ops;
+    class_count[static_cast<int>(TxnClass::kH)] += items;
+    class_ops[static_cast<int>(TxnClass::kH)] += total_ops;
+    if (items >= 2) {
+      ++fused_regions;
+      fused_items += items;
+    }
   }
 
   uint64_t TotalFailedAttempts() const {
@@ -83,6 +107,10 @@ struct SchedulerStats {
       class_count[i] += other.class_count[i];
       class_ops[i] += other.class_ops[i];
     }
+    fused_regions += other.fused_regions;
+    fused_items += other.fused_items;
+    fusion_aborts += other.fusion_aborts;
+    fusion_bisections += other.fusion_bisections;
   }
 };
 

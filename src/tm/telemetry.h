@@ -96,6 +96,8 @@ struct NullTelemetry {
   void DeadlockVictim(bool /*cycle*/) {}
   void TxnCommit(TxnClass, uint64_t /*ops*/) {}
   void TxnUserAbort(TxnClass) {}
+  void FusedCommit(uint32_t /*width*/, uint32_t /*depth*/, uint64_t /*ops*/) {}
+  void FusionAbort(uint32_t /*width*/) {}
   void Merge(const NullTelemetry&) {}
 };
 
@@ -128,6 +130,15 @@ struct TelemetrySnapshot {
   /// (per-worker snapshots only — Merge keeps the other's if set).
   LogHistogram period_hist;
   uint32_t last_period = 0;
+
+  /// Batch-executor (group-commit fusion) breakdown. A committed fused
+  /// region of width w also counts w commits in `commits[kH]` above, so
+  /// the Fig. 15 class totals stay comparable with fusion on or off.
+  uint64_t fused_regions = 0;   // committed fused regions (width >= 2)
+  uint64_t fused_items = 0;     // items committed inside those regions
+  uint64_t fusion_aborts = 0;   // fused-region attempts that aborted
+  LogHistogram fusion_width_hist;     // committed region widths
+  LogHistogram bisection_depth_hist;  // width halvings before commit
 
   uint64_t TotalCommits() const {
     uint64_t total = 0;
@@ -206,6 +217,36 @@ class EventTelemetry {
     CloseMode(Now());
   }
 
+  /// One fused H-mode region committed: `width` items, after `depth`
+  /// abort-driven width halvings, totalling `ops` operations. Each item
+  /// is accounted as one begin + one H-class commit so the per-class
+  /// totals cross-check against SchedulerStats with fusion enabled.
+  void FusedCommit(uint32_t width, uint32_t depth, uint64_t ops) {
+    const uint64_t now = Now();
+    snap_.begins += width;
+    snap_.commits[static_cast<int>(TxnClass::kH)] += width;
+    snap_.commit_ops[static_cast<int>(TxnClass::kH)] += ops;
+    if (width >= 2) {
+      ++snap_.fused_regions;
+      snap_.fused_items += width;
+    }
+    snap_.fusion_width_hist.Add(width);
+    snap_.bisection_depth_hist.Add(depth);
+    // The scheduler brackets fused attempts with EnterMode(kHardware);
+    // closing here attributes the region's wall time to H mode.
+    CloseMode(now);
+  }
+
+  /// One fused-region attempt of `width` items aborted (capacity,
+  /// conflict, or a user abort inside the region) and will be bisected.
+  /// The abort *reason* is reported separately through AttemptAbort by
+  /// the batch executor, which keeps the abort matrix consistent between
+  /// the fused and per-item paths.
+  void FusionAbort(uint32_t width) {
+    ++snap_.fusion_aborts;
+    (void)width;
+  }
+
   void Merge(const EventTelemetry& other) {
     const TelemetrySnapshot& o = other.snap_;
     snap_.begins += o.begins;
@@ -228,6 +269,11 @@ class EventTelemetry {
     }
     snap_.period_hist.Merge(o.period_hist);
     if (o.last_period != 0) snap_.last_period = o.last_period;
+    snap_.fused_regions += o.fused_regions;
+    snap_.fused_items += o.fused_items;
+    snap_.fusion_aborts += o.fusion_aborts;
+    snap_.fusion_width_hist.Merge(o.fusion_width_hist);
+    snap_.bisection_depth_hist.Merge(o.bisection_depth_hist);
   }
 
   /// Copy of the aggregate so far. Call only while no transaction is in

@@ -71,12 +71,30 @@ class TuFastScheduler {
     /// routes its transactions to the next one in the Fig. 10 pipeline.
     bool enable_h_mode = true;
     bool enable_o_mode = true;
+    /// Group-commit fusion (tm/batch_executor.h): RunBatch() fuses runs
+    /// of small per-item transactions into single H-mode regions. Off =
+    /// RunBatch degenerates to one Run() per item (bit-identical
+    /// results; the equivalence tests rely on this).
+    bool enable_fusion = true;
+    /// Hard cap on the fusion width. The adaptive controller picks the
+    /// working width in [1, max_fusion_width] from the monitored
+    /// per-item abort probability (same P* analysis as the O period).
+    uint32_t max_fusion_width = 16;
+    /// Non-zero pins the fusion width (bench fusion-width sweep);
+    /// 0 = adaptive.
+    uint32_t fixed_fusion_width = 0;
+    /// Give every vertex lock word its own cache line (sync/lock_table.h)
+    /// to kill false sharing between adjacent vertices, at 8x the lock
+    /// table footprint. Off by default: the dense layout wins whenever
+    /// fused windows touch neighboring vertices (one line subscribes
+    /// eight lock words).
+    bool padded_lock_table = false;
   };
 
   TuFastScheduler(Htm& htm, VertexId num_vertices, Config config = {})
       : htm_(htm),
         config_(config),
-        lock_table_(htm, num_vertices),
+        lock_table_(htm, num_vertices, config.padded_lock_table),
         lock_manager_(lock_table_, config.deadlock_policy),
         h_hint_threshold_(config.h_hint_threshold != 0
                               ? config.h_hint_threshold
@@ -104,6 +122,130 @@ class TuFastScheduler {
   RunOutcome Run(int worker_id, uint64_t size_hint, Fn&& fn) {
     Worker& w = runtime_.GetWorker(worker_id, *this);
     w.telemetry.TxnBegin();
+    return RunRouted(w, worker_id, size_hint, fn);
+  }
+
+  /// Batched execution of items [lo, hi) (tm/batch_executor.h): fuses
+  /// runs of H-eligible items into single hardware regions — one
+  /// BEGIN/COMMIT and one set of lock-word subscriptions per window —
+  /// with capacity-aware window formation (the summed size hints of a
+  /// window must fit the H budget), abort-driven bisection (halve the
+  /// width and retry; width 1 degrades to the normal H->O->L router),
+  /// and an adaptive target width from the contention monitor's P*
+  /// analysis applied to the per-item abort probability.
+  ///
+  /// `body(txn, i)` and `hint(i)` follow the batch_executor.h contract;
+  /// items whose hint exceeds the H threshold, and all items when fusion
+  /// or H mode is disabled, are routed per-item exactly like Run().
+  template <typename HintFn, typename BodyFn>
+  void RunBatch(int worker_id, uint64_t lo, uint64_t hi, HintFn&& hint,
+                BodyFn&& body) {
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    if (!config_.enable_fusion || !config_.enable_h_mode) {
+      for (uint64_t i = lo; i < hi; ++i) {
+        RunItemRouted(w, worker_id, i, hint, body);
+      }
+      return;
+    }
+    uint64_t i = lo;
+    while (i < hi) {
+      const uint64_t first_hint = hint(i);
+      if (first_hint > h_hint_threshold_) {
+        // Too big for H mode: route per-item (O or L will take it).
+        RunItemRouted(w, worker_id, i, hint, body);
+        ++i;
+        continue;
+      }
+      const uint32_t target =
+          config_.fixed_fusion_width != 0
+              ? config_.fixed_fusion_width
+              : w.state.monitor.CurrentFusionWidth(config_.max_fusion_width);
+      // Grow the window while the next item keeps the summed footprint
+      // hint within the H budget — a window whose hints already exceed
+      // capacity would only pay a deterministic abort plus bisection.
+      uint64_t budget = first_hint;
+      uint64_t j = i + 1;
+      while (j < hi && (j - i) < target) {
+        const uint64_t hj = hint(j);
+        if (hj > h_hint_threshold_ || budget + hj > h_hint_threshold_) break;
+        budget += hj;
+        ++j;
+      }
+      ExecuteFusedRange(w, worker_id, i, j, hint, body, /*depth=*/0);
+      i = j;
+    }
+  }
+
+ private:
+  /// Scheduler-specific per-worker payload; stats/telemetry/RNG live in
+  /// the shared WorkerRuntime slot around it.
+  struct State {
+    State(TuFastScheduler& parent, int slot)
+        : htx(parent.htm_, slot),
+          otxn(parent.htm_, htx, parent.lock_table_,
+               parent.config_.o_hint_threshold + 64),
+          ltxn(parent.htm_, slot, parent.lock_manager_),
+          monitor(ContentionMonitor::Config{
+              .decay = 0.999,
+              .min_period = parent.config_.min_period,
+              .max_period = parent.max_period_,
+              .initial_p = 0.0}) {}
+
+    typename Htm::Tx htx;
+    OTxn<Htm> otxn;
+    LTxn<Htm> ltxn;
+    ContentionMonitor monitor;
+  };
+  using Runtime = WorkerRuntime<State, Telemetry>;
+  using Worker = typename Runtime::Worker;
+
+  /// One per-item transaction inside a batch: same accounting and
+  /// routing as Run(), with the item index bound into the body.
+  template <typename HintFn, typename BodyFn>
+  void RunItemRouted(Worker& w, int worker_id, uint64_t i, HintFn& hint,
+                     BodyFn& body) {
+    w.telemetry.TxnBegin();
+    auto item_fn = [&body, i](auto& txn) { body(txn, i); };
+    RunRouted(w, worker_id, hint(i), item_fn);
+  }
+
+  /// One fused attempt over items [lo, hi), bisecting on abort. `depth`
+  /// counts the halvings since the original window. Terminates: the
+  /// width strictly shrinks toward the width-1 base case, which is the
+  /// ordinary (terminating) per-item router.
+  template <typename HintFn, typename BodyFn>
+  void ExecuteFusedRange(Worker& w, int worker_id, uint64_t lo, uint64_t hi,
+                         HintFn& hint, BodyFn& body, uint32_t depth) {
+    const uint64_t width = hi - lo;
+    if (width == 1) {
+      RunItemRouted(w, worker_id, lo, hint, body);
+      return;
+    }
+    w.telemetry.EnterMode(SchedMode::kHardware);
+    HTxn<Htm> htxn(w.state.htx, lock_table_);
+    const FusedAttemptResult attempt =
+        RunFusedHtmAttempt(w.state.htx, htxn, lo, hi, body);
+    if (attempt.status.ok()) {
+      w.state.monitor.RecordFusedAttempt(width, /*aborted=*/false);
+      RecordFusedCommit(w, static_cast<uint32_t>(width), depth, attempt.ops);
+      return;
+    }
+    // Any abort — capacity, conflict, lock-busy, or a user abort from
+    // one of the fused bodies — bisects. A user abort is not final
+    // here: bisection isolates the aborting item at width 1, where the
+    // router delivers the per-item user-abort semantics.
+    w.state.monitor.RecordFusedAttempt(width, /*aborted=*/true);
+    RecordFusedAbort(w, static_cast<uint32_t>(width), attempt.status);
+    const uint64_t mid = lo + width / 2;
+    ExecuteFusedRange(w, worker_id, lo, mid, hint, body, depth + 1);
+    ExecuteFusedRange(w, worker_id, mid, hi, hint, body, depth + 1);
+  }
+
+  /// The Fig. 10 router shared by Run() and the batch executor's
+  /// per-item degradation path. The caller has already issued
+  /// telemetry.TxnBegin().
+  template <typename Fn>
+  RunOutcome RunRouted(Worker& w, int worker_id, uint64_t size_hint, Fn& fn) {
     if (size_hint > config_.o_hint_threshold) {
       return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kL);
     }
@@ -162,6 +304,7 @@ class TuFastScheduler {
     return RunOptimisticThenLock(w, fn);
   }
 
+ public:
   Htm& htm() { return htm_; }
   const Config& config() const { return config_; }
   LockTable<Htm>& lock_table() { return lock_table_; }
@@ -197,28 +340,6 @@ class TuFastScheduler {
   }
 
  private:
-  /// Scheduler-specific per-worker payload; stats/telemetry/RNG live in
-  /// the shared WorkerRuntime slot around it.
-  struct State {
-    State(TuFastScheduler& parent, int slot)
-        : htx(parent.htm_, slot),
-          otxn(parent.htm_, htx, parent.lock_table_,
-               parent.config_.o_hint_threshold + 64),
-          ltxn(parent.htm_, slot, parent.lock_manager_),
-          monitor(ContentionMonitor::Config{
-              .decay = 0.999,
-              .min_period = parent.config_.min_period,
-              .max_period = parent.max_period_,
-              .initial_p = 0.0}) {}
-
-    typename Htm::Tx htx;
-    OTxn<Htm> otxn;
-    LTxn<Htm> ltxn;
-    ContentionMonitor monitor;
-  };
-  using Runtime = WorkerRuntime<State, Telemetry>;
-  using Worker = typename Runtime::Worker;
-
   /// O-mode loop plus the L-mode fallthrough (paper Fig. 10, lower half).
   /// Outlined and cold: only medium/huge transactions come here, and
   /// keeping the instantiations out of Run() preserves the H fast path's

@@ -158,6 +158,48 @@ inline HtmAttemptVerdict RecordHtmAbort(Worker& w, const AbortStatus& status) {
   return HtmAttemptVerdict::kRetryable;
 }
 
+/// One fused hardware attempt for the batch executor (tm/batch_executor.h):
+/// runs the bodies of items [lo, hi) back-to-back inside a *single* HTM
+/// region on `htxn`, so the whole window shares one BEGIN/COMMIT and one
+/// set of lock-word subscriptions. Returns the region's AbortStatus and
+/// the operation count of the (possibly partial) execution.
+struct FusedAttemptResult {
+  AbortStatus status;
+  uint64_t ops = 0;
+};
+
+template <typename Tx, typename HTxnT, typename BodyFn>
+inline FusedAttemptResult RunFusedHtmAttempt(Tx& htx, HTxnT& htxn, uint64_t lo,
+                                             uint64_t hi, BodyFn& body) {
+  htxn.ResetOps();
+  const AbortStatus status = htx.Execute([&] {
+    for (uint64_t k = lo; k < hi; ++k) body(htxn, k);
+  });
+  return FusedAttemptResult{status, htxn.ops()};
+}
+
+/// Accounting for a committed fused region: every item counts as one
+/// H-class commit in both stats and telemetry (Fig. 15 parity with the
+/// per-item path) plus the fusion packaging counters.
+template <typename Worker>
+inline void RecordFusedCommit(Worker& w, uint32_t width, uint32_t depth,
+                              uint64_t ops) {
+  w.stats.RecordFusedCommit(width, ops);
+  w.telemetry.FusedCommit(width, depth, ops);
+}
+
+/// Accounting for an aborted fused region that is about to be bisected:
+/// one fusion abort + one bisection, with the abort *reason* classified
+/// through the same RecordHtmAbort path the per-item loops use.
+template <typename Worker>
+inline HtmAttemptVerdict RecordFusedAbort(Worker& w, uint32_t width,
+                                          const AbortStatus& status) {
+  ++w.stats.fusion_aborts;
+  ++w.stats.fusion_bisections;
+  w.telemetry.FusionAbort(width);
+  return RecordHtmAbort(w, status);
+}
+
 /// Two-phase-locking retry loop shared by TuFast's L mode and the 2PL
 /// baseline: run the body on `ltxn`, commit-and-release, restart with
 /// exponential randomized backoff when picked as a deadlock victim.

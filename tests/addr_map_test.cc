@@ -1,0 +1,184 @@
+// Unit tests for the transaction write-set AddrMap: the 8-entry inline
+// fast path, inline -> table promotion, table growth/rehash, Clear
+// recycling, and the pointer-stability contract (a returned payload
+// pointer is valid only until the next FindOrInsert or Clear — the mode
+// contexts write through it immediately, and these tests pin the exact
+// boundary where the pointer moves).
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tm/addr_map.h"
+
+namespace tufast {
+namespace {
+
+// Word-aligned keys, as the modes produce (addresses of TmWords). Key 0
+// and ~0 are reserved sentinels and never used by callers.
+uintptr_t Key(size_t i) { return (i + 1) * 64; }
+
+TEST(AddrMapTest, InsertAndFindWithinInlineCapacity) {
+  AddrMap map;
+  EXPECT_EQ(map.size(), 0u);
+  for (size_t i = 0; i < AddrMap::kInlineCap; ++i) {
+    bool inserted = false;
+    uint32_t* slot = map.FindOrInsert(Key(i), static_cast<uint32_t>(i),
+                                      &inserted);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*slot, i);
+  }
+  EXPECT_EQ(map.size(), AddrMap::kInlineCap);
+  for (size_t i = 0; i < AddrMap::kInlineCap; ++i) {
+    const uint32_t* found = map.Find(Key(i));
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, i);
+  }
+  EXPECT_EQ(map.Find(Key(AddrMap::kInlineCap)), nullptr);
+}
+
+TEST(AddrMapTest, DuplicateInsertReturnsExistingSlot) {
+  AddrMap map;
+  bool inserted = false;
+  uint32_t* first = map.FindOrInsert(Key(0), 7, &inserted);
+  EXPECT_TRUE(inserted);
+  uint32_t* again = map.FindOrInsert(Key(0), 99, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(first, again);  // Still inline: no intervening move.
+  EXPECT_EQ(*again, 7u);    // `fresh` ignored for an existing key.
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(AddrMapTest, PromotionToTablePreservesEveryEntry) {
+  AddrMap map;
+  constexpr size_t kKeys = AddrMap::kInlineCap + 1;  // One past inline.
+  for (size_t i = 0; i < kKeys; ++i) {
+    bool inserted = false;
+    map.FindOrInsert(Key(i), static_cast<uint32_t>(i * 10), &inserted);
+    EXPECT_TRUE(inserted);
+  }
+  EXPECT_EQ(map.size(), kKeys);
+  for (size_t i = 0; i < kKeys; ++i) {
+    const uint32_t* found = map.Find(Key(i));
+    ASSERT_NE(found, nullptr) << "key " << i << " lost in promotion";
+    EXPECT_EQ(*found, i * 10);
+  }
+}
+
+TEST(AddrMapTest, ValueWrittenInlineSurvivesPromotion) {
+  AddrMap map;
+  bool inserted = false;
+  // Write through the returned pointer immediately (the contract), then
+  // force promotion and verify the updated payload moved with the key.
+  *map.FindOrInsert(Key(0), 1, &inserted) = 42;
+  for (size_t i = 1; i <= AddrMap::kInlineCap; ++i) {
+    map.FindOrInsert(Key(i), 0, &inserted);
+  }
+  const uint32_t* found = map.Find(Key(0));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, 42u);
+}
+
+TEST(AddrMapTest, PointerInvalidatedAcrossPromotionBoundary) {
+  // Documents (rather than merely tolerates) the stability contract: the
+  // slot for an inline key lives in the inline array, and after the
+  // promoting insert the live slot is a different address in the table.
+  AddrMap map;
+  bool inserted = false;
+  uint32_t* inline_slot = map.FindOrInsert(Key(0), 5, &inserted);
+  for (size_t i = 1; i < AddrMap::kInlineCap; ++i) {
+    map.FindOrInsert(Key(i), 0, &inserted);
+  }
+  map.FindOrInsert(Key(AddrMap::kInlineCap), 0, &inserted);  // Promotes.
+  uint32_t* table_slot = map.Find(Key(0));
+  ASSERT_NE(table_slot, nullptr);
+  EXPECT_NE(table_slot, inline_slot);
+  EXPECT_EQ(*table_slot, 5u);
+}
+
+TEST(AddrMapTest, GrowthRehashKeepsAllEntries) {
+  AddrMap map(/*initial_capacity=*/4);  // Tiny table: forces many grows.
+  constexpr size_t kKeys = 300;
+  for (size_t i = 0; i < kKeys; ++i) {
+    bool inserted = false;
+    *map.FindOrInsert(Key(i), 0, &inserted) = static_cast<uint32_t>(i + 1);
+  }
+  EXPECT_EQ(map.size(), kKeys);
+  for (size_t i = 0; i < kKeys; ++i) {
+    const uint32_t* found = map.Find(Key(i));
+    ASSERT_NE(found, nullptr) << "key " << i << " lost in rehash";
+    EXPECT_EQ(*found, i + 1);
+  }
+}
+
+TEST(AddrMapTest, ClearResetsInlinePath) {
+  AddrMap map;
+  bool inserted = false;
+  for (size_t i = 0; i < 3; ++i) map.FindOrInsert(Key(i), 1, &inserted);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(Key(0)), nullptr);
+  // Reuse after Clear must behave like a fresh map.
+  map.FindOrInsert(Key(9), 9, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(AddrMapTest, ClearAfterPromotionReturnsToInlineMode) {
+  AddrMap map;
+  bool inserted = false;
+  for (size_t i = 0; i < AddrMap::kInlineCap + 4; ++i) {
+    map.FindOrInsert(Key(i), 1, &inserted);
+  }
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  for (size_t i = 0; i < AddrMap::kInlineCap + 4; ++i) {
+    EXPECT_EQ(map.Find(Key(i)), nullptr) << "stale key " << i;
+  }
+  // The next small transaction runs on the inline path again: the same
+  // key occupies the same inline slot address as in a fresh map.
+  AddrMap fresh;
+  uint32_t* recycled = map.FindOrInsert(Key(0), 2, &inserted);
+  uint32_t* pristine = fresh.FindOrInsert(Key(0), 2, &inserted);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(recycled) -
+                reinterpret_cast<uintptr_t>(&map),
+            reinterpret_cast<uintptr_t>(pristine) -
+                reinterpret_cast<uintptr_t>(&fresh));
+}
+
+TEST(AddrMapTest, RepeatedClearCyclesStayConsistent) {
+  // The write-set lifecycle: fill, commit, Clear, repeat — across both
+  // inline-only and promoted generations with interleaved sizes.
+  AddrMap map;
+  bool inserted = false;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    const size_t keys = (cycle % 2 == 0) ? 4 : AddrMap::kInlineCap + 8;
+    for (size_t i = 0; i < keys; ++i) {
+      *map.FindOrInsert(Key(i), 0, &inserted) =
+          static_cast<uint32_t>(cycle * 1000 + i);
+    }
+    EXPECT_EQ(map.size(), keys);
+    for (size_t i = 0; i < keys; ++i) {
+      const uint32_t* found = map.Find(Key(i));
+      ASSERT_NE(found, nullptr) << "cycle " << cycle << " key " << i;
+      EXPECT_EQ(*found, static_cast<uint32_t>(cycle * 1000 + i));
+    }
+    map.Clear();
+  }
+}
+
+TEST(AddrMapTest, MissingKeyProbeTerminatesInTableMode) {
+  // A miss in table mode walks the probe chain until an empty slot; with
+  // clustered keys this exercises wrap-around at the table boundary.
+  AddrMap map(/*initial_capacity=*/4);
+  bool inserted = false;
+  for (size_t i = 0; i < 20; ++i) map.FindOrInsert(Key(i), 1, &inserted);
+  for (size_t i = 20; i < 60; ++i) {
+    EXPECT_EQ(map.Find(Key(i)), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace tufast

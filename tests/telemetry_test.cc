@@ -300,6 +300,10 @@ TEST(TelemetryJsonTest, SnapshotSerializationGolden) {
   snap.transitions[1][2] = 1;
   snap.period_hist.Add(1000, 4);
   snap.last_period = 500;
+  snap.fused_regions = 3;
+  snap.fused_items = 12;
+  snap.fusion_aborts = 2;
+  snap.fusion_width_hist.Add(4, 3);
 
   const std::string empty_hist =
       "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p99\":0}";
@@ -323,7 +327,12 @@ TEST(TelemetryJsonTest, SnapshotSerializationGolden) {
       "\"transitions\":{\"H->O\":3,\"O->L\":1},"
       "\"period\":{\"count\":4,\"sum\":4000,\"min\":1000,\"max\":1000,"
       "\"p50\":512,\"p99\":512},"
-      "\"last_period\":500}";
+      "\"last_period\":500,"
+      "\"fusion\":{\"fused_regions\":3,\"fused_items\":12,"
+      "\"fusion_aborts\":2,"
+      "\"width\":{\"count\":3,\"sum\":12,\"min\":4,\"max\":4,"
+      "\"p50\":4,\"p99\":4},"
+      "\"bisection_depth\":" + empty_hist + "}}";
   EXPECT_EQ(TelemetrySnapshotToJson(snap), expected);
 }
 

@@ -131,6 +131,102 @@ TEST(ParallelForTest, CoversRangeExactlyOnce) {
   }
 }
 
+TEST(ParallelForTest, ChunkedCoversRangeEndingAtUint64Max) {
+  // Regression: `lo + grain` and the claim cursor itself must not wrap
+  // when the range ends at UINT64_MAX — the fetch_add fast path would
+  // silently skip the tail chunk and hand out wrapped indices.
+  ThreadPool pool(4);
+  constexpr uint64_t kSpan = 50000;
+  constexpr uint64_t kBegin = UINT64_MAX - kSpan;
+  std::vector<std::atomic<uint8_t>> seen(kSpan);
+  ParallelForChunked(pool, kBegin, UINT64_MAX, 64,
+                     [&](int /*worker*/, uint64_t lo, uint64_t hi) {
+                       ASSERT_LT(lo, hi);  // A wrapped chunk has hi < lo.
+                       for (uint64_t i = lo; i < hi; ++i) {
+                         ++seen[i - kBegin];
+                       }
+                     });
+  for (uint64_t i = 0; i < kSpan; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index offset " << i;
+  }
+}
+
+TEST(ParallelForTest, ChunkedHandlesGrainLargerThanBoundaryRange) {
+  // Huge grain near the top of the index space: a single clamped chunk
+  // must cover the whole range exactly once.
+  ThreadPool pool(3);
+  constexpr uint64_t kSpan = 1000;
+  constexpr uint64_t kBegin = UINT64_MAX - kSpan;
+  std::atomic<uint64_t> covered{0};
+  std::atomic<int> chunks{0};
+  ParallelForChunked(pool, kBegin, UINT64_MAX, UINT64_MAX,
+                     [&](int /*worker*/, uint64_t lo, uint64_t hi) {
+                       ++chunks;
+                       covered += hi - lo;
+                       EXPECT_EQ(lo, kBegin);
+                       EXPECT_EQ(hi, UINT64_MAX);
+                     });
+  EXPECT_EQ(chunks.load(), 1);
+  EXPECT_EQ(covered.load(), kSpan);
+}
+
+TEST(ParallelForTest, ChunkedFastPathBoundaryIsExact) {
+  // The overshoot-safety guard keeps the fetch_add fast path off ranges
+  // where a worker's final post-end claim could wrap the cursor; sweep
+  // spans around (threads + 1) * grain below UINT64_MAX to cross the
+  // fast/CAS boundary and verify exactly-once coverage on both sides.
+  ThreadPool pool(4);
+  constexpr uint64_t kGrain = 64;
+  for (const uint64_t margin :
+       {kGrain * 2, kGrain * 5, kGrain * 5 + 1, kGrain * 8}) {
+    const uint64_t end = UINT64_MAX - margin;
+    constexpr uint64_t kSpan = 4096;
+    const uint64_t begin = end - kSpan;
+    std::vector<std::atomic<uint8_t>> seen(kSpan);
+    ParallelForChunked(pool, begin, end, kGrain,
+                       [&](int /*worker*/, uint64_t lo, uint64_t hi) {
+                         ASSERT_LT(lo, hi);
+                         for (uint64_t i = lo; i < hi; ++i) {
+                           ++seen[i - begin];
+                         }
+                       });
+    for (uint64_t i = 0; i < kSpan; ++i) {
+      ASSERT_EQ(seen[i].load(), 1)
+          << "margin " << margin << " index offset " << i;
+    }
+  }
+}
+
+TEST(WorklistTest, BatchedDrainProcessesEveryItemOnce) {
+  // DrainWorklistBatched must preserve the register-before-pop protocol:
+  // dynamic pushes from inside a batch callback keep the drain alive and
+  // every item is delivered exactly once across workers.
+  ThreadPool pool(4);
+  ConcurrentQueue<int> queue;
+  queue.Push(20);  // Same bounded fan-out shape as the per-item test.
+  std::atomic<int> active{0};
+  std::atomic<uint64_t> processed{0};
+  std::atomic<uint64_t> batches{0};
+  pool.RunOnAll([&](int worker) {
+    DrainWorklistBatched(queue, worker, active, /*max_batch=*/8,
+                         [&](int /*w*/, const std::vector<int>& batch) {
+                           ASSERT_FALSE(batch.empty());
+                           ASSERT_LE(batch.size(), 8u);
+                           ++batches;
+                           for (const int n : batch) {
+                             ++processed;
+                             if (n > 1) {
+                               queue.Push(n - 1);
+                               queue.Push(n - 2);
+                             }
+                           }
+                         });
+  });
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_GT(processed.load(), 1000u);
+  EXPECT_LT(batches.load(), processed.load());  // Batching actually kicked in.
+}
+
 TEST(WorklistTest, DrainTerminatesWithDynamicPushes) {
   ThreadPool pool(4);
   ConcurrentQueue<int> queue;
