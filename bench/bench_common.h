@@ -20,6 +20,10 @@ namespace tufast {
 ///   --failpoint-trace=<p>  stress drivers: dump fired fault injections
 ///                   (site slot hit_index action, one per line) to a file
 ///                   for failing-seed replay diagnosis
+///   --progress-chaos  stress drivers: additionally arm the progress-guard
+///                   failpoints (forced victim re-aborts, breaker trips,
+///                   forced starvation escalation) to fuzz the escalation
+///                   ladder and circuit breaker
 /// Malformed values (non-numeric, trailing junk, out of range) are hard
 /// errors: a bench silently running with scale 0 measures nothing.
 struct BenchFlags {
@@ -29,6 +33,7 @@ struct BenchFlags {
   std::string json_out;
   std::string failpoint_trace;
   bool quick = false;
+  bool progress_chaos = false;
 
   static BenchFlags Parse(int argc, char** argv, double default_scale) {
     BenchFlags flags;
@@ -55,6 +60,8 @@ struct BenchFlags {
       } else if (std::strcmp(arg, "--quick") == 0) {
         flags.quick = true;
         flags.scale = default_scale * 0.2;
+      } else if (std::strcmp(arg, "--progress-chaos") == 0) {
+        flags.progress_chaos = true;
       }
     }
     if (!flags.json_out.empty()) JsonReport::SetOutputPath(flags.json_out);

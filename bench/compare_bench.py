@@ -22,7 +22,11 @@ included titles is treated as a higher-is-better rate. A cell fails when
 Improvements never fail. Share/ratio/size columns (%..., "/", iters,
 seconds, updates) are skipped by default, as are the instrumented-pass,
 contended, and native-RTM tables, whose numbers are either not rates or
-too machine-dependent for a tolerance band.
+too machine-dependent for a tolerance band. Tables matching
+--exact-titles (default: the deterministic "progress guard" counter
+table from micro_ops_benchmark) are instead checked symmetrically and
+exactly — they hold forced-failpoint counter values, so any drift in
+either direction is a behavior change, not noise.
 
 --min-fusion-gain additionally checks the *current* report's
 "micro ops" fusion_gain_x metric (fused / per-item committed-ops/sec on
@@ -39,9 +43,14 @@ import json
 import re
 import sys
 
-DEFAULT_INCLUDE = r"micro ops|scheduler throughput"
+DEFAULT_INCLUDE = r"micro ops|scheduler throughput|progress guard"
 DEFAULT_EXCLUDE = r"instrumented pass|contended|native RTM"
 DEFAULT_EXCLUDE_COLS = r"%|/|^iters$|^seconds$|^updates$"
+# Tables whose cells are deterministic counters, not wall-clock rates:
+# checked symmetrically and exactly (any drift in either direction is a
+# behavior change, e.g. the breaker tripping a different number of times
+# under the same forced failpoints).
+EXACT_TITLES = r"progress guard"
 
 
 def load(path):
@@ -123,16 +132,24 @@ def cmd_compare(args):
               file=sys.stderr)
         return 2
 
+    exact_re = re.compile(args.exact_titles)
     failures = []
     for key in shared:
         base, cur = baseline[key], current[key]
+        title, row, col = key
+        if exact_re.search(title):
+            status = "ok" if cur == base else "MISMATCH"
+            if cur != base:
+                failures.append(key)
+            print(f"{status:>10}  {cur:>12.5g} vs {base:>12.5g} "
+                  f"(exact )  {title} | {row} | {col}")
+            continue
         floor = base * (1.0 - args.tolerance)
         ratio = cur / base if base else float("inf")
         status = "ok"
         if base > 0 and cur < floor:
             status = "REGRESSION"
             failures.append(key)
-        title, row, col = key
         print(f"{status:>10}  {cur:>12.5g} vs {base:>12.5g} "
               f"({ratio:6.2f}x)  {title} | {row} | {col}")
 
@@ -174,6 +191,8 @@ def main(argv):
     compare.add_argument("--include-titles", default=DEFAULT_INCLUDE)
     compare.add_argument("--exclude-titles", default=DEFAULT_EXCLUDE)
     compare.add_argument("--exclude-cols", default=DEFAULT_EXCLUDE_COLS)
+    compare.add_argument("--exact-titles", default=EXACT_TITLES,
+                         help="titles checked symmetrically and exactly")
     compare.set_defaults(func=cmd_compare)
 
     args = parser.parse_args(argv)

@@ -63,6 +63,7 @@ void RunBreakdown(const Graph& graph, ThreadPool& pool,
   }
   table.Print(title);
   PrintFusionSummary(snap, "fusion summary — " + title);
+  PrintProgressSummary(snap, "progress guard — " + title);
 
   // Cross-check: telemetry and SchedulerStats must agree on the split.
   // The fused commit paths keep the same per-item accounting as the

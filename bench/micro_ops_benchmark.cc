@@ -27,6 +27,7 @@
 #include "common/timer.h"
 #include "htm/emulated_htm.h"
 #include "sync/lock_table.h"
+#include "testing/failpoints.h"
 #include "tm/addr_map.h"
 #include "tm/batch_executor.h"
 #include "tm/tufast.h"
@@ -243,6 +244,81 @@ void BenchFusion(MetricTable& out, uint64_t txns) {
   out.Add("fusion_gain_x", per_item > 0 ? fused / per_item : 0, txns);
 }
 
+/// Deterministic progress-guard exercise on the failpoint-armed backend:
+/// single worker, forced (non-probabilistic) triggers only, so every
+/// counter is an exact function of the code — compare_bench.py checks
+/// these rows symmetrically (any drift is a behavior change, not noise).
+void BenchProgressGuard() {
+  ReportTable table({"metric", "value"});
+
+  // Breaker round trip: trip on the first routed transaction, count
+  // down the open window through bypasses, admit the half-open probes
+  // (which all commit), and close.
+  {
+    FaultyHtm htm;
+    TuFastScheduler<FaultyHtm, EventTelemetry> tm(htm, 1024);
+    std::vector<TmWord> values(1024, 0);
+    FailpointPlan plan(FailpointPlan::Config{});
+    plan.ForceAt(FailSite::kBreakerTrip, 0, 0, FailAction::kFail);
+    FailpointScope scope(plan);
+    VertexId v = 0;
+    for (uint64_t t = 0; t < 200; ++t) {
+      tm.Run(0, 2, [&](auto& txn) {
+        txn.Write(v, &values[v], txn.Read(v, &values[v]) + 1);
+      });
+      v = (v + 1) & 1023;
+    }
+    const TelemetrySnapshot& snap = tm.AggregatedTelemetry().Snapshot();
+    table.AddRow({"breaker_trips", ReportTable::Int(snap.breaker_trips)});
+    table.AddRow(
+        {"breaker_half_opens", ReportTable::Int(snap.breaker_half_opens)});
+    table.AddRow({"breaker_closes", ReportTable::Int(snap.breaker_closes)});
+    table.AddRow({"breaker_bypass", ReportTable::Int(snap.breaker_bypass)});
+  }
+
+  // Escalation ladder: forced victim re-aborts on one lock-mode
+  // transaction until the starved bit makes it immune (aborts ==
+  // priority threshold), then a forced jump to the token.
+  {
+    FaultyHtm htm;
+    TuFastScheduler<FaultyHtm, EventTelemetry> tm(htm, 1024);
+    std::vector<TmWord> values(1024, 0);
+    FailpointPlan plan(FailpointPlan::Config{});
+    for (uint64_t hit = 0; hit < 16; ++hit) {
+      plan.ForceAt(FailSite::kVictimReabort, 0, hit, FailAction::kFail);
+    }
+    FailpointScope scope(plan);
+    const uint64_t big = tm.config().o_hint_threshold + 1;
+    tm.Run(0, big, [&](auto& txn) {
+      txn.Write(0, &values[0], txn.Read(0, &values[0]) + 1);
+    });
+    const TelemetrySnapshot& snap = tm.AggregatedTelemetry().Snapshot();
+    table.AddRow({"starved_escalations",
+                  ReportTable::Int(snap.starvation_escalations)});
+    table.AddRow(
+        {"starved_txn_aborts", ReportTable::Int(snap.max_txn_aborts)});
+    table.AddRow(
+        {"starved_backoff_events", ReportTable::Int(snap.backoff_events)});
+  }
+  {
+    FaultyHtm htm;
+    TuFastScheduler<FaultyHtm, EventTelemetry> tm(htm, 1024);
+    std::vector<TmWord> values(1024, 0);
+    FailpointPlan plan(FailpointPlan::Config{});
+    plan.ForceAt(FailSite::kStarvationToken, 0, 0, FailAction::kFail);
+    FailpointScope scope(plan);
+    const uint64_t big = tm.config().o_hint_threshold + 1;
+    tm.Run(0, big, [&](auto& txn) {
+      txn.Write(0, &values[0], txn.Read(0, &values[0]) + 1);
+    });
+    const TelemetrySnapshot& snap = tm.AggregatedTelemetry().Snapshot();
+    table.AddRow(
+        {"starvation_tokens", ReportTable::Int(snap.starvation_tokens)});
+  }
+
+  table.Print("progress guard");
+}
+
 int Main(int argc, char** argv) {
   const BenchFlags flags = BenchFlags::Parse(argc, argv, /*default=*/1.0);
   const uint64_t base =
@@ -256,6 +332,7 @@ int Main(int argc, char** argv) {
   BenchRunByMode(metrics, iters);
   BenchFusion(metrics, iters);
   metrics.Print();
+  BenchProgressGuard();
 
   std::printf(
       "expected shape: fused H ops/sec beats per-item by amortizing "

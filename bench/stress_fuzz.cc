@@ -30,7 +30,7 @@ const char* PolicyName(DeadlockPolicy p) {
   return "?";
 }
 
-FailpointPlan::Config ChaosConfig(uint64_t seed) {
+FailpointPlan::Config ChaosConfig(uint64_t seed, bool progress_chaos) {
   FailpointPlan::Config config;
   config.seed = seed;
   config.Arm(FailSite::kHtmLoad, 0.002, FailAction::kAbortConflict);
@@ -44,12 +44,28 @@ FailpointPlan::Config ChaosConfig(uint64_t seed) {
   config.Arm(FailSite::kLockTryExclusive, 0.01, FailAction::kFail);
   config.Arm(FailSite::kLockTryUpgrade, 0.01, FailAction::kFail);
   config.yield_prob = 0.05;
+  if (progress_chaos) {
+    // Progress-guard chaos: hammer the L retry loop with forced victim
+    // re-aborts (the escalation ladder must still bound every txn's
+    // retries), trip the breaker at random, and occasionally force a
+    // transaction straight to the top of the ladder.
+    config.Arm(FailSite::kVictimReabort, 0.02, FailAction::kFail);
+    config.Arm(FailSite::kBreakerTrip, 0.001, FailAction::kFail);
+    config.Arm(FailSite::kStarvationToken, 0.0005, FailAction::kFail);
+  }
   return config;
 }
 
 struct FuzzTotals {
   uint64_t runs = 0;
   uint64_t injections = 0;
+  // Progress-guard activity, summed over every (scheduler, policy, seed)
+  // run; SchedulerStats carries these even in NullTelemetry builds.
+  uint64_t backoff_events = 0;
+  uint64_t starvation_escalations = 0;
+  uint64_t starvation_tokens = 0;
+  uint64_t breaker_bypass = 0;
+  uint64_t max_txn_aborts = 0;
 };
 
 void DumpTraceTo(const FailpointPlan& plan, const std::string& path) {
@@ -82,7 +98,7 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
       const uint64_t seed = flags.seed + i;
       FaultyHtm htm;
       auto tm = MakeSchedulerFor<Scheduler>(htm, /*vertices=*/48, policy);
-      FailpointPlan plan(ChaosConfig(seed));
+      FailpointPlan plan(ChaosConfig(seed, flags.progress_chaos));
       FailpointScope scope(plan);
       StressConfig cfg;
       cfg.threads = flags.threads;
@@ -93,6 +109,14 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
       const auto err = RunInvariantSuite(*tm, cfg);
       ++totals.runs;
       totals.injections += plan.InjectionCount();
+      const SchedulerStats stats = tm->AggregatedStats();
+      totals.backoff_events += stats.backoff_events;
+      totals.starvation_escalations += stats.starvation_escalations;
+      totals.starvation_tokens += stats.starvation_tokens;
+      totals.breaker_bypass += stats.breaker_bypass;
+      if (stats.max_txn_aborts > totals.max_txn_aborts) {
+        totals.max_txn_aborts = stats.max_txn_aborts;
+      }
       if (err) {
         std::fprintf(stderr,
                      "FAIL %s policy=%s seed=%llu: %s\n"
@@ -133,6 +157,15 @@ int Main(int argc, char** argv) {
   table.AddRow({"suite runs", ReportTable::Int(totals.runs)});
   table.AddRow({"seeds per combo", ReportTable::Int(seeds)});
   table.AddRow({"fault injections", ReportTable::Int(totals.injections)});
+  if (flags.progress_chaos) {
+    table.AddRow({"backoff events", ReportTable::Int(totals.backoff_events)});
+    table.AddRow({"starvation escalations",
+                  ReportTable::Int(totals.starvation_escalations)});
+    table.AddRow(
+        {"starvation tokens", ReportTable::Int(totals.starvation_tokens)});
+    table.AddRow({"breaker bypass", ReportTable::Int(totals.breaker_bypass)});
+    table.AddRow({"max txn aborts", ReportTable::Int(totals.max_txn_aborts)});
+  }
   table.AddRow({"verdict", ok ? "PASS" : "FAIL"});
   table.Print("stress fuzz");
   return ok ? 0 : 1;

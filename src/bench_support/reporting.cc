@@ -259,6 +259,19 @@ std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snap) {
   out += ",\"width\":" + LogHistogramToJson(snap.fusion_width_hist);
   out += ",\"bisection_depth\":" + LogHistogramToJson(snap.bisection_depth_hist);
   out += "}";
+
+  out += ",\"progress\":{";
+  out += "\"backoff_events\":" + U64(snap.backoff_events);
+  out += ",\"backoff_pauses\":" + U64(snap.backoff_pauses);
+  out += ",\"starvation_escalations\":" + U64(snap.starvation_escalations);
+  out += ",\"starvation_tokens\":" + U64(snap.starvation_tokens);
+  out += ",\"breaker_trips\":" + U64(snap.breaker_trips);
+  out += ",\"breaker_half_opens\":" + U64(snap.breaker_half_opens);
+  out += ",\"breaker_closes\":" + U64(snap.breaker_closes);
+  out += ",\"breaker_bypass\":" + U64(snap.breaker_bypass);
+  out += ",\"txn_aborts\":" + LogHistogramToJson(snap.txn_abort_hist);
+  out += ",\"max_txn_aborts\":" + U64(snap.max_txn_aborts);
+  out += "}";
   out += "}";
   return out;
 }
@@ -279,6 +292,29 @@ void PrintFusionSummary(const TelemetrySnapshot& snap,
        ReportTable::Int(snap.fusion_aborts),
        ReportTable::Int(snap.bisection_depth_hist.ApproxQuantile(0.5)),
        ReportTable::Int(snap.bisection_depth_hist.ApproxQuantile(0.99))});
+  table.Print(title);
+}
+
+void PrintProgressSummary(const TelemetrySnapshot& snap,
+                          const std::string& title) {
+  if (snap.backoff_events == 0 && snap.starvation_escalations == 0 &&
+      snap.starvation_tokens == 0 && snap.breaker_trips == 0 &&
+      snap.breaker_bypass == 0 && snap.max_txn_aborts == 0) {
+    return;
+  }
+  ReportTable table({"backoff events", "backoff pauses", "starved",
+                     "tokens", "breaker trips", "half-opens", "closes",
+                     "bypassed", "p99 txn aborts", "max txn aborts"});
+  table.AddRow({ReportTable::Int(snap.backoff_events),
+                ReportTable::Int(snap.backoff_pauses),
+                ReportTable::Int(snap.starvation_escalations),
+                ReportTable::Int(snap.starvation_tokens),
+                ReportTable::Int(snap.breaker_trips),
+                ReportTable::Int(snap.breaker_half_opens),
+                ReportTable::Int(snap.breaker_closes),
+                ReportTable::Int(snap.breaker_bypass),
+                ReportTable::Int(snap.txn_abort_hist.ApproxQuantile(0.99)),
+                ReportTable::Int(snap.max_txn_aborts)});
   table.Print(title);
 }
 

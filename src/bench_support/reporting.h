@@ -70,6 +70,13 @@ std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snapshot);
 void PrintFusionSummary(const TelemetrySnapshot& snapshot,
                         const std::string& title);
 
+/// Prints (and mirrors to JSON) the progress-guard summary: backoff
+/// volume, starvation escalations/tokens, breaker transitions and
+/// bypasses, and the per-transaction abort-count tail. No-op when the
+/// snapshot saw no guard activity at all (uncontended runs stay quiet).
+void PrintProgressSummary(const TelemetrySnapshot& snapshot,
+                          const std::string& title);
+
 }  // namespace tufast
 
 #endif  // TUFAST_BENCH_SUPPORT_REPORTING_H_

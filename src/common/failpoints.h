@@ -31,6 +31,9 @@ enum class FailSite : uint8_t {
   kRouterSkipH,           // TuFast router: force H -> O demotion
   kRouterSkipO,           // TuFast router: force O -> L demotion
   kWorklistPop,           // DrainWorklist: perturb between pop and run
+  kBreakerTrip,           // ContentionMonitor: force the breaker open
+  kStarvationToken,       // L retry loop: force starvation escalation
+  kVictimReabort,         // L retry loop: synthesize extra victim aborts
   kNumSites
 };
 
@@ -49,6 +52,9 @@ inline const char* FailSiteName(FailSite s) {
     case FailSite::kRouterSkipH: return "router_skip_h";
     case FailSite::kRouterSkipO: return "router_skip_o";
     case FailSite::kWorklistPop: return "worklist_pop";
+    case FailSite::kBreakerTrip: return "breaker_trip";
+    case FailSite::kStarvationToken: return "starvation_token";
+    case FailSite::kVictimReabort: return "victim_reabort";
     default: return "?";
   }
 }

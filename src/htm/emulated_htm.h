@@ -250,6 +250,18 @@ class BasicEmulatedHtm<FailpointsT>::Tx {
       return AbortStatus::Ok();
     } catch (const TxAbortSignal& signal) {
       return signal.status;
+    } catch (...) {
+      // Foreign (user) exception unwinding through an active hardware
+      // transaction: discard the speculative state exactly like an abort
+      // before propagating — leaking the line ownerships would doom or
+      // deadlock every later transaction touching those lines. Mirrors
+      // real HTM, where any trap/exception aborts the transaction.
+      if (active_) {
+        ReleaseAndReset();
+        active_ = false;
+        stats_.RecordAbort(AbortStatus::Other());
+      }
+      throw;
     }
   }
 

@@ -6,6 +6,7 @@
 #include "common/types.h"
 #include "sync/deadlock_graph.h"
 #include "sync/lock_table.h"
+#include "sync/progress_signals.h"
 
 namespace tufast {
 
@@ -56,6 +57,24 @@ class LockManager {
     victim_ctx_ = ctx;
   }
 
+  /// Wires the progress-guard starvation signals (DESIGN.md "Progress
+  /// guard") into victim selection. Optional: with no signals installed
+  /// (or none raised) every path below behaves exactly as before.
+  ///
+  /// A *protected* slot (starved past the first escalation threshold, or
+  /// holding the global starvation token) ages wound-wait-style: it is
+  /// skipped by injected victim failpoints, and the single slot with
+  /// cycle priority (ProgressSignals::HasCyclePriority — token holder,
+  /// else lowest-id starved slot) does not self-victimize when its wait
+  /// edge would close a cycle; the other parties break the cycle through
+  /// their own wait bounds or closure checks instead. While the
+  /// token is held by another slot, waiters get a short deferral bound
+  /// so they abort early, release their lock sets, and let the token
+  /// holder (whose own bound is extended) drain the conflict.
+  void SetProgressSignals(const ProgressSignals* signals) {
+    progress_ = signals;
+  }
+
   bool AcquireShared(int slot, VertexId v) {
     return AcquireLoop(slot, v, [&] { return table_.TryLockShared(v); },
                        /*exclusive=*/false);
@@ -74,8 +93,11 @@ class LockManager {
     if constexpr (Failpoints::kEnabled) {
       // Forced victim before any state change: the shared registration is
       // untouched, exactly the "shared lock still held" failure contract.
-      if (Failpoints::Hit(FailSite::kLockUpgrade, slot) ==
-          FailAction::kFail) {
+      // Protected (starved/token-holding) slots are immune to injection —
+      // that immunity is what bounds a transaction's injected re-aborts.
+      if (!Protected(slot) &&
+          Failpoints::Hit(FailSite::kLockUpgrade, slot) ==
+              FailAction::kFail) {
         NotifyVictim(slot, v, /*cycle=*/false);
         return false;
       }
@@ -87,7 +109,7 @@ class LockManager {
     if (policy_ != DeadlockPolicy::kDetection) {
       Backoff backoff;
       uint64_t waited = 0;
-      const uint64_t bound = WaitBound();
+      const uint64_t bound = WaitBoundFor(slot);
       while (!table_.TryUpgrade(v)) {
         if (++waited > bound) {
           NotifyVictim(slot, v, /*cycle=*/false);
@@ -98,14 +120,18 @@ class LockManager {
       SwapHolderRegistration(slot, v);
       return true;
     }
-    if (graph_.SetWaitingAndCheck(slot, v)) {
+    if (graph_.SetWaitingAndCheck(slot, v) && !CyclePriority(slot)) {
       NotifyVictim(slot, v, /*cycle=*/true);
       return false;
     }
+    // The one cycle-priority slot whose edge would have closed a cycle
+    // falls through here with the edge rolled back: it spins under its
+    // own (larger) bound while the other cycle parties time out.
     Backoff backoff;
     uint64_t waited = 0;
+    const uint64_t bound = WaitBoundFor(slot);
     while (!table_.TryUpgrade(v)) {
-      if (++waited > kMaxWaitIterations) {
+      if (++waited > bound) {
         graph_.ClearWaiting(slot);
         NotifyVictim(slot, v, /*cycle=*/false);
         return false;
@@ -138,10 +164,45 @@ class LockManager {
   // kTimeout policy: short bound, since a timeout is the *only* deadlock
   // recovery there (roughly a few ms of yielding).
   static constexpr uint64_t kTimeoutWaitIterations = 3000;
+  // Starvation-token holder: extended safety-net bound. The holder is
+  // supposed to win every wait (other parties defer), so this only fires
+  // if the progress machinery itself is wedged.
+  static constexpr uint64_t kProtectedWaitIterations = 1u << 22;
+  // Wait bound while another slot holds the starvation token: abort
+  // early (timeout victim), release the lock set, back off — this is
+  // what guarantees the token holder's next attempt runs against a
+  // draining lock table.
+  static constexpr uint64_t kDeferralWaitIterations = 2000;
 
   uint64_t WaitBound() const {
     return policy_ == DeadlockPolicy::kTimeout ? kTimeoutWaitIterations
                                                : kMaxWaitIterations;
+  }
+
+  bool Protected(int slot) const {
+    return progress_ != nullptr && progress_->IsProtected(slot);
+  }
+
+  // Cycle-closure immunity is narrower than injection immunity: only one
+  // slot system-wide (token holder, else lowest-id starved slot) may
+  // out-wait a cycle. Two mutually-immune waiters would each roll back
+  // their wait edge — leaving no visible cycle and no victim — and then
+  // re-collide after their full wait bounds in lockstep, a livelock.
+  bool CyclePriority(int slot) const {
+    return progress_ != nullptr && progress_->HasCyclePriority(slot);
+  }
+
+  uint64_t WaitBoundFor(int slot) const {
+    if (progress_ != nullptr) {
+      if (progress_->TokenHolder() == slot) return kProtectedWaitIterations;
+      if (!progress_->IsStarved(slot) &&
+          progress_->TokenHeldElsewhere(slot)) {
+        const uint64_t bound = WaitBound();
+        return bound < kDeferralWaitIterations ? bound
+                                               : kDeferralWaitIterations;
+      }
+    }
+    return WaitBound();
   }
 
   template <typename TryFn>
@@ -149,7 +210,10 @@ class LockManager {
     if constexpr (Failpoints::kEnabled) {
       // Forced victim before any acquisition: the caller must release its
       // whole lock set and restart, the same contract as a real victim.
-      if (Failpoints::Hit(exclusive ? FailSite::kLockAcquireExclusive
+      // Protected slots are immune (see SetProgressSignals): injection
+      // cannot re-victimize a transaction past its escalation threshold.
+      if (!Protected(slot) &&
+          Failpoints::Hit(exclusive ? FailSite::kLockAcquireExclusive
                                     : FailSite::kLockAcquireShared,
                           slot) == FailAction::kFail) {
         NotifyVictim(slot, v, /*cycle=*/false);
@@ -163,13 +227,16 @@ class LockManager {
       return true;
     }
     if (policy_ == DeadlockPolicy::kDetection &&
-        graph_.SetWaitingAndCheck(slot, v)) {
+        graph_.SetWaitingAndCheck(slot, v) && !CyclePriority(slot)) {
       NotifyVictim(slot, v, /*cycle=*/true);
       return false;  // Waiting would close a cycle: we are the victim.
     }
+    // The cycle-priority slot falls through on cycle closure (the edge
+    // was rolled back): it out-waits the cycle while the other parties
+    // hit their own bounds or closure checks, abort, and release.
     Backoff backoff;
     uint64_t waited = 0;
-    const uint64_t bound = WaitBound();
+    const uint64_t bound = WaitBoundFor(slot);
     while (!try_lock()) {
       if (++waited > bound) {
         if (policy_ == DeadlockPolicy::kDetection) graph_.ClearWaiting(slot);
@@ -201,6 +268,7 @@ class LockManager {
   DeadlockGraph graph_;
   VictimHook victim_hook_ = nullptr;
   void* victim_ctx_ = nullptr;
+  const ProgressSignals* progress_ = nullptr;
 };
 
 }  // namespace tufast

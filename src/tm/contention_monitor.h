@@ -29,11 +29,39 @@ inline uint32_t OptimalPeriod(double p, uint32_t min_period,
   return static_cast<uint32_t>(rounded);
 }
 
+/// Abort-storm circuit breaker state (DESIGN.md "Progress guard"):
+///
+///       sustained abort rate >= trip_rate over one window
+///   kClosed ───────────────────────────────────────────► kOpen
+///      ▲                                                   │
+///      │ probe rate <= close_rate                          │ open_txns
+///      │                                                   ▼ bypassed
+///   (probe rate > close_rate reopens) ◄──────────────── kHalfOpen
+///
+/// Open = small transactions bypass H/O and go straight to L, and the
+/// fusion width clamps to 1, deliberately *reducing* concurrency instead
+/// of burning retries ("On the Cost of Concurrency in TM", Ravi).
+/// Half-open lets a bounded probe batch back through the normal router;
+/// their measured abort rate decides between closing and re-opening.
+enum class BreakerState : uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+inline const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+    default: return "?";
+  }
+}
+
 /// Per-worker estimator of the per-operation abort probability p,
 /// maintained as an exponentially-decayed ratio of aborted attempts to
 /// operations executed. TuFast consults it at BEGIN to pick the starting
 /// `period` (paper §IV-D: "by continuously monitoring p during the
-/// execution, we enforce this strategy adaptively").
+/// execution, we enforce this strategy adaptively"). Also hosts the
+/// abort-storm circuit breaker, which shares the attempt stream but uses
+/// *windowed* (non-decayed) counters so a storm trips it on a hard edge
+/// rather than an asymptote.
 class ContentionMonitor {
  public:
   struct Config {
@@ -43,6 +71,22 @@ class ContentionMonitor {
     uint32_t max_period = 2048;
     /// Optimism before any signal: start with the longest segments.
     double initial_p = 0.0;
+
+    /// Circuit breaker (off by default; TuFast enables it from its own
+    /// Config::enable_breaker). All counts are deterministic functions
+    /// of this worker's attempt stream — no clocks, no cross-worker
+    /// state — so runs replay exactly under a fixed seed.
+    bool breaker_enabled = false;
+    /// Attempts per decision window in the closed state.
+    uint32_t breaker_window = 64;
+    /// Windowed attempt-abort rate that trips the breaker open.
+    double breaker_trip_rate = 0.85;
+    /// Probe-window rate at or below which a half-open breaker closes.
+    double breaker_close_rate = 0.5;
+    /// Transactions bypassed (routed straight to L) while open.
+    uint32_t breaker_open_txns = 128;
+    /// Probe transactions admitted in half-open before deciding.
+    uint32_t breaker_probe_txns = 16;
   };
 
   explicit ContentionMonitor(Config config)
@@ -58,6 +102,7 @@ class ContentionMonitor {
     decayed_ops_ = decayed_ops_ * config_.decay + static_cast<double>(ops);
     decayed_aborts_ = decayed_aborts_ * config_.decay + (aborted ? 1.0 : 0.0);
     decayed_attempts_ = decayed_attempts_ * config_.decay + 1.0;
+    if (config_.breaker_enabled) BreakerRecordAttempt(aborted);
   }
 
   /// Current estimate of the per-operation abort probability.
@@ -114,12 +159,91 @@ class ContentionMonitor {
   /// per-item router.
   uint32_t CurrentFusionWidth(uint32_t max_width) const {
     if (max_width <= 1) return 1;
+    // A tripped breaker clamps fusion to width 1: a storm that keeps
+    // killing fused regions pays width * retry for every abort.
+    if (breaker_state_ != BreakerState::kClosed) return 1;
     return OptimalPeriod(EstimatedItemP(), 1, max_width);
   }
+
+  /// Router gate, called once per routed transaction. Returns true when
+  /// the transaction should bypass H/O and go straight to L. Stateful:
+  /// bypasses are what count down the open state toward half-open, and
+  /// half-open probe admissions are metered here too.
+  bool BreakerShouldBypass() {
+    if (!config_.breaker_enabled) return false;
+    if (breaker_state_ == BreakerState::kClosed) return false;
+    if (breaker_state_ == BreakerState::kOpen) {
+      if (open_remaining_ > 0) {
+        --open_remaining_;
+        return true;
+      }
+      breaker_state_ = BreakerState::kHalfOpen;
+      ++breaker_half_opens_;
+      probe_remaining_ = config_.breaker_probe_txns;
+      window_attempts_ = 0;
+      window_aborts_ = 0;
+    }
+    // Half-open: admit the probe batch, bypass everything after it until
+    // the probes' attempts complete the decision window.
+    if (probe_remaining_ > 0) {
+      --probe_remaining_;
+      return false;
+    }
+    return true;
+  }
+
+  /// Forces the breaker open (the kBreakerTrip failpoint / tests).
+  void TripBreaker() {
+    if (!config_.breaker_enabled) return;
+    Trip();
+  }
+
+  BreakerState breaker_state() const { return breaker_state_; }
+  uint64_t breaker_trips() const { return breaker_trips_; }
+  uint64_t breaker_half_opens() const { return breaker_half_opens_; }
+  uint64_t breaker_closes() const { return breaker_closes_; }
 
   const Config& config() const { return config_; }
 
  private:
+  void BreakerRecordAttempt(bool aborted) {
+    if (breaker_state_ == BreakerState::kOpen) return;  // Nothing to measure.
+    ++window_attempts_;
+    if (aborted) ++window_aborts_;
+    if (breaker_state_ == BreakerState::kClosed) {
+      if (window_attempts_ < config_.breaker_window) return;
+      const double rate =
+          static_cast<double>(window_aborts_) / window_attempts_;
+      if (rate >= config_.breaker_trip_rate) {
+        Trip();
+      } else {
+        window_attempts_ = 0;
+        window_aborts_ = 0;
+      }
+      return;
+    }
+    // Half-open: the probe batch's attempts decide.
+    if (window_attempts_ < config_.breaker_probe_txns) return;
+    const double rate = static_cast<double>(window_aborts_) / window_attempts_;
+    if (rate <= config_.breaker_close_rate) {
+      breaker_state_ = BreakerState::kClosed;
+      ++breaker_closes_;
+    } else {
+      Trip();
+    }
+    window_attempts_ = 0;
+    window_aborts_ = 0;
+  }
+
+  void Trip() {
+    breaker_state_ = BreakerState::kOpen;
+    ++breaker_trips_;
+    open_remaining_ = config_.breaker_open_txns;
+    probe_remaining_ = 0;
+    window_attempts_ = 0;
+    window_aborts_ = 0;
+  }
+
   Config config_;
   double decayed_ops_;
   double decayed_aborts_;
@@ -127,6 +251,15 @@ class ContentionMonitor {
   // Fusion-width estimator state (per fused item, not per operation).
   double decayed_items_ = 0.0;
   double decayed_item_aborts_ = 0.0;
+  // Circuit breaker (windowed, non-decayed).
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  uint32_t window_attempts_ = 0;
+  uint32_t window_aborts_ = 0;
+  uint32_t open_remaining_ = 0;
+  uint32_t probe_remaining_ = 0;
+  uint64_t breaker_trips_ = 0;
+  uint64_t breaker_half_opens_ = 0;
+  uint64_t breaker_closes_ = 0;
 };
 
 }  // namespace tufast

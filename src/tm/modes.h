@@ -315,6 +315,11 @@ class LTxn {
     ReleaseAll();
   }
 
+  /// Releases the whole held set. Idempotent: a second call (the
+  /// RunLockTxnLoop RAII guard unwinding after an explicit release on
+  /// the victim path) sees an empty held set and does nothing. The
+  /// exception-safety tests rely on every unwind path out of a lock
+  /// transaction funnelling through here.
   void ReleaseAll() {
     for (const Held& h : held_) {
       if (h.exclusive) {

@@ -67,6 +67,14 @@ struct SchedulerStats {
   uint64_t fusion_aborts = 0;      // fused-region attempts that aborted
   uint64_t fusion_bisections = 0;  // abort-driven width halvings
 
+  // Progress-guard counters (tm/progress_guard.h), kept in the plain
+  // stats so the guarantees stay observable in NullTelemetry builds.
+  uint64_t backoff_events = 0;          // retry backoffs paid
+  uint64_t starvation_escalations = 0;  // priority-aging escalations
+  uint64_t starvation_tokens = 0;       // global-token acquisitions
+  uint64_t breaker_bypass = 0;          // txns routed to L by the breaker
+  uint64_t max_txn_aborts = 0;          // worst per-txn failed attempts
+
   void RecordCommit(TxnClass cls, uint64_t ops) {
     ++commits;
     ops_committed += ops;
@@ -111,6 +119,13 @@ struct SchedulerStats {
     fused_items += other.fused_items;
     fusion_aborts += other.fusion_aborts;
     fusion_bisections += other.fusion_bisections;
+    backoff_events += other.backoff_events;
+    starvation_escalations += other.starvation_escalations;
+    starvation_tokens += other.starvation_tokens;
+    breaker_bypass += other.breaker_bypass;
+    if (other.max_txn_aborts > max_txn_aborts) {
+      max_txn_aborts = other.max_txn_aborts;
+    }
   }
 };
 

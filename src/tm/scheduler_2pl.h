@@ -6,6 +6,7 @@
 #include "sync/lock_table.h"
 #include "tm/modes.h"
 #include "tm/outcome.h"
+#include "tm/progress_guard.h"
 #include "tm/telemetry.h"
 #include "tm/worker_runtime.h"
 
@@ -24,6 +25,7 @@ class TwoPhaseLocking {
                   DeadlockPolicy policy = DeadlockPolicy::kTimeout)
       : htm_(htm), lock_table_(htm, num_vertices),
         lock_manager_(lock_table_, policy), runtime_(0x2b1u) {
+    lock_manager_.SetProgressSignals(&progress_guard_.signals());
     if constexpr (Telemetry::kEnabled) {
       lock_manager_.SetVictimHook(
           [](void* ctx, int slot, VertexId /*v*/, bool cycle) {
@@ -41,8 +43,14 @@ class TwoPhaseLocking {
   RunOutcome Run(int worker_id, uint64_t /*size_hint*/, Fn&& fn) {
     Worker& w = runtime_.GetWorker(worker_id, *this);
     w.telemetry.TxnBegin();
-    return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kL);
+    return RunLockTxnLoop<HtmFailpoints<Htm>>(
+        w, w.state.ltxn, fn, TxnClass::kL,
+        ProgressContext{&progress_guard_, worker_id, 0,
+                        /*enable_backoff=*/true});
   }
+
+  /// Progress-guard introspection (starvation stress tests).
+  ProgressGuard& progress_guard() { return progress_guard_; }
 
   SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
   Telemetry AggregatedTelemetry() const {
@@ -65,6 +73,9 @@ class TwoPhaseLocking {
   Htm& htm_;
   LockTable<Htm> lock_table_;
   LockManager<Htm> lock_manager_;
+  /// Same escalation ladder as TuFast's L mode: the baseline sees the
+  /// identical per-transaction retry bound in the starvation stress.
+  ProgressGuard progress_guard_;
   Runtime runtime_;
 };
 

@@ -127,6 +127,7 @@ class HsyncHybrid {
     w.telemetry.EnterMode(SchedMode::kHardware);
     HwTxn hw(w.state.htx, &global_lock_);
     for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
+      BeatAttempt(w);
       hw.ResetOps();
       const AbortStatus status = w.state.htx.Execute([&] {
         hw.SubscribeGlobalLock();
@@ -135,6 +136,7 @@ class HsyncHybrid {
       if (status.ok()) {
         w.stats.RecordCommit(TxnClass::kH, hw.ops());
         w.telemetry.TxnCommit(TxnClass::kH, hw.ops());
+        BeatCommit(w);
         return RunOutcome{true, TxnClass::kH, hw.ops()};
       }
       const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
@@ -149,8 +151,11 @@ class HsyncHybrid {
     }
 
     // Global-lock fallback: serialize, run plain, publish with dooming
-    // stores so concurrent hardware attempts stay correct.
+    // stores so concurrent hardware attempts stay correct. The body can
+    // throw anything (user aborts, foreign exceptions): every unwind
+    // path must drop the global lock or all fallbacks deadlock forever.
     w.telemetry.EnterMode(SchedMode::kLock);
+    BeatAttempt(w);
     AcquireGlobalLock();
     FallbackTxn fb;
     try {
@@ -160,11 +165,15 @@ class HsyncHybrid {
       ++w.stats.user_aborts;
       w.telemetry.TxnUserAbort(TxnClass::kL);
       return RunOutcome{false, TxnClass::kL, 0};
+    } catch (...) {
+      ReleaseGlobalLock();
+      throw;
     }
     for (const auto& p : fb.pending_) htm_.NonTxStore(p.addr, p.value);
     ReleaseGlobalLock();
     w.stats.RecordCommit(TxnClass::kL, fb.ops());
     w.telemetry.TxnCommit(TxnClass::kL, fb.ops());
+    BeatCommit(w);
     return RunOutcome{true, TxnClass::kL, fb.ops()};
   }
 

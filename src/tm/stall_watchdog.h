@@ -1,0 +1,98 @@
+#ifndef TUFAST_TM_STALL_WATCHDOG_H_
+#define TUFAST_TM_STALL_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/compiler.h"
+
+namespace tufast {
+
+/// Cooperative livelock detector for stress runs (DESIGN.md "Progress
+/// guard"). Workers publish cheap relaxed heartbeat counters (attempts
+/// and commits, see WorkerRuntime::Heartbeats); a watchdog thread
+/// samples them on a fixed interval and declares a stall when attempts
+/// keep advancing while commits stay frozen for `stall_intervals`
+/// consecutive samples — the signature of a retry storm that makes no
+/// progress. On a stall it fires `on_stall` once (the stress harness
+/// dumps a diagnostic telemetry snapshot there) instead of letting the
+/// job hang until the CI timeout with no evidence.
+///
+/// Purely an observer: it never pauses or aborts workers, so a false
+/// positive costs one spurious diagnostic, never correctness.
+class StallWatchdog {
+ public:
+  struct Sample {
+    uint64_t attempts = 0;
+    uint64_t commits = 0;
+  };
+
+  struct Config {
+    std::chrono::milliseconds interval{100};
+    /// Consecutive attempts-advancing/commits-frozen samples that count
+    /// as a stall.
+    int stall_intervals = 20;
+  };
+
+  StallWatchdog(Config config, std::function<Sample()> sampler,
+                std::function<void()> on_stall)
+      : config_(config),
+        sampler_(std::move(sampler)),
+        on_stall_(std::move(on_stall)),
+        thread_([this] { Loop(); }) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(StallWatchdog);
+
+  ~StallWatchdog() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  bool stalled() const { return stalled_.load(std::memory_order_acquire); }
+
+ private:
+  void Loop() {
+    Sample last = sampler_();
+    int streak = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, config_.interval,
+                         [this] { return stopping_; })) {
+      lock.unlock();
+      const Sample now = sampler_();
+      const bool attempts_advancing = now.attempts > last.attempts;
+      const bool commits_frozen = now.commits == last.commits;
+      streak = (attempts_advancing && commits_frozen) ? streak + 1 : 0;
+      last = now;
+      if (streak >= config_.stall_intervals &&
+          !stalled_.exchange(true, std::memory_order_acq_rel)) {
+        on_stall_();  // Fire once; keep sampling (harmless) until Stop.
+      }
+      lock.lock();
+    }
+  }
+
+  const Config config_;
+  const std::function<Sample()> sampler_;
+  const std::function<void()> on_stall_;
+  std::atomic<bool> stalled_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_STALL_WATCHDOG_H_

@@ -98,6 +98,14 @@ struct NullTelemetry {
   void TxnUserAbort(TxnClass) {}
   void FusedCommit(uint32_t /*width*/, uint32_t /*depth*/, uint64_t /*ops*/) {}
   void FusionAbort(uint32_t /*width*/) {}
+  void BackoffWait(uint64_t /*pauses*/) {}
+  void StarvationEscalated() {}
+  void StarvationToken() {}
+  void BreakerTrip() {}
+  void BreakerHalfOpen() {}
+  void BreakerClose() {}
+  void BreakerBypass() {}
+  void TxnRetries(uint64_t /*aborts*/) {}
   void Merge(const NullTelemetry&) {}
 };
 
@@ -139,6 +147,21 @@ struct TelemetrySnapshot {
   uint64_t fusion_aborts = 0;   // fused-region attempts that aborted
   LogHistogram fusion_width_hist;     // committed region widths
   LogHistogram bisection_depth_hist;  // width halvings before commit
+
+  /// Progress-guard breakdown (tm/progress_guard.h): retry backoffs,
+  /// starvation escalations / token grabs, abort-storm breaker state
+  /// transitions, and the victim re-abort histogram (failed attempts per
+  /// transaction that retried at least once; max over all transactions).
+  uint64_t backoff_events = 0;
+  uint64_t backoff_pauses = 0;
+  uint64_t starvation_escalations = 0;
+  uint64_t starvation_tokens = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_half_opens = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t breaker_bypass = 0;
+  LogHistogram txn_abort_hist;
+  uint64_t max_txn_aborts = 0;
 
   uint64_t TotalCommits() const {
     uint64_t total = 0;
@@ -247,6 +270,29 @@ class EventTelemetry {
     (void)width;
   }
 
+  /// One randomized-backoff wait of `pauses` spin/yield pauses between
+  /// conflict retries (all three retry loops report here).
+  void BackoffWait(uint64_t pauses) {
+    ++snap_.backoff_events;
+    snap_.backoff_pauses += pauses;
+  }
+
+  void StarvationEscalated() { ++snap_.starvation_escalations; }
+  void StarvationToken() { ++snap_.starvation_tokens; }
+  void BreakerTrip() { ++snap_.breaker_trips; }
+  void BreakerHalfOpen() { ++snap_.breaker_half_opens; }
+  void BreakerClose() { ++snap_.breaker_closes; }
+  void BreakerBypass() { ++snap_.breaker_bypass; }
+
+  /// A transaction finished having failed `aborts` attempts; feeds the
+  /// victim re-abort histogram (transactions that never retried stay out
+  /// of the histogram so its count reads "retried transactions").
+  void TxnRetries(uint64_t aborts) {
+    if (aborts == 0) return;
+    snap_.txn_abort_hist.Add(aborts);
+    if (aborts > snap_.max_txn_aborts) snap_.max_txn_aborts = aborts;
+  }
+
   void Merge(const EventTelemetry& other) {
     const TelemetrySnapshot& o = other.snap_;
     snap_.begins += o.begins;
@@ -274,6 +320,18 @@ class EventTelemetry {
     snap_.fusion_aborts += o.fusion_aborts;
     snap_.fusion_width_hist.Merge(o.fusion_width_hist);
     snap_.bisection_depth_hist.Merge(o.bisection_depth_hist);
+    snap_.backoff_events += o.backoff_events;
+    snap_.backoff_pauses += o.backoff_pauses;
+    snap_.starvation_escalations += o.starvation_escalations;
+    snap_.starvation_tokens += o.starvation_tokens;
+    snap_.breaker_trips += o.breaker_trips;
+    snap_.breaker_half_opens += o.breaker_half_opens;
+    snap_.breaker_closes += o.breaker_closes;
+    snap_.breaker_bypass += o.breaker_bypass;
+    snap_.txn_abort_hist.Merge(o.txn_abort_hist);
+    if (o.max_txn_aborts > snap_.max_txn_aborts) {
+      snap_.max_txn_aborts = o.max_txn_aborts;
+    }
   }
 
   /// Copy of the aggregate so far. Call only while no transaction is in

@@ -12,6 +12,7 @@
 #include "tm/contention_monitor.h"
 #include "tm/modes.h"
 #include "tm/outcome.h"
+#include "tm/progress_guard.h"
 #include "tm/telemetry.h"
 #include "tm/worker_runtime.h"
 
@@ -89,6 +90,21 @@ class TuFastScheduler {
     /// fused windows touch neighboring vertices (one line subscribes
     /// eight lock words).
     bool padded_lock_table = false;
+    /// Progress guard (tm/progress_guard.h, DESIGN.md "Progress guard").
+    /// enable_backoff gates the randomized exponential backoff between
+    /// conflict retries in all three loops (H attempts, O period
+    /// halvings, L victim restarts); off reproduces the pre-guard retry
+    /// pacing bit-for-bit. The starvation thresholds drive the
+    /// escalation ladder: priority aging (never a victim) past the
+    /// first, the global starvation token (other waiters defer, fusion
+    /// pauses) past the second.
+    bool enable_backoff = true;
+    uint32_t starvation_priority_threshold = 3;
+    uint32_t starvation_token_threshold = 8;
+    /// Abort-storm circuit breaker (tm/contention_monitor.h): sustained
+    /// attempt-abort rate routes small transactions straight to L and
+    /// clamps fusion to width 1 until half-open probes recover.
+    bool enable_breaker = true;
   };
 
   TuFastScheduler(Htm& htm, VertexId num_vertices, Config config = {})
@@ -101,8 +117,13 @@ class TuFastScheduler {
                               : htm.config().MaxLines() / 2),
         max_period_(config.max_period != 0 ? config.max_period
                                            : htm.config().MaxLines() / 2 - 16),
+        progress_guard_(ProgressGuard::Config{
+            .priority_threshold = config.starvation_priority_threshold,
+            .token_threshold = config.starvation_token_threshold,
+            .enabled = true}),
         runtime_(0x70f5a7u) {
     TUFAST_CHECK(max_period_ >= config_.min_period);
+    lock_manager_.SetProgressSignals(&progress_guard_.signals());
     if constexpr (Telemetry::kEnabled) {
       lock_manager_.SetVictimHook(
           [](void* ctx, int slot, VertexId /*v*/, bool cycle) {
@@ -149,6 +170,14 @@ class TuFastScheduler {
     }
     uint64_t i = lo;
     while (i < hi) {
+      // A starvation-token holder is guaranteed to commit next attempt;
+      // pause new fused regions (which subscribe whole windows of lock
+      // words) so fusion can't widen the interference it sees.
+      if (progress_guard_.signals().TokenHeld()) {
+        RunItemRouted(w, worker_id, i, hint, body);
+        ++i;
+        continue;
+      }
       const uint64_t first_hint = hint(i);
       if (first_hint > h_hint_threshold_) {
         // Too big for H mode: route per-item (O or L will take it).
@@ -189,12 +218,16 @@ class TuFastScheduler {
               .decay = 0.999,
               .min_period = parent.config_.min_period,
               .max_period = parent.max_period_,
-              .initial_p = 0.0}) {}
+              .initial_p = 0.0,
+              .breaker_enabled = parent.config_.enable_breaker}) {}
 
     typename Htm::Tx htx;
     OTxn<Htm> otxn;
     LTxn<Htm> ltxn;
     ContentionMonitor monitor;
+    /// Last breaker state this worker's telemetry was told about; the
+    /// router diffs against the monitor to emit transition events.
+    BreakerState last_breaker = BreakerState::kClosed;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -241,15 +274,59 @@ class TuFastScheduler {
     ExecuteFusedRange(w, worker_id, mid, hi, hint, body, depth + 1);
   }
 
+  /// Emits breaker state-transition telemetry by diffing the monitor's
+  /// current state against the last one this worker reported. Called at
+  /// the router's decision points, which bracket every place a
+  /// transition can happen (RecordAttempt / BreakerShouldBypass /
+  /// TripBreaker); at most one transition occurs between observations.
+  void NoteBreakerState(Worker& w) {
+    const BreakerState s = w.state.monitor.breaker_state();
+    if (s == w.state.last_breaker) return;
+    switch (s) {
+      case BreakerState::kOpen: w.telemetry.BreakerTrip(); break;
+      case BreakerState::kHalfOpen: w.telemetry.BreakerHalfOpen(); break;
+      case BreakerState::kClosed: w.telemetry.BreakerClose(); break;
+    }
+    w.state.last_breaker = s;
+  }
+
+  /// Progress-guard context for this worker's lock-mode retry loop.
+  ProgressContext MakeProgressContext(int worker_id,
+                                      uint32_t prior_aborts) {
+    return ProgressContext{&progress_guard_, worker_id, prior_aborts,
+                           config_.enable_backoff};
+  }
+
   /// The Fig. 10 router shared by Run() and the batch executor's
   /// per-item degradation path. The caller has already issued
   /// telemetry.TxnBegin().
   template <typename Fn>
   RunOutcome RunRouted(Worker& w, int worker_id, uint64_t size_hint, Fn& fn) {
     if (size_hint > config_.o_hint_threshold) {
-      return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kL);
+      return RunLockTxnLoop<Failpoints>(w, w.state.ltxn, fn, TxnClass::kL,
+                                        MakeProgressContext(worker_id, 0));
     }
 
+    if constexpr (Failpoints::kEnabled) {
+      // Forced abort storm: trip the breaker as if a full window of
+      // attempts had aborted.
+      if (Failpoints::Hit(FailSite::kBreakerTrip, worker_id) ==
+          FailAction::kFail) {
+        w.state.monitor.TripBreaker();
+      }
+    }
+    NoteBreakerState(w);
+    if (w.state.monitor.BreakerShouldBypass()) {
+      ++w.stats.breaker_bypass;
+      w.telemetry.BreakerBypass();
+      NoteBreakerState(w);  // A bypass can step the breaker to half-open.
+      return RunLockTxnLoop<Failpoints>(w, w.state.ltxn, fn, TxnClass::kL,
+                                        MakeProgressContext(worker_id, 0));
+    }
+
+    // Failed attempts across all modes; threads into the escalation
+    // ladder so the L loop sees the transaction's whole abort history.
+    uint32_t txn_aborts = 0;
     bool try_h = config_.enable_h_mode && size_hint <= h_hint_threshold_;
     if constexpr (Failpoints::kEnabled) {
       // Forced H -> O demotion: the transaction behaves exactly as if its
@@ -267,27 +344,38 @@ class TuFastScheduler {
       const int h_retries =
           w.state.monitor.CurrentHRetries(config_.h_retries);
       for (int attempt = 0; attempt <= h_retries; ++attempt) {
+        BeatAttempt(w);
         htxn.ResetOps();
         const AbortStatus status = w.state.htx.Execute([&] { fn(htxn); });
         if (status.ok()) {
           w.state.monitor.RecordAttempt(htxn.ops(), /*aborted=*/false);
           w.stats.RecordCommit(TxnClass::kH, htxn.ops());
           w.telemetry.TxnCommit(TxnClass::kH, htxn.ops());
+          BeatCommit(w);
+          RecordTxnRetries(w, txn_aborts);
           return RunOutcome{true, TxnClass::kH, htxn.ops()};
         }
         const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
         if (verdict == HtmAttemptVerdict::kUserAbort) {
           ++w.stats.user_aborts;
           w.telemetry.TxnUserAbort(TxnClass::kH);
+          RecordTxnRetries(w, txn_aborts);
           return RunOutcome{false, TxnClass::kH, 0};
         }
         w.state.monitor.RecordAttempt(htxn.ops(), /*aborted=*/true);
+        ++txn_aborts;
         if (verdict == HtmAttemptVerdict::kCapacity) {
           // Capacity aborts repeat deterministically: go to O directly
           // (paper Fig. 10).
           break;
         }
+        // Conflict retry: back off so the conflicting peers drain
+        // before the re-execution pays the whole body again.
+        if (config_.enable_backoff && attempt < h_retries) {
+          PayBackoff(w, txn_aborts - 1);
+        }
       }
+      NoteBreakerState(w);  // The attempt stream can trip the breaker.
     }
 
     bool try_o = config_.enable_o_mode;
@@ -299,9 +387,11 @@ class TuFastScheduler {
       }
     }
     if (!try_o) {
-      return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kO2L);
+      return RunLockTxnLoop<Failpoints>(
+          w, w.state.ltxn, fn, TxnClass::kO2L,
+          MakeProgressContext(worker_id, txn_aborts));
     }
-    return RunOptimisticThenLock(w, fn);
+    return RunOptimisticThenLock(w, worker_id, fn, txn_aborts);
   }
 
  public:
@@ -339,13 +429,27 @@ class TuFastScheduler {
     return w != nullptr ? &w->state.monitor : nullptr;
   }
 
+  /// Progress-guard introspection (stress tests poke the signals to
+  /// stage token-held / starved scenarios deterministically).
+  ProgressGuard& progress_guard() { return progress_guard_; }
+
+  /// Summed per-worker heartbeat counters for the stall watchdog. Only
+  /// meaningful after every worker slot has run at least one warmup
+  /// transaction (see WorkerRuntime::Heartbeats).
+  typename Runtime::HeartbeatTotals Heartbeats() const {
+    return runtime_.Heartbeats();
+  }
+
  private:
   /// O-mode loop plus the L-mode fallthrough (paper Fig. 10, lower half).
   /// Outlined and cold: only medium/huge transactions come here, and
   /// keeping the instantiations out of Run() preserves the H fast path's
-  /// code generation (see TUFAST_NOINLINE_COLD).
+  /// code generation (see TUFAST_NOINLINE_COLD). `txn_aborts` carries the
+  /// failed H attempts into the escalation ladder.
   template <typename Fn>
-  TUFAST_NOINLINE_COLD RunOutcome RunOptimisticThenLock(Worker& w, Fn& fn) {
+  TUFAST_NOINLINE_COLD RunOutcome RunOptimisticThenLock(Worker& w,
+                                                        int worker_id, Fn& fn,
+                                                        uint32_t txn_aborts) {
     w.telemetry.EnterMode(SchedMode::kOptimistic);
     // Halve the segment length until it commits or sinks below
     // min_period.
@@ -353,6 +457,7 @@ class TuFastScheduler {
                                               : config_.static_period;
     bool first_attempt = true;
     while (period >= config_.min_period) {
+      BeatAttempt(w);
       w.telemetry.PeriodChange(period);
       w.state.otxn.Reset(period);
       const AbortStatus status = w.state.htx.Execute([&] { fn(w.state.otxn); });
@@ -364,6 +469,8 @@ class TuFastScheduler {
           w.state.monitor.RecordAttempt(w.state.otxn.ops(), /*aborted=*/false);
           w.stats.RecordCommit(cls, w.state.otxn.ops());
           w.telemetry.TxnCommit(cls, w.state.otxn.ops());
+          BeatCommit(w);
+          RecordTxnRetries(w, txn_aborts);
           return RunOutcome{true, cls, w.state.otxn.ops()};
         }
         if (result == OCommitResult::kLockBusy) {
@@ -379,15 +486,24 @@ class TuFastScheduler {
         if (verdict == HtmAttemptVerdict::kUserAbort) {
           ++w.stats.user_aborts;
           w.telemetry.TxnUserAbort(TxnClass::kO);
+          RecordTxnRetries(w, txn_aborts);
           return RunOutcome{false, TxnClass::kO, 0};
         }
         w.state.monitor.RecordAttempt(w.state.otxn.ops(), /*aborted=*/true);
       }
+      ++txn_aborts;
       period /= 2;
       first_attempt = false;
+      // Halved-period retry: back off before re-executing against the
+      // same contenders.
+      if (config_.enable_backoff && period >= config_.min_period) {
+        PayBackoff(w, txn_aborts - 1);
+      }
     }
 
-    return RunLockTxnLoop(w, w.state.ltxn, fn, TxnClass::kO2L);
+    return RunLockTxnLoop<Failpoints>(
+        w, w.state.ltxn, fn, TxnClass::kO2L,
+        MakeProgressContext(worker_id, txn_aborts));
   }
 
   Htm& htm_;
@@ -396,6 +512,7 @@ class TuFastScheduler {
   LockManager<Htm> lock_manager_;
   const uint64_t h_hint_threshold_;
   const uint32_t max_period_;
+  ProgressGuard progress_guard_;
   Runtime runtime_;
 };
 

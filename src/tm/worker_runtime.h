@@ -2,14 +2,17 @@
 #define TUFAST_TM_WORKER_RUNTIME_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 
 #include "common/compiler.h"
+#include "common/failpoints.h"
 #include "common/rng.h"
 #include "common/spin.h"
 #include "htm/abort.h"
 #include "htm/htm_config.h"
 #include "tm/outcome.h"
+#include "tm/progress_guard.h"
 #include "tm/telemetry.h"
 
 namespace tufast {
@@ -42,6 +45,12 @@ class WorkerRuntime {
     SchedulerStats stats;
     Telemetry telemetry;
     Rng rng;
+
+    /// Stall-watchdog heartbeats (tm/stall_watchdog.h): relaxed atomics
+    /// because the watchdog thread samples them while the worker runs —
+    /// everything else in the slot stays single-threaded and plain.
+    std::atomic<uint64_t> attempt_beat{0};
+    std::atomic<uint64_t> commit_beat{0};
   };
 
   /// `seed_base` keeps per-scheduler RNG streams distinct and every run
@@ -101,9 +110,31 @@ class WorkerRuntime {
       if (w != nullptr) {
         w->stats = SchedulerStats{};
         w->telemetry = Telemetry{};
+        w->attempt_beat.store(0, std::memory_order_relaxed);
+        w->commit_beat.store(0, std::memory_order_relaxed);
         per_state(w->state);
       }
     }
+  }
+
+  /// Heartbeat totals across all workers. Safe to call from a watchdog
+  /// thread while workers run — the only runtime accessor with that
+  /// property — provided every participating slot already exists (lazy
+  /// construction in GetWorker is not synchronized, so harnesses run one
+  /// warmup pass before attaching the watchdog).
+  struct HeartbeatTotals {
+    uint64_t attempts = 0;
+    uint64_t commits = 0;
+  };
+  HeartbeatTotals Heartbeats() const {
+    HeartbeatTotals totals;
+    for (const auto& w : workers_) {
+      if (w != nullptr) {
+        totals.attempts += w->attempt_beat.load(std::memory_order_relaxed);
+        totals.commits += w->commit_beat.load(std::memory_order_relaxed);
+      }
+    }
+    return totals;
   }
 
   template <typename Fn>
@@ -126,6 +157,51 @@ inline void RetryBackoff(RngT& rng) {
   const uint64_t pauses = 2 + rng.NextBounded(14);
   for (uint64_t i = 0; i < pauses; ++i) backoff.Pause();
 }
+
+/// Stall-watchdog heartbeats: one beat per execution attempt / commit.
+/// Relaxed — the watchdog only needs eventual monotone counters.
+template <typename Worker>
+TUFAST_ALWAYS_INLINE void BeatAttempt(Worker& w) {
+  w.attempt_beat.fetch_add(1, std::memory_order_relaxed);
+}
+template <typename Worker>
+TUFAST_ALWAYS_INLINE void BeatCommit(Worker& w) {
+  w.commit_beat.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// End-of-transaction retry accounting: feeds the victim re-abort
+/// histogram and the worst-case bound the starvation stress asserts on.
+template <typename Worker>
+inline void RecordTxnRetries(Worker& w, uint64_t aborts) {
+  w.telemetry.TxnRetries(aborts);
+  if (aborts > w.stats.max_txn_aborts) w.stats.max_txn_aborts = aborts;
+}
+
+/// Pays one progress-guard backoff and records it (stats + telemetry).
+template <typename Worker>
+inline void PayBackoff(Worker& w, uint32_t attempt) {
+  const uint64_t pauses = ConflictBackoff(w.rng, attempt);
+  ++w.stats.backoff_events;
+  w.telemetry.BackoffWait(pauses);
+}
+
+/// Releases an LTxn-style lock set on every scope exit not explicitly
+/// dismissed — the fix for lock leaks when a transaction body throws a
+/// foreign (non-TM) exception through the retry loop. Relies on
+/// ReleaseAll() being idempotent (LTxn clears its held set).
+template <typename LockTxn>
+class LockReleaseGuard {
+ public:
+  explicit LockReleaseGuard(LockTxn& txn) : txn_(&txn) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(LockReleaseGuard);
+  ~LockReleaseGuard() {
+    if (txn_ != nullptr) txn_->ReleaseAll();
+  }
+  void Dismiss() { txn_ = nullptr; }
+
+ private:
+  LockTxn* txn_;
+};
 
 /// How one failed hardware attempt should be handled by the retry loop.
 enum class HtmAttemptVerdict {
@@ -200,34 +276,128 @@ inline HtmAttemptVerdict RecordFusedAbort(Worker& w, uint32_t width,
   return RecordHtmAbort(w, status);
 }
 
+/// Scope guard releasing a progress guard's per-slot escalation state
+/// (starved bit, token) on every exit from the L retry loop — including
+/// a foreign exception unwinding out mid-escalation.
+class ProgressDoneGuard {
+ public:
+  ProgressDoneGuard(ProgressGuard* guard, int slot)
+      : guard_(guard), slot_(slot) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(ProgressDoneGuard);
+  ~ProgressDoneGuard() {
+    if (guard_ != nullptr) guard_->OnTxnDone(slot_);
+  }
+
+ private:
+  ProgressGuard* guard_;
+  const int slot_;
+};
+
+/// One victim abort in the L retry loop: escalate through the progress
+/// guard's ladder (recording what happened) and pay the retry backoff.
+/// Must run after the victim released its lock set.
+template <typename Worker>
+inline void OnLockVictimAbort(Worker& w, const ProgressContext& ctx,
+                              uint32_t aborts) {
+  if (ctx.guard != nullptr) {
+    switch (ctx.guard->OnAbort(ctx.slot, aborts)) {
+      case ProgressGuard::Escalation::kStarved:
+        ++w.stats.starvation_escalations;
+        w.telemetry.StarvationEscalated();
+        break;
+      case ProgressGuard::Escalation::kToken:
+        ++w.stats.starvation_tokens;
+        w.telemetry.StarvationToken();
+        break;
+      case ProgressGuard::Escalation::kNone:
+        break;
+    }
+  }
+  if (ctx.enable_backoff) {
+    PayBackoff(w, aborts - 1);
+  } else {
+    // Legacy pacing (pre-progress-guard, bit-for-bit): same exponential
+    // randomized wait, no accounting.
+    DeadlockRetryBackoff(w.rng, aborts - 1);
+  }
+}
+
 /// Two-phase-locking retry loop shared by TuFast's L mode and the 2PL
 /// baseline: run the body on `ltxn`, commit-and-release, restart with
-/// exponential randomized backoff when picked as a deadlock victim.
-template <typename Worker, typename LockTxn, typename Fn>
-RunOutcome RunLockTxnLoop(Worker& w, LockTxn& ltxn, Fn& fn, TxnClass cls) {
+/// randomized exponential backoff when picked as a deadlock victim,
+/// escalating through the progress guard (ctx.guard) so every
+/// transaction keeps a bounded path to commit.
+///
+/// Exception safety: ANY exception leaving the body — not just the TM
+/// control signals — releases the whole lock set (LockReleaseGuard) and
+/// drops escalation state (ProgressDoneGuard) before propagating.
+///
+/// `FailpointsT` threads the fault-injection policy in for the forced
+/// re-victimization site (kVictimReabort); pass the scheduler's policy
+/// explicitly — the default NullFailpoints keeps legacy call sites
+/// injection-free.
+template <typename FailpointsT = NullFailpoints, typename Worker,
+          typename LockTxn, typename Fn>
+RunOutcome RunLockTxnLoop(Worker& w, LockTxn& ltxn, Fn& fn, TxnClass cls,
+                          ProgressContext ctx = {}) {
   w.telemetry.EnterMode(SchedMode::kLock);
-  uint32_t attempt = 0;
+  uint32_t aborts = ctx.prior_aborts;
+  ProgressDoneGuard done(ctx.guard, ctx.slot);
   while (true) {
+    BeatAttempt(w);
+    if constexpr (FailpointsT::kEnabled) {
+      // Forced extra victim abort (stress: adversarial re-victimization)
+      // — protected slots are immune, exactly like real victim selection.
+      if ((ctx.guard == nullptr || !ctx.guard->Protected(ctx.slot)) &&
+          FailpointsT::Hit(FailSite::kVictimReabort, ctx.slot) ==
+              FailAction::kFail) {
+        ++w.stats.deadlock_aborts;
+        w.telemetry.AttemptAbort(AbortReason::kDeadlock);
+        OnLockVictimAbort(w, ctx, ++aborts);
+        continue;
+      }
+      // Forced escalation straight to the top of the ladder.
+      if (ctx.guard != nullptr &&
+          FailpointsT::Hit(FailSite::kStarvationToken, ctx.slot) ==
+              FailAction::kFail) {
+        switch (ctx.guard->ForceEscalate(ctx.slot)) {
+          case ProgressGuard::Escalation::kToken:
+            ++w.stats.starvation_tokens;
+            w.telemetry.StarvationToken();
+            [[fallthrough]];
+          case ProgressGuard::Escalation::kStarved:
+            ++w.stats.starvation_escalations;
+            w.telemetry.StarvationEscalated();
+            break;
+          case ProgressGuard::Escalation::kNone:
+            break;
+        }
+      }
+    }
     ltxn.Reset();
+    LockReleaseGuard<LockTxn> release(ltxn);
     try {
       fn(ltxn);
       ltxn.CommitApplyAndRelease();
+      release.Dismiss();  // Commit already released everything.
+      BeatCommit(w);
       w.stats.RecordCommit(cls, ltxn.ops());
       w.telemetry.TxnCommit(cls, ltxn.ops());
+      RecordTxnRetries(w, aborts);
       return RunOutcome{true, cls, ltxn.ops()};
     } catch (const UserAbortSignal&) {
-      ltxn.ReleaseAll();
+      // LockReleaseGuard frees the lock set on unwind.
       ++w.stats.user_aborts;
       w.telemetry.TxnUserAbort(cls);
+      RecordTxnRetries(w, aborts);
       return RunOutcome{false, cls, 0};
     } catch (const DeadlockVictimSignal&) {
+      // Free the lock set NOW — escalation and backoff must run with no
+      // locks held (the guard dtor would only fire at scope end).
       ltxn.ReleaseAll();
       ++w.stats.deadlock_aborts;
       w.telemetry.AttemptAbort(AbortReason::kDeadlock);
-      // Exponential randomized backoff: under extreme contention every
-      // concurrent attempt closes a cycle, and constant short backoff
-      // livelocks — grow the window until somebody runs alone.
-      DeadlockRetryBackoff(w.rng, attempt++);
+      OnLockVictimAbort(w, ctx, ++aborts);
     }
   }
 }
@@ -245,13 +415,17 @@ template <typename AbortSignal, typename Worker, typename Txn, typename Fn,
 RunOutcome RunOptimisticRetryLoop(Worker& w, Txn& txn, Fn& fn, ResetFn reset,
                                   CommitFn try_commit, RollbackFn rollback) {
   w.telemetry.EnterMode(SchedMode::kOptimistic);
+  uint32_t aborts = 0;
   while (true) {
+    BeatAttempt(w);
     reset(txn);
     try {
       fn(txn);
       if (try_commit(txn)) {
+        BeatCommit(w);
         w.stats.RecordCommit(TxnClass::kO, txn.ops());
         w.telemetry.TxnCommit(TxnClass::kO, txn.ops());
+        RecordTxnRetries(w, aborts);
         return RunOutcome{true, TxnClass::kO, txn.ops()};
       }
       ++w.stats.validation_aborts;
@@ -260,12 +434,19 @@ RunOutcome RunOptimisticRetryLoop(Worker& w, Txn& txn, Fn& fn, ResetFn reset,
       rollback(txn);
       ++w.stats.user_aborts;
       w.telemetry.TxnUserAbort(TxnClass::kO);
+      RecordTxnRetries(w, aborts);
       return RunOutcome{false, TxnClass::kO, 0};
     } catch (const AbortSignal&) {
       rollback(txn);
       ++w.stats.conflict_aborts;
       w.telemetry.AttemptAbort(AbortReason::kConflict);
+    } catch (...) {
+      // Foreign exception from the body: undo encounter-time side
+      // effects (TinySTM holds write locks mid-body) before propagating.
+      rollback(txn);
+      throw;
     }
+    ++aborts;
     RetryBackoff(w.rng);
   }
 }

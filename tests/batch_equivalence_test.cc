@@ -158,15 +158,25 @@ TYPED_TEST(BatchEquivalenceTest, FusionOnAndOffAgreeUnderAborts) {
       const char* label;
       bool enable_fusion;
       uint32_t fixed_width;
+      bool enable_backoff;
     };
+    // The two backoff variants pin the progress-guard acceptance
+    // criterion: enable_backoff only changes retry *pacing* (how long a
+    // deterministic single-threaded run spins between attempts), never
+    // which attempts happen, so the results must stay bit-identical to
+    // the golden run — and to each other — with it on or off.
     for (const Variant& variant :
-         {Variant{"fusion off", false, 0}, Variant{"fusion on", true, 0},
-          Variant{"fixed width 4", true, 4},
-          Variant{"fixed width 16", true, 16}}) {
+         {Variant{"fusion off", false, 0, true},
+          Variant{"fusion on", true, 0, true},
+          Variant{"fixed width 4", true, 4, true},
+          Variant{"fixed width 16", true, 16, true},
+          Variant{"fusion on, backoff off", true, 0, false},
+          Variant{"fusion off, backoff off", false, 0, false}}) {
       FaultyHtm htm;
       typename Scheduler::Config config;
       config.enable_fusion = variant.enable_fusion;
       config.fixed_fusion_width = variant.fixed_width;
+      config.enable_backoff = variant.enable_backoff;
       Scheduler tm(htm, n, config);
       FailpointPlan plan(CapacityChaos(/*seed=*/6));
       FailpointScope scope(plan);

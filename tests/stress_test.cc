@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "runtime/thread_pool.h"
 #include "runtime/worklist.h"
 #include "sync/lock_manager.h"
@@ -365,6 +366,124 @@ TYPED_TEST(InvariantStressTest, HoldsUnderChaos) {
                       << "; replay: TUFAST_STRESS_SEED=" << seed
                       << " TUFAST_STRESS_ITERS=1]";
         return;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial victim starvation: every transaction is forced into the
+// lock path and then re-victimized with high probability, concentrated
+// on a handful of hot vertices — exactly the adversary the progress
+// guard's escalation ladder defends against. Every scheduler must still
+// commit every transaction exactly once; the guard-backed schedulers
+// (TuFast, 2PL) must additionally keep every transaction's failed
+// attempts inside the configured retry bound (DESIGN.md "Progress
+// guard": priority aging makes a starved slot immune to further
+// injected victimization, the token guarantees the worst case commits).
+
+template <typename Scheduler>
+class StarvationStressTest : public ::testing::Test {};
+TYPED_TEST_SUITE(StarvationStressTest, StressSchedulers);
+
+template <typename S, typename = void>
+struct SchedulerHasProgressGuard : std::false_type {};
+template <typename S>
+struct SchedulerHasProgressGuard<
+    S, std::void_t<decltype(std::declval<S&>().progress_guard())>>
+    : std::true_type {};
+
+FailpointPlan::Config StarvationChaosConfig(uint64_t seed) {
+  FailpointPlan::Config config;
+  config.seed = seed;
+  // Force the TuFast router past H and O: the starvation machinery lives
+  // in the L retry loop. (Schedulers without these sites ignore them.)
+  config.Arm(FailSite::kRouterSkipH, 1.0, FailAction::kFail);
+  config.Arm(FailSite::kRouterSkipO, 1.0, FailAction::kFail);
+  // Aggressive forced victimization plus re-victimization of the
+  // transactions that already aborted.
+  config.Arm(FailSite::kLockAcquireExclusive, 0.3, FailAction::kFail);
+  config.Arm(FailSite::kVictimReabort, 0.5, FailAction::kFail);
+  config.yield_prob = 0.1;
+  return config;
+}
+
+// With priority aging, a transaction sees at most priority_threshold
+// injected re-aborts before it becomes immune; what remains are genuine
+// deadlock/timeout victimizations, bounded by the token threshold plus
+// the in-flight waiters a token holder can still collide with. 64 gives
+// that argument an order of magnitude of slack while still catching an
+// unbounded-starvation regression (the injection alone would push an
+// unguarded hot transaction far past it).
+constexpr uint64_t kGuardedRetryBound = 64;
+
+TYPED_TEST(StarvationStressTest, EveryTxnCommitsWithinTheRetryBound) {
+  using Scheduler = TypeParam;
+  std::vector<DeadlockPolicy> policies;
+  if constexpr (kSchedulerUsesPolicy<Scheduler, FaultyHtm>) {
+    policies = {DeadlockPolicy::kDetection, DeadlockPolicy::kPrevention,
+                DeadlockPolicy::kTimeout};
+  } else {
+    policies = {DeadlockPolicy::kDetection};  // Policy-free baselines.
+  }
+  const uint64_t iters = StressIters();
+  for (DeadlockPolicy policy : policies) {
+    for (uint64_t it = 0; it < iters; ++it) {
+      const uint64_t seed = StressBaseSeed() + it;
+      const std::string replay =
+          std::string(" [policy=") + PolicyName(policy) + " seed=" +
+          std::to_string(seed) +
+          "; replay: TUFAST_STRESS_SEED=" + std::to_string(seed) +
+          " TUFAST_STRESS_ITERS=1]";
+      FaultyHtm htm;
+      constexpr VertexId kVertices = 8;
+      constexpr VertexId kHotVertices = 4;
+      auto tm = MakeSchedulerFor<Scheduler>(htm, kVertices, policy);
+      FailpointPlan plan(StarvationChaosConfig(seed));
+      FailpointScope scope(plan);
+      std::vector<TmWord> data(kVertices, 0);
+      constexpr int kThreads = 3;
+      constexpr int kEach = 120;
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+          Rng rng(seed * 31 + static_cast<uint64_t>(t));
+          for (int i = 0; i < kEach; ++i) {
+            // Single-vertex increments: trivially ordered (kPrevention
+            // contract) with write intent declared up front.
+            const VertexId v =
+                static_cast<VertexId>(rng.NextBounded(kHotVertices));
+            tm->Run(t, 2, [&](auto& txn) {
+              txn.Write(v, &data[v], txn.ReadForUpdate(v, &data[v]) + 1);
+            });
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      TmWord total = 0;
+      for (VertexId v = 0; v < kVertices; ++v) {
+        total += FaultyHtm::NonTxLoad(&data[v]);
+      }
+      constexpr uint64_t kTotalTxns = uint64_t{kThreads} * kEach;
+      EXPECT_EQ(total, kTotalTxns)
+          << "lost or duplicated increments under forced starvation"
+          << replay;
+      const SchedulerStats stats = tm->AggregatedStats();
+      EXPECT_EQ(stats.commits, kTotalTxns)
+          << "every transaction must eventually commit" << replay;
+      if constexpr (SchedulerHasProgressGuard<Scheduler>::value) {
+        EXPECT_GT(stats.deadlock_aborts, 0u)
+            << "the injection never fired" << replay;
+        EXPECT_GT(stats.starvation_escalations, 0u)
+            << "sustained re-victimization must climb the ladder" << replay;
+        EXPECT_LE(stats.max_txn_aborts, kGuardedRetryBound)
+            << "escalation must bound the worst transaction's retries"
+            << replay;
+        auto& signals = tm->progress_guard().signals();
+        EXPECT_FALSE(signals.AnyStarved())
+            << "starved bits must be dropped at transaction end" << replay;
+        EXPECT_FALSE(signals.TokenHeld())
+            << "the starvation token leaked" << replay;
       }
     }
   }

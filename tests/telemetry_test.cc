@@ -304,6 +304,16 @@ TEST(TelemetryJsonTest, SnapshotSerializationGolden) {
   snap.fused_items = 12;
   snap.fusion_aborts = 2;
   snap.fusion_width_hist.Add(4, 3);
+  snap.backoff_events = 7;
+  snap.backoff_pauses = 90;
+  snap.starvation_escalations = 2;
+  snap.starvation_tokens = 1;
+  snap.breaker_trips = 1;
+  snap.breaker_half_opens = 1;
+  snap.breaker_closes = 1;
+  snap.breaker_bypass = 128;
+  snap.txn_abort_hist.Add(4, 2);
+  snap.max_txn_aborts = 4;
 
   const std::string empty_hist =
       "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p99\":0}";
@@ -332,7 +342,14 @@ TEST(TelemetryJsonTest, SnapshotSerializationGolden) {
       "\"fusion_aborts\":2,"
       "\"width\":{\"count\":3,\"sum\":12,\"min\":4,\"max\":4,"
       "\"p50\":4,\"p99\":4},"
-      "\"bisection_depth\":" + empty_hist + "}}";
+      "\"bisection_depth\":" + empty_hist + "},"
+      "\"progress\":{\"backoff_events\":7,\"backoff_pauses\":90,"
+      "\"starvation_escalations\":2,\"starvation_tokens\":1,"
+      "\"breaker_trips\":1,\"breaker_half_opens\":1,"
+      "\"breaker_closes\":1,\"breaker_bypass\":128,"
+      "\"txn_aborts\":{\"count\":2,\"sum\":8,\"min\":4,\"max\":4,"
+      "\"p50\":4,\"p99\":4},"
+      "\"max_txn_aborts\":4}}";
   EXPECT_EQ(TelemetrySnapshotToJson(snap), expected);
 }
 
