@@ -8,6 +8,7 @@
 //
 //   ./stress_fuzz --seed=1 --scale=4 --threads=3
 //   ./stress_fuzz --quick                       # smoke-sized sweep
+//   ./stress_fuzz --shard-chaos                 # batched cross-shard sweep
 //   ./stress_fuzz --seed=1337 --failpoint-trace=/tmp/trace.txt
 
 #include <cstdio>
@@ -30,7 +31,8 @@ const char* PolicyName(DeadlockPolicy p) {
   return "?";
 }
 
-FailpointPlan::Config ChaosConfig(uint64_t seed, bool progress_chaos) {
+FailpointPlan::Config ChaosConfig(uint64_t seed, bool progress_chaos,
+                                  bool shard_chaos) {
   FailpointPlan::Config config;
   config.seed = seed;
   config.Arm(FailSite::kHtmLoad, 0.002, FailAction::kAbortConflict);
@@ -53,6 +55,14 @@ FailpointPlan::Config ChaosConfig(uint64_t seed, bool progress_chaos) {
     config.Arm(FailSite::kBreakerTrip, 0.001, FailAction::kFail);
     config.Arm(FailSite::kStarvationToken, 0.0005, FailAction::kFail);
   }
+  if (shard_chaos) {
+    // Shard chaos: force full-mailbox bounces (the router must fall back
+    // to safe local execution, never drop the item) and rotate drained
+    // batch order (commit effects must not depend on mailbox FIFO order
+    // beyond what the invariants allow).
+    config.Arm(FailSite::kMailboxFull, 0.05, FailAction::kFail);
+    config.Arm(FailSite::kMessageReorder, 0.2, FailAction::kFail);
+  }
   return config;
 }
 
@@ -66,6 +76,11 @@ struct FuzzTotals {
   uint64_t starvation_tokens = 0;
   uint64_t breaker_bypass = 0;
   uint64_t max_txn_aborts = 0;
+  // Shard message traffic, summed over the --shard-chaos sweep.
+  uint64_t shard_messages_sent = 0;
+  uint64_t shard_messages_drained = 0;
+  uint64_t shard_drain_batches = 0;
+  uint64_t shard_mailbox_full = 0;
 };
 
 void DumpTraceTo(const FailpointPlan& plan, const std::string& path) {
@@ -97,8 +112,12 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
     for (uint64_t i = 0; i < seeds; ++i) {
       const uint64_t seed = flags.seed + i;
       FaultyHtm htm;
-      auto tm = MakeSchedulerFor<Scheduler>(htm, /*vertices=*/48, policy);
-      FailpointPlan plan(ChaosConfig(seed, flags.progress_chaos));
+      auto tm = flags.shard_chaos
+                    ? MakeShardedSchedulerFor<Scheduler>(htm, /*vertices=*/48,
+                                                         policy, flags.threads)
+                    : MakeSchedulerFor<Scheduler>(htm, /*vertices=*/48, policy);
+      FailpointPlan plan(
+          ChaosConfig(seed, flags.progress_chaos, flags.shard_chaos));
       FailpointScope scope(plan);
       StressConfig cfg;
       cfg.threads = flags.threads;
@@ -106,7 +125,11 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
       cfg.vertices = 48;
       cfg.seed = seed;
       cfg.ordered_for_update = policy == DeadlockPolicy::kPrevention;
-      const auto err = RunInvariantSuite(*tm, cfg);
+      // --shard-chaos swaps in the batched cross-shard workloads (the
+      // sharded router's message path on TuFast; the same calls through
+      // the per-item fallback on the fixed baselines).
+      auto err = flags.shard_chaos ? RunShardedInvariantSuite(*tm, cfg)
+                                   : RunInvariantSuite(*tm, cfg);
       ++totals.runs;
       totals.injections += plan.InjectionCount();
       const SchedulerStats stats = tm->AggregatedStats();
@@ -116,6 +139,19 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
       totals.breaker_bypass += stats.breaker_bypass;
       if (stats.max_txn_aborts > totals.max_txn_aborts) {
         totals.max_txn_aborts = stats.max_txn_aborts;
+      }
+      totals.shard_messages_sent += stats.shard_messages_sent;
+      totals.shard_messages_drained += stats.shard_messages_drained;
+      totals.shard_drain_batches += stats.shard_drain_batches;
+      totals.shard_mailbox_full += stats.shard_mailbox_full;
+      // Flush post-condition: after every batch returns, every message
+      // that was sent must have been drained (the sender's pending
+      // counter blocks it until then) — an imbalance is a protocol bug
+      // even if no data invariant tripped yet.
+      if (!err && stats.shard_messages_drained != stats.shard_messages_sent) {
+        err = "shard flush imbalance: sent " +
+              std::to_string(stats.shard_messages_sent) + " != drained " +
+              std::to_string(stats.shard_messages_drained);
       }
       if (err) {
         std::fprintf(stderr,
@@ -165,6 +201,16 @@ int Main(int argc, char** argv) {
         {"starvation tokens", ReportTable::Int(totals.starvation_tokens)});
     table.AddRow({"breaker bypass", ReportTable::Int(totals.breaker_bypass)});
     table.AddRow({"max txn aborts", ReportTable::Int(totals.max_txn_aborts)});
+  }
+  if (flags.shard_chaos) {
+    table.AddRow({"shard messages sent",
+                  ReportTable::Int(totals.shard_messages_sent)});
+    table.AddRow({"shard messages drained",
+                  ReportTable::Int(totals.shard_messages_drained)});
+    table.AddRow({"shard drain batches",
+                  ReportTable::Int(totals.shard_drain_batches)});
+    table.AddRow({"mailbox-full bounces",
+                  ReportTable::Int(totals.shard_mailbox_full)});
   }
   table.AddRow({"verdict", ok ? "PASS" : "FAIL"});
   table.Print("stress fuzz");

@@ -34,6 +34,8 @@ enum class FailSite : uint8_t {
   kBreakerTrip,           // ContentionMonitor: force the breaker open
   kStarvationToken,       // L retry loop: force starvation escalation
   kVictimReabort,         // L retry loop: synthesize extra victim aborts
+  kMailboxFull,           // Shard router: force a full-mailbox bounce
+  kMessageReorder,        // Shard drain: rotate the drained batch order
   kNumSites
 };
 
@@ -55,6 +57,8 @@ inline const char* FailSiteName(FailSite s) {
     case FailSite::kBreakerTrip: return "breaker_trip";
     case FailSite::kStarvationToken: return "starvation_token";
     case FailSite::kVictimReabort: return "victim_reabort";
+    case FailSite::kMailboxFull: return "mailbox_full";
+    case FailSite::kMessageReorder: return "message_reorder";
     default: return "?";
   }
 }

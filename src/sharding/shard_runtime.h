@@ -1,0 +1,86 @@
+#ifndef TUFAST_SHARDING_SHARD_RUNTIME_H_
+#define TUFAST_SHARDING_SHARD_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/spin.h"
+#include "common/types.h"
+#include "sharding/mailbox.h"
+#include "sharding/shard_map.h"
+#include "tm/addr_map.h"
+
+namespace tufast {
+
+/// Per-shard state for the active-message layer: the bounded mailbox of
+/// cross-shard messages, the drain lock serializing group-commit drains,
+/// the count of accepted-but-not-yet-executed messages (what senders
+/// flush on), and a scratch AddrMap for drain-batch home-vertex dedup
+/// (guarded by the drain lock, like the batch itself).
+struct alignas(kCacheLineBytes) Shard {
+  explicit Shard(uint32_t mailbox_capacity)
+      : mailbox(mailbox_capacity), window_vertices(64) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(Shard);
+
+  BoundedMailbox<ActiveMessage> mailbox;
+  SpinLock drain_lock;
+  /// Messages accepted by TryEnqueue and not yet executed. Incremented
+  /// by the sender *before* the enqueue publishes (so it can never read
+  /// zero while a message is unexecuted), decremented by the drainer
+  /// after the message's transaction committed.
+  std::atomic<uint64_t> pending{0};
+  /// Drain-batch home-vertex dedup scratch (see DrainShard).
+  AddrMap window_vertices;
+};
+
+/// The scheduler-owned runtime of the sharding layer: the vertex->shard
+/// ->worker map, the per-shard mailboxes, and the precomputed owned-
+/// shard list per worker (what a worker drains eagerly). Constructed
+/// only when Config::enable_sharding is set; the scheduler's unsharded
+/// paths never touch it.
+class ShardRuntime {
+ public:
+  struct Options {
+    VertexId num_vertices = 0;
+    uint32_t num_shards = 1;
+    uint32_t num_workers = 1;
+    uint32_t mailbox_capacity = 1024;
+  };
+
+  explicit ShardRuntime(const Options& opts)
+      : map_(opts.num_vertices, opts.num_shards, opts.num_workers) {
+    shards_.reserve(map_.num_shards());
+    for (uint32_t s = 0; s < map_.num_shards(); ++s) {
+      shards_.push_back(std::make_unique<Shard>(opts.mailbox_capacity));
+    }
+    owned_.resize(map_.num_workers());
+    for (uint32_t s = 0; s < map_.num_shards(); ++s) {
+      owned_[map_.OwnerWorker(s)].push_back(s);
+    }
+  }
+  TUFAST_DISALLOW_COPY_AND_MOVE(ShardRuntime);
+
+  const ShardMap& map() const { return map_; }
+  uint32_t num_shards() const { return map_.num_shards(); }
+  Shard& shard(uint32_t s) { return *shards_[s]; }
+
+  /// Shards owned by `worker` (empty for workers past num_workers — they
+  /// own nothing and only ever send).
+  const std::vector<uint32_t>& OwnedShards(int worker) const {
+    static const std::vector<uint32_t> kNone;
+    const auto idx = static_cast<size_t>(worker);
+    return idx < owned_.size() ? owned_[idx] : kNone;
+  }
+
+ private:
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<uint32_t>> owned_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_SHARDING_SHARD_RUNTIME_H_

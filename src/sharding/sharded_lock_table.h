@@ -1,0 +1,88 @@
+#ifndef TUFAST_SHARDING_SHARDED_LOCK_TABLE_H_
+#define TUFAST_SHARDING_SHARDED_LOCK_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/types.h"
+#include "htm/htm_config.h"
+#include "sharding/shard_map.h"
+#include "sync/lock_table.h"
+
+namespace tufast {
+
+/// Shard-per-core conflict space: one independent LockTable per shard,
+/// each sized to exactly its shard's vertices and honoring the same
+/// padded-layout option as the shared table (DESIGN.md "Sharding and
+/// atomic active messages").
+///
+/// Interface-compatible with LockTable — the mode contexts, LockManager
+/// and the scheduler are templated on the table type and never know
+/// which one they got. Crucially, *every* worker can still reach every
+/// shard's words through the global vertex id: sharding partitions the
+/// storage (no shared growth point, per-shard cache locality for the
+/// owner's drain batches), not the reachability, so conflict detection
+/// stays globally correct no matter where a transaction executes. That
+/// is what makes message routing a pure optimization: a mailbox-full
+/// local fallback or a helping drainer is always safe.
+template <typename Htm>
+class ShardedLockTable {
+ public:
+  static constexpr TmWord kExclusiveBit = LockTable<Htm>::kExclusiveBit;
+
+  ShardedLockTable(Htm& htm, size_t num_vertices, const LockTableOptions& opts)
+      : map_(static_cast<VertexId>(num_vertices),
+             opts.shards == 0 ? 1 : opts.shards,
+             /*num_workers=*/1),
+        num_vertices_(num_vertices) {
+    tables_.reserve(map_.num_shards());
+    for (uint32_t s = 0; s < map_.num_shards(); ++s) {
+      tables_.push_back(std::make_unique<LockTable<Htm>>(
+          htm, map_.ShardSize(s), opts.padded));
+    }
+  }
+  TUFAST_DISALLOW_COPY_AND_MOVE(ShardedLockTable);
+
+  size_t size() const { return num_vertices_; }
+  uint32_t num_shards() const { return map_.num_shards(); }
+  bool padded() const { return tables_[0]->padded(); }
+
+  /// Compatibility predicates (same word layout as LockTable).
+  static bool SharedCompatible(TmWord word) {
+    return LockTable<Htm>::SharedCompatible(word);
+  }
+  static bool Free(TmWord word) { return LockTable<Htm>::Free(word); }
+
+  const TmWord* WordAddr(VertexId v) const {
+    return Table(v).WordAddr(map_.LocalIndex(v));
+  }
+  bool TryLockShared(VertexId v) {
+    return Table(v).TryLockShared(map_.LocalIndex(v));
+  }
+  bool TryLockExclusive(VertexId v) {
+    return Table(v).TryLockExclusive(map_.LocalIndex(v));
+  }
+  bool TryUpgrade(VertexId v) { return Table(v).TryUpgrade(map_.LocalIndex(v)); }
+  void UnlockShared(VertexId v) { Table(v).UnlockShared(map_.LocalIndex(v)); }
+  void UnlockExclusive(VertexId v) {
+    Table(v).UnlockExclusive(map_.LocalIndex(v));
+  }
+  TmWord LoadWord(VertexId v) const {
+    return Table(v).LoadWord(map_.LocalIndex(v));
+  }
+
+ private:
+  LockTable<Htm>& Table(VertexId v) { return *tables_[map_.ShardOf(v)]; }
+  const LockTable<Htm>& Table(VertexId v) const {
+    return *tables_[map_.ShardOf(v)];
+  }
+
+  ShardMap map_;
+  const size_t num_vertices_;
+  std::vector<std::unique_ptr<LockTable<Htm>>> tables_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_SHARDING_SHARDED_LOCK_TABLE_H_

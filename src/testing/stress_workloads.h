@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "testing/failpoints.h"
+#include "tm/batch_executor.h"
 #include "tm/scheduler_2pl.h"
 #include "tm/scheduler_hsync.h"
 #include "tm/scheduler_hto.h"
@@ -223,6 +224,149 @@ std::optional<std::string> RunInvariantSuite(Scheduler& tm,
   return std::nullopt;
 }
 
+/// Items per RunBatch call in the sharded batch workloads: small enough
+/// that every thread issues many batches (lots of mailbox flush cycles),
+/// large enough that the sharded router ships multi-item drain batches.
+constexpr uint64_t kStressBatchItems = 16;
+
+/// Batched bank-transfer conservation through the home-aware RunBatch
+/// front-end: each batch item transfers between two random vertices with
+/// home(k) = the from-vertex, so on a sharded TuFast config a large
+/// fraction of items crosses shards as active messages while baselines
+/// take the per-item fallback. The grand total must be exactly
+/// preserved — a message that is dropped, executed twice (sent AND
+/// bounced local), or torn across the drain boundary breaks the sum.
+template <typename Scheduler>
+std::optional<std::string> RunShardedBatchConservation(
+    Scheduler& tm, const StressConfig& cfg) {
+  constexpr TmWord kInitial = 1000;
+  std::vector<TmWord> data(cfg.vertices, kInitial);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(PerThreadSeed(cfg.seed, t) ^ 0x5ade0ULL);
+      const int batches =
+          (cfg.txns_per_thread + static_cast<int>(kStressBatchItems) - 1) /
+          static_cast<int>(kStressBatchItems);
+      for (int b = 0; b < batches; ++b) {
+        VertexId from[kStressBatchItems];
+        VertexId to[kStressBatchItems];
+        TmWord amount[kStressBatchItems];
+        uint64_t hints[kStressBatchItems];
+        for (uint64_t k = 0; k < kStressBatchItems; ++k) {
+          from[k] = static_cast<VertexId>(rng.NextBounded(cfg.vertices));
+          to[k] = static_cast<VertexId>(rng.NextBounded(cfg.vertices - 1));
+          if (to[k] >= from[k]) ++to[k];
+          amount[k] = 1 + rng.NextBounded(5);
+          hints[k] = DrawSizeHint(rng, cfg);
+        }
+        RunBatch(
+            tm, t, 0, kStressBatchItems,
+            [&](uint64_t k) { return hints[k]; },
+            [&](uint64_t k) { return from[k]; },
+            [&](auto& txn, uint64_t k) {
+              if (cfg.ordered_for_update) {
+                const VertexId lo = from[k] < to[k] ? from[k] : to[k];
+                const VertexId hi = from[k] < to[k] ? to[k] : from[k];
+                const TmWord lo_v = txn.ReadForUpdate(lo, &data[lo]);
+                const TmWord hi_v = txn.ReadForUpdate(hi, &data[hi]);
+                txn.Write(lo, &data[lo],
+                          lo == from[k] ? lo_v - amount[k] : lo_v + amount[k]);
+                txn.Write(hi, &data[hi],
+                          hi == from[k] ? hi_v - amount[k] : hi_v + amount[k]);
+              } else {
+                const TmWord a = txn.Read(from[k], &data[from[k]]);
+                const TmWord b2 = txn.Read(to[k], &data[to[k]]);
+                txn.Write(from[k], &data[from[k]], a - amount[k]);
+                txn.Write(to[k], &data[to[k]], b2 + amount[k]);
+              }
+            });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  TmWord total = 0;
+  for (VertexId v = 0; v < cfg.vertices; ++v) total += data[v];
+  const TmWord expected = static_cast<TmWord>(cfg.vertices) * kInitial;
+  if (total != expected) {
+    return "sharded batch conservation violated: total " +
+           std::to_string(total) + " != expected " + std::to_string(expected);
+  }
+  return std::nullopt;
+}
+
+/// Batched lost-update / exactly-once detector: every thread's increment
+/// targets are drawn up front from a deterministic stream, so the exact
+/// per-vertex histogram is known before the run. RunOutcome::committed is
+/// false only on an explicit user Abort() (tm/outcome.h) and these bodies
+/// never abort, so after the run each counter must equal its histogram
+/// cell exactly: a low cell is a dropped or lost update (message never
+/// drained, fused write discarded), a high cell is a double execution
+/// (message drained AND bounced local).
+template <typename Scheduler>
+std::optional<std::string> RunShardedBatchExactlyOnce(
+    Scheduler& tm, const StressConfig& cfg) {
+  std::vector<TmWord> counters(cfg.vertices, 0);
+  std::vector<TmWord> expected(cfg.vertices, 0);
+  std::vector<std::vector<VertexId>> targets(cfg.threads);
+  std::vector<std::vector<uint64_t>> hints(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    Rng rng(PerThreadSeed(cfg.seed, t) ^ 0xe1aceULL);
+    for (int i = 0; i < cfg.txns_per_thread; ++i) {
+      const VertexId v = static_cast<VertexId>(rng.NextZipf(cfg.vertices, 0.8));
+      targets[t].push_back(v);
+      hints[t].push_back(DrawSizeHint(rng, cfg));
+      ++expected[v];
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::vector<VertexId>& mine = targets[t];
+      const std::vector<uint64_t>& my_hints = hints[t];
+      for (uint64_t lo = 0; lo < mine.size(); lo += kStressBatchItems) {
+        const uint64_t hi =
+            lo + kStressBatchItems < mine.size() ? lo + kStressBatchItems
+                                                 : mine.size();
+        RunBatch(
+            tm, t, lo, hi, [&](uint64_t k) { return my_hints[k]; },
+            [&](uint64_t k) { return mine[k]; },
+            [&](auto& txn, uint64_t k) {
+              const VertexId v = mine[k];
+              const TmWord old = cfg.ordered_for_update
+                                     ? txn.ReadForUpdate(v, &counters[v])
+                                     : txn.Read(v, &counters[v]);
+              txn.Write(v, &counters[v], old + 1);
+            });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (VertexId v = 0; v < cfg.vertices; ++v) {
+    if (counters[v] != expected[v]) {
+      return "sharded batch exactly-once violated: vertex " +
+             std::to_string(v) + " count " + std::to_string(counters[v]) +
+             " != expected " + std::to_string(expected[v]);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Runs both sharded batch workloads; first violation wins. On a sharded
+/// TuFast these exercise the message path end to end; on baselines (and
+/// unsharded TuFast) the same calls take the fallback/fused paths, which
+/// is exactly the cross-scheduler comparison the fuzzer sweeps.
+template <typename Scheduler>
+std::optional<std::string> RunShardedInvariantSuite(Scheduler& tm,
+                                                    const StressConfig& cfg) {
+  if (auto err = RunShardedBatchConservation(tm, cfg)) return err;
+  if (auto err = RunShardedBatchExactlyOnce(tm, cfg)) return err;
+  return std::nullopt;
+}
+
 /// Detects a scheduler Config with a deadlock_policy knob (TuFast). The
 /// Hsync/HTO Configs exist but carry no policy, so keying on the member —
 /// not the typedef — is what matters.
@@ -256,6 +400,40 @@ std::unique_ptr<Scheduler> MakeSchedulerFor(Htm& htm, VertexId vertices,
   } else {
     (void)policy;
     return std::make_unique<Scheduler>(htm, vertices);
+  }
+}
+
+/// Detects a scheduler Config with the shard-per-core switch (TuFast).
+template <typename S, typename = void>
+struct SchedulerConfigHasShardingKnob : std::false_type {};
+template <typename S>
+struct SchedulerConfigHasShardingKnob<
+    S, std::void_t<decltype(std::declval<typename S::Config&>()
+                                .enable_sharding)>> : std::true_type {};
+
+/// Sharded counterpart of MakeSchedulerFor: schedulers whose Config has
+/// the sharding switch get a deliberately awkward sharded setup — more
+/// shards than workers (non-trivial cyclic deal), a small mailbox
+/// (organic full-ring bounces) and a small drain batch (many flush
+/// cycles). Everything else falls through to the plain constructor, so
+/// the fuzzer can sweep the same suite over the whole scheduler matrix.
+template <typename Scheduler, typename Htm>
+std::unique_ptr<Scheduler> MakeShardedSchedulerFor(Htm& htm, VertexId vertices,
+                                                   DeadlockPolicy policy,
+                                                   int workers) {
+  if constexpr (SchedulerConfigHasShardingKnob<Scheduler>::value) {
+    typename Scheduler::Config config;
+    if constexpr (SchedulerConfigHasPolicy<Scheduler>::value) {
+      config.deadlock_policy = policy;
+    }
+    config.enable_sharding = true;
+    config.shard_workers = static_cast<uint32_t>(workers);
+    config.num_shards = static_cast<uint32_t>(workers) + 1;
+    config.am_batch = 8;
+    config.mailbox_capacity = 64;
+    return std::make_unique<Scheduler>(htm, vertices, config);
+  } else {
+    return MakeSchedulerFor<Scheduler>(htm, vertices, policy);
   }
 }
 

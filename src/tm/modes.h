@@ -33,16 +33,16 @@ namespace tufast {
 ///
 /// User bodies take `auto& txn` so one generic lambda works across modes.
 
-template <typename Htm>
+template <typename Htm, typename Table = LockTable<Htm>>
 class HTxn {
  public:
-  HTxn(typename Htm::Tx& htx, const LockTable<Htm>& locks)
+  HTxn(typename Htm::Tx& htx, const Table& locks)
       : htx_(htx), locks_(locks) {}
 
   TUFAST_ALWAYS_INLINE TmWord Read(VertexId v, const TmWord* addr) {
     ++ops_;
-    if (TUFAST_UNLIKELY(!LockTable<Htm>::SharedCompatible(
-            htx_.Load(locks_.WordAddr(v))))) {
+    if (TUFAST_UNLIKELY(
+            !Table::SharedCompatible(htx_.Load(locks_.WordAddr(v))))) {
       htx_.template ExplicitAbort<kAbortCodeLockBusy>();
     }
     return htx_.Load(addr);
@@ -50,8 +50,7 @@ class HTxn {
 
   TUFAST_ALWAYS_INLINE void Write(VertexId v, TmWord* addr, TmWord value) {
     ++ops_;
-    if (TUFAST_UNLIKELY(
-            !LockTable<Htm>::Free(htx_.Load(locks_.WordAddr(v))))) {
+    if (TUFAST_UNLIKELY(!Table::Free(htx_.Load(locks_.WordAddr(v))))) {
       htx_.template ExplicitAbort<kAbortCodeLockBusy>();
     }
     htx_.Store(addr, value);
@@ -61,8 +60,7 @@ class HTxn {
   /// up front so it aborts as early as a write would.
   TmWord ReadForUpdate(VertexId v, const TmWord* addr) {
     ++ops_;
-    if (TUFAST_UNLIKELY(
-            !LockTable<Htm>::Free(htx_.Load(locks_.WordAddr(v))))) {
+    if (TUFAST_UNLIKELY(!Table::Free(htx_.Load(locks_.WordAddr(v))))) {
       htx_.template ExplicitAbort<kAbortCodeLockBusy>();
     }
     return htx_.Load(addr);
@@ -86,19 +84,19 @@ class HTxn {
 
  private:
   typename Htm::Tx& htx_;
-  const LockTable<Htm>& locks_;
+  const Table& locks_;
   uint64_t ops_ = 0;
 };
 
 /// Outcome of OTxn's software commit phase.
 enum class OCommitResult { kOk, kLockBusy, kValidationFail };
 
-template <typename Htm>
+template <typename Htm, typename Table = LockTable<Htm>>
 class OTxn {
  public:
   /// `expected_max_ops` pre-sizes the read/write logs: growing a vector
   /// inside a hardware segment calls malloc, which aborts real HTM.
-  OTxn(Htm& htm, typename Htm::Tx& htx, LockTable<Htm>& locks,
+  OTxn(Htm& htm, typename Htm::Tx& htx, Table& locks,
        size_t expected_max_ops = 1 << 14)
       : htm_(htm), htx_(htx), locks_(locks), write_map_(expected_max_ops) {
     reads_.reserve(expected_max_ops);
@@ -126,8 +124,8 @@ class OTxn {
       }
     }
     MaybeSegmentBoundary();
-    if (TUFAST_UNLIKELY(!LockTable<Htm>::SharedCompatible(
-            htx_.Load(locks_.WordAddr(v))))) {
+    if (TUFAST_UNLIKELY(
+            !Table::SharedCompatible(htx_.Load(locks_.WordAddr(v))))) {
       htx_.template ExplicitAbort<kAbortCodeLockBusy>();
     }
     const TmWord value = htx_.Load(addr);
@@ -225,7 +223,7 @@ class OTxn {
   /// locked by anyone else (shared holders are readers — compatible).
   bool ReadVertexStillValid(VertexId v) const {
     const TmWord word = locks_.LoadWord(v);
-    if ((word & LockTable<Htm>::kExclusiveBit) == 0) return true;
+    if ((word & Table::kExclusiveBit) == 0) return true;
     return std::binary_search(write_vertices_.begin(), write_vertices_.end(),
                               v);  // Exclusively locked — by us?
   }
@@ -238,7 +236,7 @@ class OTxn {
 
   Htm& htm_;
   typename Htm::Tx& htx_;
-  LockTable<Htm>& locks_;
+  Table& locks_;
   uint32_t period_ = 1000;
   uint32_t segment_ops_ = 0;
   uint64_t ops_ = 0;
@@ -248,10 +246,10 @@ class OTxn {
   AddrMap write_map_;
 };
 
-template <typename Htm>
+template <typename Htm, typename Table = LockTable<Htm>>
 class LTxn {
  public:
-  LTxn(Htm& htm, int slot, LockManager<Htm>& manager)
+  LTxn(Htm& htm, int slot, LockManager<Htm, Table>& manager)
       : htm_(htm), slot_(slot), manager_(manager) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(LTxn);
 
@@ -373,7 +371,7 @@ class LTxn {
 
   Htm& htm_;
   const int slot_;
-  LockManager<Htm>& manager_;
+  LockManager<Htm, Table>& manager_;
   uint64_t ops_ = 0;
   std::vector<Held> held_;
   AddrMap held_map_;

@@ -1,0 +1,80 @@
+// Strict-parsing tests for the shared bench flag parser: every malformed
+// value must be a hard process exit (code 2), never a silently defaulted
+// run — a bench running with shard count "4x" or batch size 0 measures
+// the wrong thing while looking healthy.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+
+namespace tufast {
+namespace {
+
+BenchFlags ParseArgs(std::vector<std::string> args) {
+  std::vector<std::vector<char>> storage;
+  std::vector<char*> argv;
+  storage.emplace_back(std::vector<char>{'b', 'e', 'n', 'c', 'h', '\0'});
+  argv.push_back(storage.back().data());
+  for (const std::string& a : args) {
+    storage.emplace_back(a.begin(), a.end());
+    storage.back().push_back('\0');
+    argv.push_back(storage.back().data());
+  }
+  return BenchFlags::Parse(static_cast<int>(argv.size()), argv.data(),
+                           /*default_scale=*/1.0);
+}
+
+TEST(BenchFlagsTest, ShardingFlagsParse) {
+  const BenchFlags flags =
+      ParseArgs({"--shards=8", "--am-batch=64", "--shard-chaos"});
+  EXPECT_EQ(flags.shards, 8u);
+  EXPECT_EQ(flags.am_batch, 64u);
+  EXPECT_TRUE(flags.shard_chaos);
+}
+
+TEST(BenchFlagsTest, ShardingDefaults) {
+  const BenchFlags flags = ParseArgs({"--threads=2"});
+  EXPECT_EQ(flags.shards, 0u);  // 0 = one shard per worker thread.
+  EXPECT_EQ(flags.am_batch, 32u);
+  EXPECT_FALSE(flags.shard_chaos);
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedShardCounts) {
+  EXPECT_EXIT(ParseArgs({"--shards="}), ::testing::ExitedWithCode(2),
+              "missing value");
+  EXPECT_EXIT(ParseArgs({"--shards=4x"}), ::testing::ExitedWithCode(2),
+              "not an integer");
+  EXPECT_EXIT(ParseArgs({"--shards=abc"}), ::testing::ExitedWithCode(2),
+              "not an integer");
+  EXPECT_EXIT(ParseArgs({"--shards=-1"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--shards=100000"}), ::testing::ExitedWithCode(2),
+              "must be in");
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedAmBatch) {
+  EXPECT_EXIT(ParseArgs({"--am-batch="}), ::testing::ExitedWithCode(2),
+              "missing value");
+  EXPECT_EXIT(ParseArgs({"--am-batch=7.5"}), ::testing::ExitedWithCode(2),
+              "not an integer");
+  EXPECT_EXIT(ParseArgs({"--am-batch=0"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--am-batch=-3"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--am-batch=70000"}), ::testing::ExitedWithCode(2),
+              "must be in");
+}
+
+TEST(BenchFlagsDeathTest, ExistingFlagsStayStrict) {
+  EXPECT_EXIT(ParseArgs({"--threads=0"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--scale=nope"}), ::testing::ExitedWithCode(2),
+              "not a number");
+}
+
+}  // namespace
+}  // namespace tufast
