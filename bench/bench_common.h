@@ -30,6 +30,17 @@ namespace tufast {
 ///   --shard-chaos   stress drivers: additionally arm the sharding
 ///                   failpoints (forced full-mailbox bounces, adversarial
 ///                   drain reordering) and route cross-shard traffic
+///   --mvcc          enable the MVCC snapshot-read path
+///                   (Config::enable_mvcc) where the bench supports it;
+///                   streaming_updates adds its reader/writer-mix phase
+///                   (reader abort rate, snapshot staleness, chain and
+///                   reclamation telemetry, mirrored to --json-out)
+///   --readers=<n>   reader threads for the reader/writer mix (0 =
+///                   default: half the worker threads)
+///   --mvcc-chaos    stress drivers: additionally arm the MVCC
+///                   failpoints (forced version-reclaim passes, stretched
+///                   stale-epoch snapshot windows) and run snapshot
+///                   readers against the chaos write stream
 /// Malformed values (non-numeric, trailing junk, out of range) are hard
 /// errors: a bench silently running with scale 0 measures nothing.
 struct BenchFlags {
@@ -43,6 +54,9 @@ struct BenchFlags {
   uint32_t shards = 0;
   uint32_t am_batch = 32;
   bool shard_chaos = false;
+  bool mvcc = false;
+  uint32_t readers = 0;
+  bool mvcc_chaos = false;
 
   static BenchFlags Parse(int argc, char** argv, double default_scale) {
     BenchFlags flags;
@@ -74,6 +88,14 @@ struct BenchFlags {
         const long n = ParseLong(arg, arg + 11);
         if (n < 1 || n > 65536) Fail(arg, "must be in [1, 65536]");
         flags.am_batch = static_cast<uint32_t>(n);
+      } else if (std::strncmp(arg, "--readers=", 10) == 0) {
+        const long n = ParseLong(arg, arg + 10);
+        if (n < 0 || n > 4096) Fail(arg, "must be in [0, 4096]");
+        flags.readers = static_cast<uint32_t>(n);
+      } else if (std::strcmp(arg, "--mvcc") == 0) {
+        flags.mvcc = true;
+      } else if (std::strcmp(arg, "--mvcc-chaos") == 0) {
+        flags.mvcc_chaos = true;
       } else if (std::strcmp(arg, "--quick") == 0) {
         flags.quick = true;
         flags.scale = default_scale * 0.2;

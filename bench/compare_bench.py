@@ -43,9 +43,14 @@ Stdlib only (json/argparse/re); no third-party dependencies.
 """
 
 import argparse
+import contextlib
+import io
 import json
+import math
+import os
 import re
 import sys
+import tempfile
 
 DEFAULT_INCLUDE = r"micro ops|scheduler throughput|progress guard"
 DEFAULT_EXCLUDE = r"instrumented pass|contended|native RTM"
@@ -63,10 +68,17 @@ def load(path):
 
 
 def numeric(cell):
-    """Returns float(cell) or None (tables mix rates with labels/'-')."""
+    """Returns float(cell) or None (tables mix rates with labels/'-').
+
+    Non-finite values (nan/inf — a bench dividing by a zero elapsed time
+    or reporting a poisoned counter) parse successfully and are returned
+    as-is so the comparison layer can FAIL them explicitly. Swallowing
+    them here would silently drop the cell from the shared-key set and a
+    NaN current value would pass the gate by absence.
+    """
     try:
         return float(cell)
-    except ValueError:
+    except (TypeError, ValueError):
         return None
 
 
@@ -148,10 +160,24 @@ def cmd_compare(args):
             print(f"{status:>10}  {cur:>12.5g} vs {base:>12.5g} "
                   f"(exact )  {title} | {row} | {col}")
             continue
+        # Non-finite cells can never pass: a NaN/inf current value is a
+        # broken measurement (zero elapsed time, poisoned counter), and a
+        # non-finite baseline means the checked-in reference is corrupt.
+        if not math.isfinite(cur) or not math.isfinite(base):
+            failures.append(key)
+            print(f"{'NON-FINITE':>10}  {cur:>12.5g} vs {base:>12.5g} "
+                  f"(------)  {title} | {row} | {col}")
+            continue
         floor = base * (1.0 - args.tolerance)
         ratio = cur / base if base else float("inf")
         status = "ok"
         if base > 0 and cur < floor:
+            status = "REGRESSION"
+            failures.append(key)
+        elif base == 0 and cur < 0:
+            # Zero-baseline cells accept any non-negative current value
+            # (the metric was absent/idle at baseline time) but a
+            # negative rate is still nonsense and fails.
             status = "REGRESSION"
             failures.append(key)
         print(f"{status:>10}  {cur:>12.5g} vs {base:>12.5g} "
@@ -172,9 +198,67 @@ def cmd_compare(args):
         if not ok:
             failures.append(("micro ops", metric, "floor"))
 
+    if args.max_reader_abort_rate is not None:
+        failures.extend(
+            check_reader_mix(current_doc, args.max_reader_abort_rate,
+                             args.tolerance))
+
     print(f"\ncompared {len(shared)} cell(s), tolerance "
           f"{args.tolerance:.0%}: {len(failures)} regression(s)")
     return 1 if failures else 0
+
+
+def check_reader_mix(doc, max_abort_rate, tolerance):
+    """Gates the streaming_updates reader/writer-mix tables.
+
+    For every "reader-writer mix" table in the CURRENT document:
+      - the mvcc-on row's reader abort rate must be finite and
+        <= max_abort_rate (CI passes 0: snapshot reads are abort-free by
+        construction, any abort is a bug, not noise);
+      - the mvcc-on row's writer throughput (updates/s) must stay within
+        the relative tolerance band of the mvcc-off row — the version-
+        installation overhead gate.
+    Both rows live in one table from one process run, so this needs no
+    baseline document and no cross-run merge.
+    """
+    failures = []
+    found = False
+    for table in doc.get("tables", []):
+        title = table["title"]
+        if not title.startswith("reader-writer mix"):
+            continue
+        headers = table["headers"]
+        rows = {row[0]: dict(zip(headers[1:], row[1:]))
+                for row in table["rows"] if row}
+        if "mvcc-on" not in rows:
+            print(f"error: '{title}' has no mvcc-on row", file=sys.stderr)
+            failures.append((title, "mvcc-on", "missing"))
+            continue
+        found = True
+        rate = numeric(rows["mvcc-on"].get("reader abort rate"))
+        ok = (rate is not None and math.isfinite(rate)
+              and rate <= max_abort_rate)
+        print(f"{'ok' if ok else 'REGRESSION':>10}  reader abort rate "
+              f"{rate} (max {max_abort_rate:g})  {title}")
+        if not ok:
+            failures.append((title, "mvcc-on", "reader abort rate"))
+        if "mvcc-off" in rows:
+            on = numeric(rows["mvcc-on"].get("updates/s"))
+            off = numeric(rows["mvcc-off"].get("updates/s"))
+            ok = (on is not None and off is not None and math.isfinite(on)
+                  and math.isfinite(off)
+                  and (off <= 0 or on >= off * (1.0 - tolerance)))
+            ratio = on / off if (on is not None and off) else float("nan")
+            print(f"{'ok' if ok else 'REGRESSION':>10}  mvcc writer "
+                  f"overhead {ratio:6.2f}x of mvcc-off  {title}")
+            if not ok:
+                failures.append((title, "mvcc-on", "updates/s"))
+    if not found:
+        print("error: --max-reader-abort-rate set but the current report "
+              "has no reader-writer mix table (streaming_updates not run "
+              "with --mvcc?)", file=sys.stderr)
+        failures.append(("reader-writer mix", "-", "missing"))
+    return failures
 
 
 def main(argv):
@@ -202,10 +286,92 @@ def main(argv):
     compare.add_argument("--exclude-cols", default=DEFAULT_EXCLUDE_COLS)
     compare.add_argument("--exact-titles", default=EXACT_TITLES,
                          help="titles checked symmetrically and exactly")
+    compare.add_argument("--max-reader-abort-rate", type=float, default=None,
+                         help="ceiling for the reader-writer mix mvcc-on "
+                              "reader abort rate (CI: 0); also gates the "
+                              "mvcc-on writer throughput against mvcc-off "
+                              "within --tolerance")
     compare.set_defaults(func=cmd_compare)
+
+    selftest = sub.add_parser(
+        "selftest", help="verify the gate logic itself (run from ctest)")
+    selftest.set_defaults(func=cmd_selftest)
 
     args = parser.parse_args(argv)
     return args.func(args)
+
+
+def _table(title, headers, rows):
+    return {"title": title, "headers": headers, "rows": rows}
+
+
+def _run_compare(baseline_doc, current_doc, extra_args):
+    """Runs the compare subcommand on in-memory documents; returns rc."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        cur_path = os.path.join(tmp, "cur.json")
+        for path, doc in ((base_path, baseline_doc), (cur_path, current_doc)):
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(doc, f)
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(io.StringIO()):
+            return main(["compare", "--baseline", base_path,
+                         "--current", cur_path] + extra_args)
+
+
+def cmd_selftest(args):
+    """Self-checks for the gate logic: every way a broken measurement
+    could slip through the tolerance band must fail, and the happy paths
+    must pass. Invoked from ctest (compare_bench_selftest)."""
+    del args
+    # Column name must dodge DEFAULT_EXCLUDE_COLS ('/' would drop it).
+    mk = lambda cell: {"tables": [_table(
+        "scheduler throughput", ["mode", "rate"], [["tufast", cell]])]}
+    rw = lambda rate, on, off: {"tables": [_table(
+        "reader-writer mix — rmat",
+        ["mode", "updates/s", "reader abort rate"],
+        [["mvcc-off", off, "0.01"], ["mvcc-on", on, rate]])]}
+    checks = [
+        ("equal cells pass", _run_compare(mk("100"), mk("100"), []), 0),
+        ("improvement passes", _run_compare(mk("100"), mk("200"), []), 0),
+        ("regression fails",
+         _run_compare(mk("100"), mk("10"), ["--tolerance", "0.25"]), 1),
+        ("nan current fails", _run_compare(mk("100"), mk("nan"), []), 1),
+        ("inf current fails", _run_compare(mk("100"), mk("inf"), []), 1),
+        ("-inf current fails", _run_compare(mk("100"), mk("-inf"), []), 1),
+        ("nan baseline fails", _run_compare(mk("nan"), mk("100"), []), 1),
+        ("zero baseline accepts any non-negative",
+         _run_compare(mk("0"), mk("50"), []), 0),
+        ("zero baseline rejects negative",
+         _run_compare(mk("0"), mk("-1"), []), 1),
+        ("zero reader aborts pass",
+         _run_compare(mk("100"), {"tables": mk("100")["tables"] +
+                                  rw("0", "90", "100")["tables"]},
+                      ["--max-reader-abort-rate", "0"]), 0),
+        ("nonzero reader aborts fail",
+         _run_compare(mk("100"), {"tables": mk("100")["tables"] +
+                                  rw("0.001", "90", "100")["tables"]},
+                      ["--max-reader-abort-rate", "0"]), 1),
+        ("nan reader abort rate fails",
+         _run_compare(mk("100"), {"tables": mk("100")["tables"] +
+                                  rw("nan", "90", "100")["tables"]},
+                      ["--max-reader-abort-rate", "0"]), 1),
+        ("mvcc writer overhead beyond tolerance fails",
+         _run_compare(mk("100"), {"tables": mk("100")["tables"] +
+                                  rw("0", "10", "100")["tables"]},
+                      ["--max-reader-abort-rate", "0",
+                       "--tolerance", "0.25"]), 1),
+        ("missing reader mix table fails",
+         _run_compare(mk("100"), mk("100"),
+                      ["--max-reader-abort-rate", "0"]), 1),
+    ]
+    failed = 0
+    for name, got, want in checks:
+        ok = got == want
+        failed += not ok
+        print(f"{'ok' if ok else 'FAIL':>6}  {name} (rc {got}, want {want})")
+    print(f"\nselftest: {len(checks) - failed}/{len(checks)} passed")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

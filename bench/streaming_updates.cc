@@ -16,6 +16,7 @@
 //     not just timed).
 // Sanity failures (conservation, audit, analytics mismatch) exit 1.
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -260,6 +261,153 @@ void RunDataset(const std::string& name, const Graph& base,
               std::to_string(flags.threads) + " threads)");
 }
 
+// Reader/writer mix (--mvcc): writer threads stream a churn mix while
+// reader threads hammer per-vertex snapshot reads through RunReadOnly.
+// Each dataset runs the identical workload twice — MVCC off (readers are
+// ordinary transactions that CAN abort under write pressure) and MVCC on
+// (snapshot reads, abort-free by construction) — so one JSON carries
+// both the reader abort rates and the writer-throughput overhead of
+// version installation. Per-read consistency is asserted inline: a
+// committed (or snapshot) read must see degree == live slots.
+void RunReaderWriterMixVariant(const std::string& name, const Graph& base,
+                               const BenchFlags& flags, bool skewed,
+                               bool enable_mvcc, ReportTable* table) {
+  ThreadPool pool(flags.threads);
+  const int threads = flags.threads;
+  int readers = flags.readers > 0 ? static_cast<int>(flags.readers)
+                                  : std::max(1, threads / 2);
+  readers = std::min(readers, threads - 1);
+  if (readers < 1) {
+    std::fprintf(stderr,
+                 "reader/writer mix needs >= 2 threads; skipping\n");
+    return;
+  }
+  const int writers = threads - readers;
+  const int batches = flags.quick ? 50 : 200;
+  const int batch_size = 32;
+
+  auto dyn = DynamicGraph::FromCsr(base);
+  EmulatedHtm htm;
+  TuFastInstrumented::Config cfg;
+  cfg.enable_mvcc = enable_mvcc;
+  TuFastInstrumented tm(htm, dyn->capacity(), cfg);
+  const VertexId n = dyn->NumVertices();
+
+  std::atomic<int> writers_remaining{writers};
+  std::vector<uint64_t> reader_txns(threads, 0);
+  std::vector<uint64_t> reader_aborts(threads, 0);
+  std::vector<uint64_t> degree_mismatches(threads, 0);
+  std::vector<uint64_t> writer_updates(threads, 0);
+  WallTimer timer;
+  pool.RunOnAll([&](int worker) {
+    uint64_t sm = flags.seed + 0x9100 * static_cast<uint64_t>(worker + 1);
+    Rng rng(SplitMix64(sm) ^ 0xabcdULL);
+    if (worker < writers) {
+      std::vector<EdgeUpdate> batch;
+      for (int i = 0; i < batches; ++i) {
+        batch.clear();
+        for (int k = 0; k < batch_size; ++k) {
+          const VertexId u = static_cast<VertexId>(
+              skewed ? rng.NextZipf(n, 0.8) : rng.NextBounded(n));
+          const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+          const int r = static_cast<int>(rng.NextBounded(100));
+          const uint32_t w = static_cast<uint32_t>(1 + rng.NextBounded(255));
+          if (r < 50) {
+            batch.push_back(EdgeUpdate::Insert(u, v, w));
+          } else if (r < 90) {
+            batch.push_back(EdgeUpdate::Delete(u, v));
+          } else {
+            batch.push_back(EdgeUpdate::Reweight(u, v, w));
+          }
+        }
+        dyn->ApplyBatch(tm, worker, batch);
+        writer_updates[worker] += batch.size();
+      }
+      writers_remaining.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      // Read until the writers drain, but never fewer than kMinReads:
+      // fast writer configurations (quick mode with MVCC on) can finish
+      // before a reader thread gets scheduled at all, and a reader that
+      // performed zero snapshots would satisfy the abort-rate gate
+      // vacuously. The floor keeps the measurement honest; reads past
+      // writer drain still exercise the full snapshot path.
+      constexpr uint64_t kMinReads = 256;
+      VertexSnapshot snap;
+      while (writers_remaining.load(std::memory_order_acquire) > 0 ||
+             reader_txns[worker] < kMinReads) {
+        const VertexId u = static_cast<VertexId>(
+            skewed ? rng.NextZipf(n, 0.8) : rng.NextBounded(n));
+        const RunOutcome rc =
+            dyn->ReadVertexSnapshotRO(tm, worker, u, &snap);
+        ++reader_txns[worker];
+        reader_aborts[worker] += rc.aborts;
+        if (snap.degree != snap.edges.size()) ++degree_mismatches[worker];
+      }
+    }
+  });
+  const double seconds = timer.ElapsedSeconds();
+
+  uint64_t txns = 0, aborts = 0, mismatches = 0, updates = 0;
+  for (int t = 0; t < threads; ++t) {
+    txns += reader_txns[t];
+    aborts += reader_aborts[t];
+    mismatches += degree_mismatches[t];
+    updates += writer_updates[t];
+  }
+  const char* mode = enable_mvcc ? "mvcc-on" : "mvcc-off";
+  Check(mismatches == 0, name + " " + mode +
+                             ": reader saw degree != live slot count");
+  Check(dyn->CheckInvariantsQuiesced() == std::nullopt,
+        name + " " + mode + ": structural audit");
+
+  uint64_t staleness_avg = 0, staleness_max = 0, max_chain_walk = 0;
+  uint64_t installed = 0, freed = 0, limbo = 0, reclaims = 0, chain_max = 0;
+  if (enable_mvcc) {
+    auto* store = tm.mvcc_store();
+    const MvccCounters c = store->Counters();
+    Check(aborts == 0, name + ": MVCC reader aborts must be 0, got " +
+                           std::to_string(aborts));
+    // Flush balance: every installed version is freed, parked in limbo,
+    // or still linked (visible) — nothing leaks, nothing double-frees.
+    Check(c.installed_nodes ==
+              c.freed_nodes + c.LimboNodes() + c.LinkedNodes(),
+          name + ": MVCC flush balance violated");
+    chain_max = store->MaxChainLengthQuiesced();
+    staleness_avg = c.snapshots ? c.staleness_sum / c.snapshots : 0;
+    staleness_max = c.staleness_max;
+    max_chain_walk = c.max_chain_walk;
+    installed = c.installed_nodes;
+    freed = c.freed_nodes;
+    limbo = c.LimboNodes();
+    reclaims = c.reclaim_passes;
+  }
+  table->AddRow({mode, ReportTable::Int(static_cast<uint64_t>(writers)),
+                 ReportTable::Int(static_cast<uint64_t>(readers)),
+                 ReportTable::Num(updates / seconds),
+                 ReportTable::Num(txns / seconds), ReportTable::Int(txns),
+                 ReportTable::Int(aborts),
+                 ReportTable::Num(txns ? static_cast<double>(aborts) / txns
+                                       : 0),
+                 ReportTable::Int(staleness_avg),
+                 ReportTable::Int(staleness_max),
+                 ReportTable::Int(max_chain_walk),
+                 ReportTable::Int(chain_max), ReportTable::Int(installed),
+                 ReportTable::Int(freed), ReportTable::Int(limbo),
+                 ReportTable::Int(reclaims)});
+}
+
+void RunReaderWriterMix(const std::string& name, const Graph& base,
+                        const BenchFlags& flags, bool skewed) {
+  ReportTable table({"mode", "writers", "readers", "updates/s",
+                     "reader txns/s", "reader txns", "reader aborts",
+                     "reader abort rate", "staleness avg", "staleness max",
+                     "max chain walk", "max chain len", "installed nodes",
+                     "freed nodes", "limbo nodes", "reclaim passes"});
+  RunReaderWriterMixVariant(name, base, flags, skewed, false, &table);
+  RunReaderWriterMixVariant(name, base, flags, skewed, true, &table);
+  table.Print("reader-writer mix — " + name);
+}
+
 int Main(int argc, char** argv) {
   const BenchFlags flags = BenchFlags::Parse(argc, argv, /*default=*/1.0);
   // log2-scaled RMAT size; --quick lands two scales down.
@@ -277,6 +425,13 @@ int Main(int argc, char** argv) {
       GenerateUniformDegree(n, 8, flags.seed + 29, /*weighted=*/true);
   RunDataset("uniform-" + std::to_string(rmat_scale), uniform, flags,
              /*skewed=*/false);
+
+  if (flags.mvcc) {
+    RunReaderWriterMix("rmat-" + std::to_string(rmat_scale), rmat, flags,
+                       /*skewed=*/true);
+    RunReaderWriterMix("uniform-" + std::to_string(rmat_scale), uniform,
+                       flags, /*skewed=*/false);
+  }
 
   if (g_failures != 0) {
     std::fprintf(stderr, "%d sanity failure(s)\n", g_failures);

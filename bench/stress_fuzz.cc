@@ -32,7 +32,7 @@ const char* PolicyName(DeadlockPolicy p) {
 }
 
 FailpointPlan::Config ChaosConfig(uint64_t seed, bool progress_chaos,
-                                  bool shard_chaos) {
+                                  bool shard_chaos, bool mvcc_chaos) {
   FailpointPlan::Config config;
   config.seed = seed;
   config.Arm(FailSite::kHtmLoad, 0.002, FailAction::kAbortConflict);
@@ -63,6 +63,15 @@ FailpointPlan::Config ChaosConfig(uint64_t seed, bool progress_chaos,
     config.Arm(FailSite::kMailboxFull, 0.05, FailAction::kFail);
     config.Arm(FailSite::kMessageReorder, 0.2, FailAction::kFail);
   }
+  if (mvcc_chaos) {
+    // MVCC chaos: force version-reclamation passes on random commits
+    // (epoch grace must keep every pinned reader's suffix alive) and
+    // stretch random snapshot windows (stale epochs must hold back
+    // reclamation, and deep chain walks must still resolve to the
+    // pair-sum invariant).
+    config.Arm(FailSite::kVersionReclaim, 0.05, FailAction::kFail);
+    config.Arm(FailSite::kStaleEpoch, 0.05, FailAction::kFail);
+  }
   return config;
 }
 
@@ -81,6 +90,13 @@ struct FuzzTotals {
   uint64_t shard_messages_drained = 0;
   uint64_t shard_drain_batches = 0;
   uint64_t shard_mailbox_full = 0;
+  // MVCC version-store traffic, summed over the --mvcc-chaos sweep.
+  uint64_t mvcc_installed = 0;
+  uint64_t mvcc_freed = 0;
+  uint64_t mvcc_snapshots = 0;
+  uint64_t mvcc_snapshot_reads = 0;
+  uint64_t mvcc_reclaim_passes = 0;
+  uint64_t mvcc_max_chain_walk = 0;
 };
 
 void DumpTraceTo(const FailpointPlan& plan, const std::string& path) {
@@ -115,9 +131,12 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
       auto tm = flags.shard_chaos
                     ? MakeShardedSchedulerFor<Scheduler>(htm, /*vertices=*/48,
                                                          policy, flags.threads)
+                : flags.mvcc_chaos
+                    ? MakeMvccSchedulerFor<Scheduler>(htm, /*vertices=*/48,
+                                                      policy)
                     : MakeSchedulerFor<Scheduler>(htm, /*vertices=*/48, policy);
-      FailpointPlan plan(
-          ChaosConfig(seed, flags.progress_chaos, flags.shard_chaos));
+      FailpointPlan plan(ChaosConfig(seed, flags.progress_chaos,
+                                     flags.shard_chaos, flags.mvcc_chaos));
       FailpointScope scope(plan);
       StressConfig cfg;
       cfg.threads = flags.threads;
@@ -130,6 +149,7 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
       // the per-item fallback on the fixed baselines).
       auto err = flags.shard_chaos ? RunShardedInvariantSuite(*tm, cfg)
                                    : RunInvariantSuite(*tm, cfg);
+      if (!err && flags.mvcc_chaos) err = RunMvccSnapshotSuite(*tm, cfg);
       ++totals.runs;
       totals.injections += plan.InjectionCount();
       const SchedulerStats stats = tm->AggregatedStats();
@@ -152,6 +172,46 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
         err = "shard flush imbalance: sent " +
               std::to_string(stats.shard_messages_sent) + " != drained " +
               std::to_string(stats.shard_messages_drained);
+      }
+      // MVCC flush balance: quiesced, every installed version must be
+      // freed, parked in limbo, or still linked (visible); after a
+      // quiesced ReclaimAll the whole budget must collapse to freed ==
+      // retired == installed. A mismatch is a leak or a double-free even
+      // if no snapshot invariant tripped.
+      if (flags.mvcc_chaos) {
+        auto* store = tm->mvcc_store();
+        MvccCounters c = store->Counters();
+        const uint64_t linked = store->LinkedNodesQuiesced();
+        if (!err &&
+            c.installed_nodes != c.freed_nodes + c.LimboNodes() + linked) {
+          err = "mvcc flush imbalance: installed " +
+                std::to_string(c.installed_nodes) + " != freed " +
+                std::to_string(c.freed_nodes) + " + limbo " +
+                std::to_string(c.LimboNodes()) + " + linked " +
+                std::to_string(linked);
+        }
+        if (!err && linked != c.LinkedNodes()) {
+          err = "mvcc linked-node drift: counters say " +
+                std::to_string(c.LinkedNodes()) + ", chains hold " +
+                std::to_string(linked);
+        }
+        store->ReclaimAll();
+        c = store->Counters();
+        if (!err && (c.freed_nodes != c.installed_nodes ||
+                     c.retired_nodes != c.installed_nodes)) {
+          err = "mvcc reclaim-all imbalance: installed " +
+                std::to_string(c.installed_nodes) + " retired " +
+                std::to_string(c.retired_nodes) + " freed " +
+                std::to_string(c.freed_nodes);
+        }
+        totals.mvcc_installed += c.installed_nodes;
+        totals.mvcc_freed += c.freed_nodes;
+        totals.mvcc_snapshots += c.snapshots;
+        totals.mvcc_snapshot_reads += c.snapshot_reads;
+        totals.mvcc_reclaim_passes += c.reclaim_passes;
+        if (c.max_chain_walk > totals.mvcc_max_chain_walk) {
+          totals.mvcc_max_chain_walk = c.max_chain_walk;
+        }
       }
       if (err) {
         std::fprintf(stderr,
@@ -201,6 +261,18 @@ int Main(int argc, char** argv) {
         {"starvation tokens", ReportTable::Int(totals.starvation_tokens)});
     table.AddRow({"breaker bypass", ReportTable::Int(totals.breaker_bypass)});
     table.AddRow({"max txn aborts", ReportTable::Int(totals.max_txn_aborts)});
+  }
+  if (flags.mvcc_chaos) {
+    table.AddRow(
+        {"mvcc versions installed", ReportTable::Int(totals.mvcc_installed)});
+    table.AddRow({"mvcc versions freed", ReportTable::Int(totals.mvcc_freed)});
+    table.AddRow({"mvcc snapshots", ReportTable::Int(totals.mvcc_snapshots)});
+    table.AddRow(
+        {"mvcc snapshot reads", ReportTable::Int(totals.mvcc_snapshot_reads)});
+    table.AddRow({"mvcc reclaim passes",
+                  ReportTable::Int(totals.mvcc_reclaim_passes)});
+    table.AddRow({"mvcc max chain walk",
+                  ReportTable::Int(totals.mvcc_max_chain_walk)});
   }
   if (flags.shard_chaos) {
     table.AddRow({"shard messages sent",

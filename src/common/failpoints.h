@@ -36,6 +36,8 @@ enum class FailSite : uint8_t {
   kVictimReabort,         // L retry loop: synthesize extra victim aborts
   kMailboxFull,           // Shard router: force a full-mailbox bounce
   kMessageReorder,        // Shard drain: rotate the drained batch order
+  kVersionReclaim,        // MVCC EndInstall: force a reclamation pass
+  kStaleEpoch,            // MVCC BeginSnapshot: stretch the pinned window
   kNumSites
 };
 
@@ -59,6 +61,8 @@ inline const char* FailSiteName(FailSite s) {
     case FailSite::kVictimReabort: return "victim_reabort";
     case FailSite::kMailboxFull: return "mailbox_full";
     case FailSite::kMessageReorder: return "message_reorder";
+    case FailSite::kVersionReclaim: return "version_reclaim";
+    case FailSite::kStaleEpoch: return "stale_epoch";
     default: return "?";
   }
 }

@@ -13,6 +13,7 @@
 #include "common/compiler.h"
 #include "common/spin.h"
 #include "common/types.h"
+#include "graph/builder.h"
 #include "graph/graph.h"
 #include "htm/htm_config.h"
 #include "tm/batch_executor.h"
@@ -270,32 +271,133 @@ class DynamicGraph {
     return result;
   }
 
+  /// Walks vertex u's adjacency chain inside an already-open transaction
+  /// (or MVCC snapshot) context, invoking `visit(target, weight)` for
+  /// every live slot. Returns false iff the walk was cut short — the
+  /// chain outran `bound` or a link pointed at an unpublished block.
+  /// On a consistent read that means the bound itself was stale (the
+  /// arena grew since it was computed), never a real cycle: links are
+  /// write-once and blocks are not recycled while transactions run. On a
+  /// doomed optimistic read the dangling values are garbage and commit
+  /// will fail anyway.
+  template <typename Txn, typename Visitor>
+  bool VisitAdjacencyInTxn(Txn& txn, VertexId u, uint64_t bound,
+                           Visitor&& visit) const {
+    TmWord link = txn.Read(u, &heads_[u]);
+    uint64_t steps = 0;
+    while (link != 0) {
+      if (steps++ >= bound) return false;
+      const Block* b = BlockAt(link - 1);
+      if (b == nullptr) return false;
+      for (int s = 0; s < kSlotsPerBlock; ++s) {
+        const TmWord sw = txn.Read(u, &b->slots[s]);
+        if (SlotLive(sw)) visit(SlotTarget(sw), SlotWeight(sw));
+      }
+      link = txn.Read(u, &b->next);
+    }
+    return true;
+  }
+
   /// Reads one vertex's degree counter and live adjacency in a single
   /// transaction (shared mode only — never blocks writers into upgrade
   /// deadlocks). The committed snapshot is per-vertex atomic: the stress
   /// suite checks `out->degree == out->edges.size()` and target
   /// uniqueness against it.
+  ///
+  /// A truncated walk must never surface as success: if the transaction
+  /// COMMITTED but the chain outran the traversal bound, the reads were
+  /// provably consistent (validation passed), so the bound was stale —
+  /// the walk is retried with a widened bound instead of silently
+  /// returning partial edges. Doomed-read garbage never reaches the
+  /// caller because those transactions fail validation and re-execute.
   template <typename Scheduler>
   RunOutcome ReadVertexSnapshot(Scheduler& tm, int worker, VertexId u,
                                 VertexSnapshot* out) const {
-    return tm.Run(worker, SizeHintFor(u), [&](auto& txn) {
-      out->edges.clear();
-      out->degree = txn.Read(u, &degree_[u]);
-      TmWord link = txn.Read(u, &heads_[u]);
-      uint64_t steps = 0;
-      const uint64_t bound = TraversalBound();
-      while (link != 0 && steps++ < bound) {
-        const Block* b = BlockAt(link - 1);
-        if (b == nullptr) break;  // Doomed-read garbage; commit will fail.
-        for (int s = 0; s < kSlotsPerBlock; ++s) {
-          const TmWord sw = txn.Read(u, &b->slots[s]);
-          if (SlotLive(sw)) {
-            out->edges.emplace_back(SlotTarget(sw), SlotWeight(sw));
-          }
+    uint64_t slack = 0;
+    for (int attempt = 0;; ++attempt) {
+      bool complete = false;
+      RunOutcome rc = tm.Run(worker, SizeHintFor(u), [&](auto& txn) {
+        out->edges.clear();
+        out->degree = txn.Read(u, &degree_[u]);
+        complete = VisitAdjacencyInTxn(
+            txn, u, TraversalBound() + slack, [&](VertexId t, uint32_t w) {
+              out->edges.emplace_back(t, w);
+            });
+      });
+      if (!rc.committed || complete) return rc;
+      // A consistent chain is never longer than the arena, so a fresh
+      // bound + doubling slack must terminate; the cap is a backstop.
+      TUFAST_CHECK(attempt < 64);
+      slack = slack == 0 ? TraversalBound() : slack * 2;
+    }
+  }
+
+  /// Read-only variant running under Scheduler::RunReadOnly: with MVCC
+  /// enabled it resolves every word against one commit-timestamp
+  /// snapshot and can never abort; without MVCC it degrades to
+  /// ReadVertexSnapshot semantics through an ordinary transaction.
+  template <typename Scheduler>
+  RunOutcome ReadVertexSnapshotRO(Scheduler& tm, int worker, VertexId u,
+                                  VertexSnapshot* out) const {
+    uint64_t slack = 0;
+    for (int attempt = 0;; ++attempt) {
+      bool complete = false;
+      RunOutcome rc = tm.RunReadOnly(worker, SizeHintFor(u), [&](auto& txn) {
+        out->edges.clear();
+        out->degree = txn.Read(u, &degree_[u]);
+        complete = VisitAdjacencyInTxn(
+            txn, u, TraversalBound() + slack, [&](VertexId t, uint32_t w) {
+              out->edges.emplace_back(t, w);
+            });
+      });
+      if (!rc.committed || complete) return rc;
+      TUFAST_CHECK(attempt < 64);
+      slack = slack == 0 ? TraversalBound() : slack * 2;
+    }
+  }
+
+  /// Transactionally frozen CSR: one read-only transaction scans every
+  /// vertex, so with MVCC enabled this is a globally consistent cut of a
+  /// LIVE graph (writers keep committing; the snapshot can never abort
+  /// them or be aborted). Without MVCC the scan is one giant transaction
+  /// — correct, but it serializes against every writer; prefer quiescing
+  /// + Freeze() there. Neighbors come out sorted like Freeze().
+  template <typename Scheduler>
+  Graph FreezeSnapshotRO(Scheduler& tm, int worker) const {
+    const VertexId n = NumVertices();
+    std::vector<std::vector<std::pair<VertexId, uint32_t>>> adj;
+    const uint64_t hint = TotalLiveEdges() + 2 * uint64_t{n} + 2;
+    uint64_t slack = 0;
+    for (int attempt = 0;; ++attempt) {
+      bool complete = true;
+      RunOutcome rc = tm.RunReadOnly(worker, hint, [&](auto& txn) {
+        adj.assign(n, {});
+        complete = true;
+        const uint64_t bound = TraversalBound() + slack;
+        for (VertexId u = 0; u < n && complete; ++u) {
+          complete = VisitAdjacencyInTxn(
+              txn, u, bound, [&](VertexId t, uint32_t w) {
+                adj[u].emplace_back(t, w);
+              });
         }
-        link = txn.Read(u, &b->next);
+      });
+      if (rc.committed && complete) break;
+      TUFAST_CHECK(attempt < 64);
+      if (rc.committed) slack = slack == 0 ? TraversalBound() : slack * 2;
+    }
+    GraphBuilder builder(n);
+    for (VertexId u = 0; u < n; ++u) {
+      for (const auto& [target, weight] : adj[u]) {
+        if (weighted_) {
+          builder.AddEdge(u, target, weight);
+        } else {
+          builder.AddEdge(u, target);
+        }
       }
-    });
+    }
+    return builder.Build({.remove_self_loops = false,
+                          .remove_duplicate_edges = false,
+                          .sort_neighbors = true});
   }
 
   // -------------------------------------------------------------------
@@ -360,11 +462,28 @@ class DynamicGraph {
     return const_cast<DynamicGraph*>(this)->BlockAt(idx);
   }
 
+ public:
   /// Upper bound on any consistent chain length, used to cut short
   /// traversals running on doomed (to-be-aborted) optimistic reads.
+  /// Public so external chain walkers (VisitAdjacencyInTxn callers) can
+  /// compute the bound themselves.
   uint64_t TraversalBound() const {
+    const uint64_t forced =
+        forced_traversal_bound_.load(std::memory_order_relaxed);
+    if (TUFAST_UNLIKELY(forced != 0)) return forced;
     return allocated_blocks_.load(std::memory_order_acquire) + 2;
   }
+
+ public:
+  /// Test seam: forces TraversalBound() to `bound` (0 restores the real
+  /// arena-derived bound). Lets the regression suite exercise the
+  /// chain-outruns-bound path, which a fresh bound can otherwise never
+  /// hit on a consistent read.
+  void SetTraversalBoundForTest(uint64_t bound) {
+    forced_traversal_bound_.store(bound, std::memory_order_relaxed);
+  }
+
+ private:
 
   /// Pops from the free list or bump-allocates (growing the arena by one
   /// zeroed chunk when crossed). Returned blocks are always all-zero.
@@ -516,6 +635,7 @@ class DynamicGraph {
   /// (always zeroed) or a quiesced arena reset.
   std::unique_ptr<std::atomic<Block*>[]> chunks_;
   std::atomic<uint64_t> allocated_blocks_{0};
+  std::atomic<uint64_t> forced_traversal_bound_{0};  // Test seam; 0 = off.
   mutable SpinLock alloc_lock_;  // Guards free_blocks_ + chunk growth.
   std::vector<uint64_t> free_blocks_;
 };

@@ -1,6 +1,7 @@
 #ifndef TUFAST_GRAPH_DYNAMIC_INCREMENTAL_H_
 #define TUFAST_GRAPH_DYNAMIC_INCREMENTAL_H_
 
+#include <algorithm>
 #include <numeric>
 #include <span>
 #include <vector>
@@ -84,13 +85,57 @@ class IncrementalWcc {
   /// Re-derives components from a (directed) snapshot — edge direction is
   /// ignored, matching WCC on the symmetric closure. Clears the rebuild
   /// flag.
+  ///
+  /// ALL derived state resets before the replay: the structure may track
+  /// more vertices than the snapshot (EnsureVertices can outrun the
+  /// frozen cut), and those extra vertices must come back as singletons
+  /// rather than keep stale parent links into pre-rebuild components —
+  /// shrinking parent_ to the snapshot size would even leave Find()
+  /// indexing out of range for them.
   void RebuildFromSnapshot(const Graph& snapshot) {
-    parent_.assign(snapshot.NumVertices(), 0);
+    const VertexId n = std::max(NumVertices(), snapshot.NumVertices());
+    parent_.assign(n, 0);
     std::iota(parent_.begin(), parent_.end(), VertexId{0});
+    needs_rebuild_ = false;
     for (VertexId u = 0; u < snapshot.NumVertices(); ++u) {
       for (const VertexId v : snapshot.OutNeighbors(u)) OnInsert(u, v);
     }
-    needs_rebuild_ = false;
+  }
+
+  /// Rebuild against a LIVE DynamicGraph through one read-only
+  /// transaction: with MVCC enabled on the scheduler this sees a single
+  /// commit-timestamp cut without quiescing writers and can never abort.
+  /// The body is retry-safe (derived state resets on every execution)
+  /// for the non-MVCC fallback, where RunReadOnly is an ordinary
+  /// transaction that may re-execute.
+  template <typename Scheduler>
+  RunOutcome RebuildFromLive(Scheduler& tm, int worker,
+                             const DynamicGraph& graph) {
+    const VertexId n = std::max(NumVertices(), graph.NumVertices());
+    const uint64_t hint = graph.TotalLiveEdges() + 2 * uint64_t{n} + 2;
+    uint64_t slack = 0;
+    for (int attempt = 0;; ++attempt) {
+      bool complete = true;
+      RunOutcome rc = tm.RunReadOnly(worker, hint, [&](auto& txn) {
+        parent_.assign(n, 0);
+        std::iota(parent_.begin(), parent_.end(), VertexId{0});
+        complete = true;
+        const uint64_t bound = graph.TraversalBound() + slack;
+        const VertexId live = graph.NumVertices();
+        for (VertexId u = 0; u < live && complete; ++u) {
+          complete = graph.VisitAdjacencyInTxn(
+              txn, u, bound,
+              [&](VertexId v, uint32_t /*weight*/) { OnInsert(u, v); });
+        }
+      });
+      if (rc.committed && complete) {
+        needs_rebuild_ = false;
+        return rc;
+      }
+      if (!rc.committed) return rc;
+      TUFAST_CHECK(attempt < 64);
+      slack = slack == 0 ? graph.TraversalBound() : slack * 2;
+    }
   }
 
   /// Component labels (min vertex id per component) — directly comparable
@@ -149,6 +194,23 @@ class IncrementalPageRank {
     }
     PageRankResult result = PageRankTm(tm, pool, graph, reversed, options);
     ranks_ = result.ranks;
+    return result;
+  }
+
+  /// Snapshot-and-update against a LIVE DynamicGraph: freezes a CSR cut
+  /// through one read-only transaction (a single commit-timestamp
+  /// snapshot when the scheduler has MVCC enabled — writers keep
+  /// committing throughout) and warm-starts on it. The frozen cut is
+  /// returned through `snapshot_out` when the caller wants to cross-check
+  /// against a from-scratch run.
+  template <typename Scheduler>
+  PageRankResult UpdateFromLive(Scheduler& tm, ThreadPool& pool, int worker,
+                                const DynamicGraph& graph,
+                                Graph* snapshot_out = nullptr) {
+    Graph snapshot = graph.FreezeSnapshotRO(tm, worker);
+    Graph reversed = snapshot.Reversed();
+    PageRankResult result = Update(tm, pool, snapshot, reversed);
+    if (snapshot_out != nullptr) *snapshot_out = std::move(snapshot);
     return result;
   }
 

@@ -237,6 +237,22 @@ class BasicEmulatedHtm<FailpointsT>::Tx {
   }
   TUFAST_DISALLOW_COPY_AND_MOVE(Tx);
 
+  /// Two-phase commit hook (MVCC version installation). `pre_publish`
+  /// runs once the commit is guaranteed (doom check passed) but before
+  /// the write-back buffer is flushed — live memory still holds the
+  /// pre-images of every written word; `post_publish` runs after the
+  /// flush while line ownership is still held; `on_begin` runs at every
+  /// (re)begin, including segment boundaries, so per-attempt recorder
+  /// state can be reset. Hooks must not throw. Null members are skipped,
+  /// and the default (all null) leaves Commit() bit-identical.
+  struct Hooks {
+    void (*on_begin)(void* ctx) = nullptr;
+    void (*pre_publish)(void* ctx) = nullptr;
+    void (*post_publish)(void* ctx) = nullptr;
+    void* ctx = nullptr;
+  };
+  void SetHooks(const Hooks& hooks) { hooks_ = hooks; }
+
   /// Runs `body` as one hardware transaction: either it commits (returns
   /// Ok) or the body's effects are discarded and the abort status is
   /// returned. `body` may only touch shared state via Load/Store and may
@@ -344,6 +360,9 @@ class BasicEmulatedHtm<FailpointsT>::Tx {
     htm_.slots_[slot_].doomed.store(false, std::memory_order_seq_cst);
     active_ = true;
     ++stats_.begins;
+    if (TUFAST_UNLIKELY(hooks_.on_begin != nullptr)) {
+      hooks_.on_begin(hooks_.ctx);
+    }
   }
 
   void Commit() {
@@ -363,12 +382,19 @@ class BasicEmulatedHtm<FailpointsT>::Tx {
     if (htm_.slots_[slot_].doomed.load(std::memory_order_seq_cst)) {
       ThrowAbort(AbortStatus::Conflict());
     }
+    // The commit is now guaranteed; live memory still holds pre-images.
+    if (TUFAST_UNLIKELY(hooks_.pre_publish != nullptr)) {
+      hooks_.pre_publish(hooks_.ctx);
+    }
     // Publish buffered writes. All written lines are exclusively owned,
     // and conflicting accessors wait for ownership to drain, so this is
     // atomic with respect to every transactional reader.
     for (uint32_t pos : wb_list_) {
       __atomic_store_n(reinterpret_cast<TmWord*>(wb_keys_[pos]),
                        wb_vals_[pos], __ATOMIC_RELEASE);
+    }
+    if (TUFAST_UNLIKELY(hooks_.post_publish != nullptr)) {
+      hooks_.post_publish(hooks_.ctx);
     }
     ReleaseAndReset();
     active_ = false;
@@ -539,6 +565,7 @@ class BasicEmulatedHtm<FailpointsT>::Tx {
   const int slot_;
   bool active_ = false;
   HtmStats stats_;
+  Hooks hooks_;
 
   // Open-addressed line-record map (line id -> index into rec_store_).
   std::vector<uintptr_t> rec_keys_;

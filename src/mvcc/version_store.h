@@ -1,0 +1,576 @@
+#ifndef TUFAST_MVCC_VERSION_STORE_H_
+#define TUFAST_MVCC_VERSION_STORE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "common/compiler.h"
+#include "common/failpoints.h"
+#include "common/spin.h"
+#include "common/types.h"
+#include "htm/htm_config.h"
+#include "tm/outcome.h"
+
+namespace tufast {
+
+/// One word a committing transaction is about to overwrite: where it
+/// lives and which vertex owns it (the version chain is per vertex).
+struct MvccWrite {
+  VertexId vertex;
+  const TmWord* addr;
+};
+
+/// Telemetry snapshot of a BasicMvccStore. `installed_nodes` splits as
+///   installed = freed + in-limbo + still-linked,
+/// where in-limbo = retired - freed and still-linked = installed -
+/// retired; after a quiesced ReclaimAll() the whole budget collapses to
+/// freed == installed (the flush-balance invariant stress_fuzz checks).
+struct MvccCounters {
+  uint64_t commits_installed = 0;  // BeginInstall calls with >= 1 write
+  uint64_t installed_nodes = 0;
+  uint64_t installed_entries = 0;
+  uint64_t retired_nodes = 0;  // unlinked from a chain, now in limbo
+  uint64_t freed_nodes = 0;    // limbo batches recycled to the pool
+  uint64_t reclaim_passes = 0;
+  uint64_t snapshots = 0;
+  uint64_t snapshot_reads = 0;
+  uint64_t max_chain_walk = 0;   // longest version-chain walk by a read
+  uint64_t staleness_sum = 0;    // sum over snapshots of clock - S at end
+  uint64_t staleness_max = 0;
+  uint64_t clock = 0;
+
+  uint64_t LinkedNodes() const { return installed_nodes - retired_nodes; }
+  uint64_t LimboNodes() const { return retired_nodes - freed_nodes; }
+};
+
+/// Multi-version value layer for abort-free snapshot reads (ROADMAP open
+/// item 1; STO's MVCC registry and GTX's chains are the exemplars).
+///
+/// Design: *undo* chains. Live memory always holds the newest committed
+/// value — the schedulers' existing write-back commit paths stay the
+/// system of record — and each vertex has a newest-first chain of
+/// pre-image nodes stamped with the commit timestamp of the transaction
+/// that overwrote them. A read at snapshot S loads the live word, then
+/// re-applies the pre-images of every commit with ts > S (newest to
+/// oldest, so the oldest applicable pre-image — the value as of S —
+/// wins). Readers therefore never block writers and never abort.
+///
+/// Writer protocol (caller = a scheduler commit path that holds
+/// exclusive ownership of every written word and has NOT yet published
+/// its new values):
+///   1. ts = BeginInstall(slot, writes)  — registers the commit as
+///      in-flight, draws the commit timestamp, captures pre-images from
+///      live memory and pushes them onto the chains;
+///   2. caller publishes the new live values (its normal store loop);
+///   3. EndInstall(slot)                — clears the in-flight mark.
+///
+/// Reader protocol: BeginSnapshot pins a reclamation epoch and a read
+/// timestamp, reads the clock for S, then waits out any in-flight
+/// commit with ts <= S (publication is a handful of stores, so the wait
+/// is bounded and short); ResolveRead never blocks after that.
+///
+/// Reclamation: a node is unlinked once its ts is <= every pinned read
+/// timestamp (nobody can need it), then parked in an epoch-stamped
+/// limbo batch and recycled once every reader pinned before the unlink
+/// has finished (nobody can still be dereferencing it).
+template <typename FailpointsT = NullFailpoints>
+class BasicMvccStore {
+ public:
+  using Failpoints = FailpointsT;
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+  static constexpr uint64_t kReserving = 0;
+
+  explicit BasicMvccStore(VertexId num_vertices)
+      : heads_(num_vertices) {
+    for (auto& h : heads_) h.store(nullptr, std::memory_order_relaxed);
+    for (auto& s : inflight_) s.store(kIdle, std::memory_order_relaxed);
+    for (auto& s : read_ts_) s.store(kIdle, std::memory_order_relaxed);
+    for (auto& s : epochs_) s.store(kIdle, std::memory_order_relaxed);
+  }
+  TUFAST_DISALLOW_COPY_AND_MOVE(BasicMvccStore);
+
+  ~BasicMvccStore() = default;
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(heads_.size());
+  }
+
+  // ---------------------------------------------------------------- writer
+
+  /// Install pre-image versions for a commit's write set and draw its
+  /// commit timestamp. `proj(elem)` must yield an MvccWrite; duplicate
+  /// addresses are allowed (all duplicates capture the same pre-image,
+  /// so re-applying them is idempotent). Returns 0 — and skips the
+  /// clock — for an empty write set. The caller must hold exclusive
+  /// ownership of every written word across BeginInstall..EndInstall and
+  /// must publish its new values before EndInstall.
+  template <typename Range, typename Proj>
+  uint64_t BeginInstall(int slot, const Range& range, Proj&& proj) {
+    auto it = std::begin(range);
+    const auto end = std::end(range);
+    if (it == end) return 0;
+    inflight_[slot].store(kReserving, std::memory_order_seq_cst);
+    const uint64_t ts = clock_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    inflight_[slot].store(ts, std::memory_order_seq_cst);
+
+    Node* open = nullptr;  // current node for open_vertex
+    VertexId open_vertex = 0;
+    uint64_t nodes = 0, entries = 0;
+    for (; it != end; ++it) {
+      const MvccWrite w = proj(*it);
+      if (TUFAST_UNLIKELY(w.vertex >= heads_.size())) continue;
+      if (open == nullptr || open_vertex != w.vertex ||
+          open->count == kEntriesPerNode) {
+        if (open != nullptr) Publish(open_vertex, open);
+        open = AllocNode();
+        open->ts = ts;
+        open->count = 0;
+        open_vertex = w.vertex;
+        ++nodes;
+      }
+      Entry& e = open->entries[open->count++];
+      e.addr = w.addr;
+      e.value = __atomic_load_n(w.addr, __ATOMIC_ACQUIRE);  // pre-image
+      ++entries;
+    }
+    if (open != nullptr) Publish(open_vertex, open);
+    commits_installed_.fetch_add(1, std::memory_order_relaxed);
+    installed_nodes_.fetch_add(nodes, std::memory_order_relaxed);
+    installed_entries_.fetch_add(entries, std::memory_order_relaxed);
+    return ts;
+  }
+
+  /// Clears the in-flight mark set by BeginInstall (no-op if the write
+  /// set was empty) and amortizes a reclamation pass every few commits.
+  void EndInstall(int slot) {
+    if (inflight_[slot].load(std::memory_order_relaxed) == kIdle) return;
+    inflight_[slot].store(kIdle, std::memory_order_seq_cst);
+    bool force = false;
+    if constexpr (Failpoints::kEnabled) {
+      force = Failpoints::Hit(FailSite::kVersionReclaim, slot) !=
+              FailAction::kNone;
+    }
+    const uint64_t n =
+        installs_since_reclaim_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (force || n % kReclaimEvery == 0) ReclaimPass();
+  }
+
+  // ---------------------------------------------------------------- reader
+
+  struct Snapshot {
+    uint64_t ts = 0;
+  };
+
+  /// Pins this slot's reclamation epoch and read timestamp, then returns
+  /// a snapshot timestamp S such that every commit with ts <= S is fully
+  /// published and no version a read at S could need will be reclaimed
+  /// while the snapshot is active.
+  Snapshot BeginSnapshot(int slot) {
+    // Epoch pin first: any limbo batch retired after this point will
+    // wait for us before its memory is recycled.
+    epochs_[slot].store(global_epoch_.load(std::memory_order_seq_cst),
+                        std::memory_order_seq_cst);
+    // Read-timestamp pin: blocks logical reclamation of versions newer
+    // than the pin. Pinning at a clock value <= our final S is safe
+    // (it only keeps reclamation more conservative), and the seq_cst
+    // pin-store before the final clock read guarantees any reclaimer
+    // that missed the pin computed its bound from an older clock.
+    read_ts_[slot].store(clock_.load(std::memory_order_seq_cst),
+                         std::memory_order_seq_cst);
+    const uint64_t s = clock_.load(std::memory_order_seq_cst);
+    if constexpr (Failpoints::kEnabled) {
+      // kStaleEpoch chaos: hold the pins across an artificial delay so
+      // reclamation must park batches in limbo behind this reader.
+      if (Failpoints::Hit(FailSite::kStaleEpoch, slot) != FailAction::kNone) {
+        Backoff backoff;
+        for (int i = 0; i < 64; ++i) backoff.Pause();
+      }
+    }
+    // Wait out in-flight commits that serialized before S: their chain
+    // nodes are already linked, but their live values may not all be
+    // published yet, and ResolveRead starts from live memory. A commit
+    // that draws its timestamp after our clock read gets ts > S and
+    // does not matter.
+    for (auto& slot_ts : inflight_) {
+      Backoff backoff;
+      while (true) {
+        const uint64_t t = slot_ts.load(std::memory_order_seq_cst);
+        if (t != kReserving && (t == kIdle || t > s)) break;
+        backoff.Pause();
+      }
+    }
+    active_s_[slot] = s;
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+    return Snapshot{s};
+  }
+
+  /// Value of `addr` (owned by vertex `v`) as of the snapshot. Loads the
+  /// live word first, then walks the chain newest-to-oldest applying the
+  /// pre-image of every commit newer than S; the writer's chain push
+  /// (release) precedes its live store, so a reader that observed the
+  /// new live value is guaranteed to observe the covering chain node.
+  TmWord ResolveRead(const Snapshot& snap, VertexId v,
+                     const TmWord* addr) const {
+    snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+    TmWord value = __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+    if (TUFAST_UNLIKELY(v >= heads_.size())) return value;
+    uint64_t walked = 0;
+    for (const Node* n = heads_[v].load(std::memory_order_acquire);
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      if (n->ts <= snap.ts) break;
+      ++walked;
+      for (uint32_t i = 0; i < n->count; ++i) {
+        if (n->entries[i].addr == addr) value = n->entries[i].value;
+      }
+    }
+    if (walked > 0) {
+      uint64_t prev = max_chain_walk_.load(std::memory_order_relaxed);
+      while (walked > prev &&
+             !max_chain_walk_.compare_exchange_weak(
+                 prev, walked, std::memory_order_relaxed)) {
+      }
+    }
+    return value;
+  }
+
+  void EndSnapshot(int slot) {
+    const uint64_t lag =
+        clock_.load(std::memory_order_relaxed) - active_s_[slot];
+    staleness_sum_.fetch_add(lag, std::memory_order_relaxed);
+    uint64_t prev = staleness_max_.load(std::memory_order_relaxed);
+    while (lag > prev && !staleness_max_.compare_exchange_weak(
+                             prev, lag, std::memory_order_relaxed)) {
+    }
+    read_ts_[slot].store(kIdle, std::memory_order_seq_cst);
+    epochs_[slot].store(kIdle, std::memory_order_seq_cst);
+  }
+
+  // ----------------------------------------------------------- reclamation
+
+  /// One reclamation pass: unlink every chain suffix no pinned reader
+  /// can need, park it in an epoch-stamped limbo batch, and recycle any
+  /// limbo batch every potentially-concurrent reader has left. Safe to
+  /// call concurrently with readers and writers; passes serialize on an
+  /// internal lock (contenders return immediately).
+  void ReclaimPass() {
+    if (reclaim_lock_.test_and_set(std::memory_order_acquire)) return;
+    reclaim_passes_.fetch_add(1, std::memory_order_relaxed);
+    // Bound BEFORE scanning pins (see BeginSnapshot): either we see a
+    // reader's pin, or the reader's final S is >= this clock value.
+    uint64_t min_ts = clock_.load(std::memory_order_seq_cst);
+    for (const auto& s : read_ts_) {
+      const uint64_t t = s.load(std::memory_order_seq_cst);
+      if (t != kIdle && t < min_ts) min_ts = t;
+    }
+    Node* batch = nullptr;
+    uint64_t batch_nodes = 0;
+    for (auto& head : heads_) {
+      Node* h = head.load(std::memory_order_acquire);
+      if (h == nullptr) continue;
+      if (h->ts <= min_ts) {
+        // Whole chain is dead; detach it at the head (CAS races only
+        // with a writer pushing a newer node — on failure, fall through
+        // to the interior walk from the fresh head).
+        if (head.compare_exchange_strong(h, nullptr,
+                                         std::memory_order_acq_rel)) {
+          batch_nodes += SpliceChain(h, &batch);
+          continue;
+        }
+      }
+      // Interior unlink: only this (lock-holding) pass ever writes a
+      // linked node's `next`, so walking to the boundary is safe.
+      Node* prev = h;
+      for (Node* n = prev->next.load(std::memory_order_acquire);
+           n != nullptr; n = prev->next.load(std::memory_order_acquire)) {
+        if (n->ts <= min_ts) {
+          prev->next.store(nullptr, std::memory_order_release);
+          batch_nodes += SpliceChain(n, &batch);
+          break;
+        }
+        prev = n;
+      }
+    }
+    if (batch != nullptr) {
+      retired_nodes_.fetch_add(batch_nodes, std::memory_order_relaxed);
+      const uint64_t stamp =
+          global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+      limbo_.push_back(LimboBatch{stamp, batch, batch_nodes});
+    }
+    // Recycle limbo batches nobody can still be walking: a reader must
+    // pin its epoch before touching a chain, so pinned > stamp means it
+    // pinned after the unlink and cannot hold suffix pointers.
+    uint64_t min_epoch = kIdle;
+    for (const auto& e : epochs_) {
+      const uint64_t t = e.load(std::memory_order_seq_cst);
+      if (t < min_epoch) min_epoch = t;
+    }
+    size_t kept = 0;
+    for (size_t i = 0; i < limbo_.size(); ++i) {
+      if (min_epoch != kIdle && limbo_[i].stamp >= min_epoch) {
+        limbo_[kept++] = limbo_[i];
+        continue;
+      }
+      FreeBatch(limbo_[i]);
+    }
+    limbo_.resize(kept);
+    reclaim_lock_.clear(std::memory_order_release);
+  }
+
+  /// Quiesced-only: with no active snapshots or in-flight installs,
+  /// unlink and recycle every version unconditionally. Afterwards the
+  /// counters satisfy freed == retired == installed.
+  void ReclaimAll() {
+    while (reclaim_lock_.test_and_set(std::memory_order_acquire)) {
+    }
+    uint64_t nodes = 0;
+    for (auto& head : heads_) {
+      Node* h = head.exchange(nullptr, std::memory_order_acq_rel);
+      if (h == nullptr) continue;
+      Node* batch = nullptr;
+      nodes += SpliceChain(h, &batch);
+      LimboBatch b{0, batch, 0};
+      FreeBatchNodesOnly(b);
+    }
+    retired_nodes_.fetch_add(nodes, std::memory_order_relaxed);
+    freed_nodes_.fetch_add(nodes, std::memory_order_relaxed);
+    for (const auto& b : limbo_) FreeBatch(b);
+    limbo_.clear();
+    reclaim_lock_.clear(std::memory_order_release);
+  }
+
+  // ------------------------------------------------------------- telemetry
+
+  MvccCounters Counters() const {
+    MvccCounters c;
+    c.commits_installed = commits_installed_.load(std::memory_order_relaxed);
+    c.installed_nodes = installed_nodes_.load(std::memory_order_relaxed);
+    c.installed_entries = installed_entries_.load(std::memory_order_relaxed);
+    c.retired_nodes = retired_nodes_.load(std::memory_order_relaxed);
+    c.freed_nodes = freed_nodes_.load(std::memory_order_relaxed);
+    c.reclaim_passes = reclaim_passes_.load(std::memory_order_relaxed);
+    c.snapshots = snapshots_.load(std::memory_order_relaxed);
+    c.snapshot_reads = snapshot_reads_.load(std::memory_order_relaxed);
+    c.max_chain_walk = max_chain_walk_.load(std::memory_order_relaxed);
+    c.staleness_sum = staleness_sum_.load(std::memory_order_relaxed);
+    c.staleness_max = staleness_max_.load(std::memory_order_relaxed);
+    c.clock = clock_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  uint64_t ClockNow() const {
+    return clock_.load(std::memory_order_seq_cst);
+  }
+
+  /// Quiesced-only: counts nodes currently linked into chains (must
+  /// equal installed - retired; the other half of the flush balance).
+  uint64_t LinkedNodesQuiesced() const {
+    uint64_t n = 0;
+    for (const auto& head : heads_) {
+      for (const Node* p = head.load(std::memory_order_acquire);
+           p != nullptr; p = p->next.load(std::memory_order_acquire)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Longest current chain, in nodes (quiesced-only; bench telemetry).
+  uint64_t MaxChainLengthQuiesced() const {
+    uint64_t best = 0;
+    for (const auto& head : heads_) {
+      uint64_t n = 0;
+      for (const Node* p = head.load(std::memory_order_acquire);
+           p != nullptr; p = p->next.load(std::memory_order_acquire)) {
+        ++n;
+      }
+      if (n > best) best = n;
+    }
+    return best;
+  }
+
+ private:
+  static constexpr uint32_t kEntriesPerNode = 6;
+  static constexpr uint64_t kReclaimEvery = 64;
+  static constexpr size_t kNodesPerChunk = 1024;
+
+  struct Entry {
+    const TmWord* addr;
+    TmWord value;
+  };
+  struct Node {
+    uint64_t ts;
+    std::atomic<Node*> next;
+    uint32_t count;
+    Entry entries[kEntriesPerNode];
+  };
+  struct LimboBatch {
+    uint64_t stamp;
+    Node* nodes;  // linked through `next`
+    uint64_t count;
+  };
+
+  Node* AllocNode() {
+    while (alloc_lock_.test_and_set(std::memory_order_acquire)) {
+    }
+    Node* n = free_list_;
+    if (n != nullptr) {
+      free_list_ = n->next.load(std::memory_order_relaxed);
+    } else {
+      if (chunks_.empty() || chunk_used_ == kNodesPerChunk) {
+        chunks_.push_back(std::make_unique<Node[]>(kNodesPerChunk));
+        chunk_used_ = 0;
+      }
+      n = &chunks_.back()[chunk_used_++];
+    }
+    alloc_lock_.clear(std::memory_order_release);
+    n->next.store(nullptr, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Links a filled node at the head of its vertex's chain. The release
+  /// CAS orders the node's payload before any reader that follows the
+  /// head pointer; the caller publishes live values only afterwards.
+  void Publish(VertexId v, Node* node) {
+    std::atomic<Node*>& head = heads_[v];
+    Node* h = head.load(std::memory_order_relaxed);
+    do {
+      node->next.store(h, std::memory_order_relaxed);
+    } while (!head.compare_exchange_weak(h, node, std::memory_order_release,
+                                         std::memory_order_relaxed));
+  }
+
+  /// Appends chain `first..` onto `*batch`, returning its node count.
+  static uint64_t SpliceChain(Node* first, Node** batch) {
+    uint64_t n = 0;
+    Node* tail = first;
+    for (;; tail = tail->next.load(std::memory_order_relaxed)) {
+      ++n;
+      if (tail->next.load(std::memory_order_relaxed) == nullptr) break;
+    }
+    tail->next.store(*batch, std::memory_order_relaxed);
+    *batch = first;
+    return n;
+  }
+
+  void FreeBatch(const LimboBatch& b) {
+    FreeBatchNodesOnly(b);
+    freed_nodes_.fetch_add(b.count, std::memory_order_relaxed);
+  }
+
+  void FreeBatchNodesOnly(const LimboBatch& b) {
+    if (b.nodes == nullptr) return;
+    while (alloc_lock_.test_and_set(std::memory_order_acquire)) {
+    }
+    Node* tail = b.nodes;
+    while (tail->next.load(std::memory_order_relaxed) != nullptr) {
+      tail = tail->next.load(std::memory_order_relaxed);
+    }
+    tail->next.store(free_list_, std::memory_order_relaxed);
+    free_list_ = b.nodes;
+    alloc_lock_.clear(std::memory_order_release);
+  }
+
+  std::vector<std::atomic<Node*>> heads_;
+  alignas(kCacheLineBytes) std::atomic<uint64_t> clock_{0};
+  alignas(kCacheLineBytes) std::atomic<uint64_t> global_epoch_{1};
+  std::atomic<uint64_t> inflight_[kMaxHtmThreads];
+  std::atomic<uint64_t> read_ts_[kMaxHtmThreads];
+  std::atomic<uint64_t> epochs_[kMaxHtmThreads];
+  uint64_t active_s_[kMaxHtmThreads] = {};
+
+  std::atomic_flag reclaim_lock_ = ATOMIC_FLAG_INIT;
+  std::vector<LimboBatch> limbo_;  // guarded by reclaim_lock_
+
+  std::atomic_flag alloc_lock_ = ATOMIC_FLAG_INIT;
+  Node* free_list_ = nullptr;                     // guarded by alloc_lock_
+  std::vector<std::unique_ptr<Node[]>> chunks_;   // guarded by alloc_lock_
+  size_t chunk_used_ = 0;                         // guarded by alloc_lock_
+
+  std::atomic<uint64_t> commits_installed_{0};
+  std::atomic<uint64_t> installed_nodes_{0};
+  std::atomic<uint64_t> installed_entries_{0};
+  std::atomic<uint64_t> retired_nodes_{0};
+  std::atomic<uint64_t> freed_nodes_{0};
+  std::atomic<uint64_t> reclaim_passes_{0};
+  std::atomic<uint64_t> installs_since_reclaim_{0};
+  std::atomic<uint64_t> snapshots_{0};
+  mutable std::atomic<uint64_t> snapshot_reads_{0};
+  mutable std::atomic<uint64_t> max_chain_walk_{0};
+  std::atomic<uint64_t> staleness_sum_{0};
+  std::atomic<uint64_t> staleness_max_{0};
+};
+
+using MvccStore = BasicMvccStore<NullFailpoints>;
+
+/// Per-worker write-set recorder for commit paths that have no software
+/// write log of their own (TuFast's H mode and the other hardware-path
+/// hybrids): the transaction body records (vertex, addr) on every Write,
+/// and the commit hook turns the recording into chain nodes by loading
+/// the pre-images from live memory — valid because the hook runs before
+/// the write-back buffer is flushed. Duplicates are permitted (see
+/// BeginInstall); consecutive re-writes of one word are collapsed.
+class MvccRecorder {
+ public:
+  void Record(VertexId v, const TmWord* addr) {
+    if (!writes_.empty() && writes_.back().addr == addr) return;
+    writes_.push_back(MvccWrite{v, addr});
+  }
+  void Clear() { writes_.clear(); }
+  bool empty() const { return writes_.empty(); }
+  const std::vector<MvccWrite>& writes() const { return writes_; }
+
+ private:
+  std::vector<MvccWrite> writes_;
+};
+
+/// Read-only snapshot transaction context: Read resolves against the
+/// snapshot timestamp, there is no Write, and "commit" is the no-op end
+/// of scope — it can never abort. Bodies written generically against
+/// `auto& txn` with reads only run unchanged here and on the regular
+/// transactional contexts.
+template <typename Store>
+class BasicMvccSnapshotTxn {
+ public:
+  BasicMvccSnapshotTxn(Store& store, int slot)
+      : store_(store), slot_(slot), snap_(store.BeginSnapshot(slot)) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(BasicMvccSnapshotTxn);
+  ~BasicMvccSnapshotTxn() {
+    if (!done_) store_.EndSnapshot(slot_);
+  }
+
+  TmWord Read(VertexId v, const TmWord* addr) {
+    ++ops_;
+    return store_.ResolveRead(snap_, v, addr);
+  }
+  TmWord ReadForUpdate(VertexId v, const TmWord* addr) {
+    return Read(v, addr);
+  }
+  double ReadDouble(VertexId v, const double* addr) {
+    return std::bit_cast<double>(
+        Read(v, reinterpret_cast<const TmWord*>(addr)));
+  }
+  [[noreturn]] void Abort() { throw UserAbortSignal{}; }
+
+  uint64_t ops() const { return ops_; }
+  uint64_t snapshot_ts() const { return snap_.ts; }
+
+  void Finish() {
+    store_.EndSnapshot(slot_);
+    done_ = true;
+  }
+
+ private:
+  Store& store_;
+  const int slot_;
+  typename Store::Snapshot snap_;
+  uint64_t ops_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_MVCC_VERSION_STORE_H_

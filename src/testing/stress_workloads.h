@@ -224,6 +224,77 @@ std::optional<std::string> RunInvariantSuite(Scheduler& tm,
   return std::nullopt;
 }
 
+/// MVCC snapshot-read suite (run against an MVCC-enabled scheduler, see
+/// MakeMvccSchedulerFor): writers hammer pair-transfer transactions
+/// while snapshot readers go through RunReadOnly. Checks (1) every
+/// committed snapshot shows the invariant pair sum — a version chain
+/// that loses, reorders, or double-applies a pre-image breaks it; and
+/// (2) snapshot readers NEVER abort: RunOutcome::aborts must stay 0 on
+/// every read-only transaction. Designed to run with kVersionReclaim /
+/// kStaleEpoch failpoints armed, which force reclamation passes mid-
+/// stream and stretch snapshot windows so reads walk deep into chains.
+template <typename Scheduler>
+std::optional<std::string> RunMvccSnapshotSuite(Scheduler& tm,
+                                                const StressConfig& cfg) {
+  constexpr TmWord kPairSum = 10000;
+  const VertexId pairs = cfg.vertices / 2;
+  std::vector<TmWord> data(cfg.vertices, 0);
+  for (VertexId p = 0; p < pairs; ++p) data[2 * p] = kPairSum;
+
+  std::vector<std::string> failures(cfg.threads);
+  std::vector<uint64_t> reader_aborts(cfg.threads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < cfg.threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(PerThreadSeed(cfg.seed, t) ^ 0x3cc5ULL);
+      for (int i = 0; i < cfg.txns_per_thread; ++i) {
+        const VertexId p = static_cast<VertexId>(rng.NextBounded(pairs));
+        const VertexId x = 2 * p;
+        const VertexId y = 2 * p + 1;
+        const uint64_t hint = DrawSizeHint(rng, cfg);
+        if (i % 2 == t % 2) {  // Writer: move delta from x to y.
+          const TmWord delta = 1 + rng.NextBounded(7);
+          tm.Run(t, hint, [&](auto& txn) {
+            const TmWord xv = cfg.ordered_for_update
+                                  ? txn.ReadForUpdate(x, &data[x])
+                                  : txn.Read(x, &data[x]);
+            const TmWord yv = cfg.ordered_for_update
+                                  ? txn.ReadForUpdate(y, &data[y])
+                                  : txn.Read(y, &data[y]);
+            txn.Write(x, &data[x], xv - delta);
+            txn.Write(y, &data[y], yv + delta);
+          });
+        } else {  // Snapshot reader: both cells at one timestamp.
+          TmWord sum = 0;
+          const RunOutcome outcome = tm.RunReadOnly(t, hint, [&](auto& txn) {
+            sum = txn.Read(x, &data[x]) + txn.Read(y, &data[y]);
+          });
+          reader_aborts[t] += outcome.aborts;
+          if (outcome.committed && sum != kPairSum && failures[t].empty()) {
+            failures[t] = "mvcc snapshot saw pair " + std::to_string(p) +
+                          " sum " + std::to_string(sum) + " != " +
+                          std::to_string(kPairSum);
+          }
+          if (!outcome.committed && failures[t].empty()) {
+            failures[t] = "mvcc snapshot read did not commit";
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const std::string& f : failures) {
+    if (!f.empty()) return f;
+  }
+  uint64_t aborts = 0;
+  for (uint64_t a : reader_aborts) aborts += a;
+  if (aborts != 0) {
+    return "mvcc snapshot readers aborted " + std::to_string(aborts) +
+           " time(s); snapshot reads must be abort-free";
+  }
+  return std::nullopt;
+}
+
 /// Items per RunBatch call in the sharded batch workloads: small enough
 /// that every thread issues many batches (lots of mailbox flush cycles),
 /// large enough that the sharded router ships multi-item drain batches.
@@ -400,6 +471,35 @@ std::unique_ptr<Scheduler> MakeSchedulerFor(Htm& htm, VertexId vertices,
   } else {
     (void)policy;
     return std::make_unique<Scheduler>(htm, vertices);
+  }
+}
+
+/// Detects a scheduler Config with the MVCC switch (TuFast).
+template <typename S, typename = void>
+struct SchedulerConfigHasMvccKnob : std::false_type {};
+template <typename S>
+struct SchedulerConfigHasMvccKnob<
+    S, std::void_t<decltype(std::declval<typename S::Config&>()
+                                .enable_mvcc)>> : std::true_type {};
+
+/// MVCC-enabled counterpart of MakeSchedulerFor: TuFast switches on
+/// Config::enable_mvcc, the six baselines expose EnableMvcc(). Either
+/// way the returned scheduler installs versions on every commit and
+/// serves RunReadOnly() from snapshots.
+template <typename Scheduler, typename Htm>
+std::unique_ptr<Scheduler> MakeMvccSchedulerFor(Htm& htm, VertexId vertices,
+                                                DeadlockPolicy policy) {
+  if constexpr (SchedulerConfigHasMvccKnob<Scheduler>::value) {
+    typename Scheduler::Config config;
+    if constexpr (SchedulerConfigHasPolicy<Scheduler>::value) {
+      config.deadlock_policy = policy;
+    }
+    config.enable_mvcc = true;
+    return std::make_unique<Scheduler>(htm, vertices, config);
+  } else {
+    auto tm = MakeSchedulerFor<Scheduler>(htm, vertices, policy);
+    tm->EnableMvcc();
+    return tm;
   }
 }
 

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "common/compiler.h"
+#include "common/failpoints.h"
 #include "common/types.h"
 #include "htm/htm_config.h"
+#include "mvcc/version_store.h"
 #include "sync/lock_manager.h"
 #include "sync/lock_table.h"
 #include "tm/addr_map.h"
@@ -36,8 +38,11 @@ namespace tufast {
 template <typename Htm, typename Table = LockTable<Htm>>
 class HTxn {
  public:
-  HTxn(typename Htm::Tx& htx, const Table& locks)
-      : htx_(htx), locks_(locks) {}
+  /// `recorder` (optional, MVCC builds) collects (vertex, addr) for every
+  /// Write so the HTM commit hook can install pre-image versions.
+  HTxn(typename Htm::Tx& htx, const Table& locks,
+       MvccRecorder* recorder = nullptr)
+      : htx_(htx), locks_(locks), recorder_(recorder) {}
 
   TUFAST_ALWAYS_INLINE TmWord Read(VertexId v, const TmWord* addr) {
     ++ops_;
@@ -53,6 +58,7 @@ class HTxn {
     if (TUFAST_UNLIKELY(!Table::Free(htx_.Load(locks_.WordAddr(v))))) {
       htx_.template ExplicitAbort<kAbortCodeLockBusy>();
     }
+    if (TUFAST_UNLIKELY(recorder_ != nullptr)) recorder_->Record(v, addr);
     htx_.Store(addr, value);
   }
 
@@ -85,6 +91,7 @@ class HTxn {
  private:
   typename Htm::Tx& htx_;
   const Table& locks_;
+  MvccRecorder* recorder_;
   uint64_t ops_ = 0;
 };
 
@@ -104,6 +111,12 @@ class OTxn {
     write_vertices_.reserve(expected_max_ops);
   }
   TUFAST_DISALLOW_COPY_AND_MOVE(OTxn);
+
+  using Mvcc = BasicMvccStore<HtmFailpoints<Htm>>;
+
+  /// Opts this context into MVCC version installation at commit
+  /// (Config::enable_mvcc). Call before the first Run.
+  void SetMvcc(Mvcc* mvcc) { mvcc_ = mvcc; }
 
   /// Prepares for one attempt with the given hardware-segment length.
   void Reset(uint32_t period) {
@@ -192,7 +205,16 @@ class OTxn {
       }
     }
 
+    // Versions install after validation (commit is decided) and before
+    // publication (live memory still holds the pre-images); the written
+    // vertices stay exclusively locked across the whole window.
+    if (TUFAST_UNLIKELY(mvcc_ != nullptr)) {
+      mvcc_->BeginInstall(htx_.slot(), writes_, [](const WriteEntry& w) {
+        return MvccWrite{w.vertex, w.addr};
+      });
+    }
     for (const WriteEntry& w : writes_) htm_.NonTxStore(w.addr, w.value);
+    if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(htx_.slot());
     ReleaseExclusive(write_vertices_.size());
     return OCommitResult::kOk;
   }
@@ -237,6 +259,7 @@ class OTxn {
   Htm& htm_;
   typename Htm::Tx& htx_;
   Table& locks_;
+  Mvcc* mvcc_ = nullptr;
   uint32_t period_ = 1000;
   uint32_t segment_ops_ = 0;
   uint64_t ops_ = 0;
@@ -252,6 +275,11 @@ class LTxn {
   LTxn(Htm& htm, int slot, LockManager<Htm, Table>& manager)
       : htm_(htm), slot_(slot), manager_(manager) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(LTxn);
+
+  using Mvcc = BasicMvccStore<HtmFailpoints<Htm>>;
+
+  /// Opts this context into MVCC version installation at commit.
+  void SetMvcc(Mvcc* mvcc) { mvcc_ = mvcc; }
 
   void Reset() {
     ops_ = 0;
@@ -290,7 +318,7 @@ class LTxn {
         reinterpret_cast<uintptr_t>(addr),
         static_cast<uint32_t>(writes_.size()), &inserted);
     if (inserted) {
-      writes_.push_back(WriteEntry{addr, value});
+      writes_.push_back(WriteEntry{addr, value, v});
     } else {
       writes_[*idx].value = value;
     }
@@ -309,7 +337,13 @@ class LTxn {
   /// Strict 2PL commit: publish buffered writes (all their vertices are
   /// exclusively held), then release everything.
   void CommitApplyAndRelease() {
+    if (TUFAST_UNLIKELY(mvcc_ != nullptr)) {
+      mvcc_->BeginInstall(slot_, writes_, [](const WriteEntry& w) {
+        return MvccWrite{w.vertex, w.addr};
+      });
+    }
     for (const WriteEntry& w : writes_) htm_.NonTxStore(w.addr, w.value);
+    if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(slot_);
     ReleaseAll();
   }
 
@@ -340,6 +374,7 @@ class LTxn {
   struct WriteEntry {
     TmWord* addr;
     TmWord value;
+    VertexId vertex;
   };
 
   void EnsureAtLeastShared(VertexId v) {
@@ -372,6 +407,7 @@ class LTxn {
   Htm& htm_;
   const int slot_;
   LockManager<Htm, Table>& manager_;
+  Mvcc* mvcc_ = nullptr;
   uint64_t ops_ = 0;
   std::vector<Held> held_;
   AddrMap held_map_;

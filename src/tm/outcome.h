@@ -36,6 +36,11 @@ struct RunOutcome {
   TxnClass cls = TxnClass::kH;
   /// READ/WRITE operations performed by the committed execution.
   uint64_t ops = 0;
+  /// Failed attempts this call paid before the outcome above (0 for a
+  /// first-try commit). MVCC snapshot reads (RunReadOnly) are 0 by
+  /// construction; the streaming bench's reader-abort gate keys off
+  /// this.
+  uint64_t aborts = 0;
 };
 
 /// Per-worker counters common to every scheduler in this repository.
@@ -89,6 +94,13 @@ struct SchedulerStats {
   uint64_t starvation_tokens = 0;       // global-token acquisitions
   uint64_t breaker_bypass = 0;          // txns routed to L by the breaker
   uint64_t max_txn_aborts = 0;          // worst per-txn failed attempts
+
+  // MVCC snapshot transactions (RunReadOnly with enable_mvcc). Kept out
+  // of commits/class_count: snapshot reads never enter the conflict
+  // space, so folding them into the Fig. 15 breakdown would skew the
+  // mode-mix comparisons.
+  uint64_t snapshot_commits = 0;
+  uint64_t snapshot_ops = 0;
 
   void RecordCommit(TxnClass cls, uint64_t ops) {
     ++commits;
@@ -150,6 +162,8 @@ struct SchedulerStats {
     if (other.max_txn_aborts > max_txn_aborts) {
       max_txn_aborts = other.max_txn_aborts;
     }
+    snapshot_commits += other.snapshot_commits;
+    snapshot_ops += other.snapshot_ops;
   }
 };
 

@@ -2,11 +2,13 @@
 #define TUFAST_TM_SCHEDULER_HSYNC_H_
 
 #include <bit>
+#include <memory>
 #include <vector>
 
 #include "common/spin.h"
 #include "common/types.h"
 #include "htm/htm_config.h"
+#include "mvcc/version_store.h"
 #include "tm/outcome.h"
 #include "tm/telemetry.h"
 #include "tm/worker_runtime.h"
@@ -27,15 +29,19 @@ class HsyncHybrid {
     int htm_retries = 8;
   };
 
-  HsyncHybrid(Htm& htm, VertexId /*num_vertices*/ = 0, Config config = {})
-      : htm_(htm), config_(config), runtime_(0x45c0u) {}
+  using Mvcc = BasicMvccStore<HtmFailpoints<Htm>>;
+
+  HsyncHybrid(Htm& htm, VertexId num_vertices = 0, Config config = {})
+      : htm_(htm), num_vertices_(num_vertices), config_(config),
+        runtime_(0x45c0u) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(HsyncHybrid);
 
   /// Hardware-path transaction context.
   class HwTxn {
    public:
-    HwTxn(typename Htm::Tx& htx, const TmWord* global_lock)
-        : htx_(htx), global_lock_(global_lock) {}
+    HwTxn(typename Htm::Tx& htx, const TmWord* global_lock,
+          MvccRecorder* recorder = nullptr)
+        : htx_(htx), global_lock_(global_lock), recorder_(recorder) {}
 
     TmWord Read(VertexId /*v*/, const TmWord* addr) {
       ++ops_;
@@ -45,8 +51,9 @@ class HsyncHybrid {
       return Read(v, addr);  // Optimistic/timestamped: no early locking.
     }
 
-    void Write(VertexId /*v*/, TmWord* addr, TmWord value) {
+    void Write(VertexId v, TmWord* addr, TmWord value) {
       ++ops_;
+      if (TUFAST_UNLIKELY(recorder_ != nullptr)) recorder_->Record(v, addr);
       htx_.Store(addr, value);
     }
     double ReadDouble(VertexId v, const double* addr) {
@@ -73,6 +80,7 @@ class HsyncHybrid {
    private:
     typename Htm::Tx& htx_;
     const TmWord* global_lock_;
+    MvccRecorder* recorder_;
     uint64_t ops_ = 0;
   };
 
@@ -88,9 +96,9 @@ class HsyncHybrid {
       return Read(v, addr);  // Optimistic/timestamped: no early locking.
     }
 
-    void Write(VertexId /*v*/, TmWord* addr, TmWord value) {
+    void Write(VertexId v, TmWord* addr, TmWord value) {
       ++ops_;
-      pending_.push_back({addr, value});
+      pending_.push_back({addr, value, v});
     }
     double ReadDouble(VertexId v, const double* addr) {
       return std::bit_cast<double>(
@@ -108,6 +116,7 @@ class HsyncHybrid {
     struct Pending {
       TmWord* addr;
       TmWord value;
+      VertexId vertex;  // MVCC version-chain owner (unused otherwise).
     };
     uint64_t ops_ = 0;
     std::vector<Pending> pending_;
@@ -125,7 +134,9 @@ class HsyncHybrid {
     Worker& w = runtime_.GetWorker(worker_id, *this);
     w.telemetry.TxnBegin();
     w.telemetry.EnterMode(SchedMode::kHardware);
-    HwTxn hw(w.state.htx, &global_lock_);
+    HwTxn hw(w.state.htx, &global_lock_,
+             mvcc_ != nullptr ? &w.state.recorder : nullptr);
+    uint32_t txn_aborts = 0;
     for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
       BeatAttempt(w);
       hw.ResetOps();
@@ -137,14 +148,15 @@ class HsyncHybrid {
         w.stats.RecordCommit(TxnClass::kH, hw.ops());
         w.telemetry.TxnCommit(TxnClass::kH, hw.ops());
         BeatCommit(w);
-        return RunOutcome{true, TxnClass::kH, hw.ops()};
+        return RunOutcome{true, TxnClass::kH, hw.ops(), txn_aborts};
       }
       const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
       if (verdict == HtmAttemptVerdict::kUserAbort) {
         ++w.stats.user_aborts;
         w.telemetry.TxnUserAbort(TxnClass::kH);
-        return RunOutcome{false, TxnClass::kH, 0};
+        return RunOutcome{false, TxnClass::kH, 0, txn_aborts};
       }
+      ++txn_aborts;
       if (verdict == HtmAttemptVerdict::kCapacity) {
         break;  // Deterministic: go to the fallback immediately.
       }
@@ -164,17 +176,52 @@ class HsyncHybrid {
       ReleaseGlobalLock();
       ++w.stats.user_aborts;
       w.telemetry.TxnUserAbort(TxnClass::kL);
-      return RunOutcome{false, TxnClass::kL, 0};
+      return RunOutcome{false, TxnClass::kL, 0, txn_aborts};
     } catch (...) {
       ReleaseGlobalLock();
       throw;
     }
+    // MVCC: the global lock (which every hardware attempt subscribes)
+    // is exclusive ownership of the whole conflict space; pre-images
+    // are captured before the pending writes land. Duplicates in the
+    // pending log are fine — they capture identical pre-images.
+    if (TUFAST_UNLIKELY(mvcc_ != nullptr)) {
+      mvcc_->BeginInstall(worker_id, fb.pending_,
+                          [](const typename FallbackTxn::Pending& p) {
+                            return MvccWrite{p.vertex, p.addr};
+                          });
+    }
     for (const auto& p : fb.pending_) htm_.NonTxStore(p.addr, p.value);
+    if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(worker_id);
     ReleaseGlobalLock();
     w.stats.RecordCommit(TxnClass::kL, fb.ops());
     w.telemetry.TxnCommit(TxnClass::kL, fb.ops());
     BeatCommit(w);
-    return RunOutcome{true, TxnClass::kL, fb.ops()};
+    return RunOutcome{true, TxnClass::kL, fb.ops(), txn_aborts};
+  }
+
+  /// Attaches an MVCC version store (DESIGN.md "MVCC snapshot reads"):
+  /// commits install pre-image versions and RunReadOnly() becomes an
+  /// abort-free snapshot read. Requires the graph-sized constructor
+  /// (num_vertices > 0); call before the first transaction.
+  void EnableMvcc() {
+    TUFAST_CHECK(num_vertices_ > 0);
+    if (mvcc_ == nullptr) {
+      // The hardware path installs through Tx commit hooks; a hook-less
+      // backend would hand snapshot readers torn history.
+      TUFAST_CHECK(kHtmTxHasCommitHooks<Htm>);
+      mvcc_ = std::make_unique<Mvcc>(num_vertices_);
+    }
+  }
+  Mvcc* mvcc_store() { return mvcc_.get(); }
+
+  /// Read-only transaction: an abort-free snapshot read once EnableMvcc
+  /// was called, an ordinary hybrid Run() otherwise.
+  template <typename Fn>
+  RunOutcome RunReadOnly(int worker_id, uint64_t size_hint, Fn&& fn) {
+    if (mvcc_ == nullptr) return Run(worker_id, size_hint, fn);
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    return RunSnapshotReadOnly(*mvcc_, w, worker_id, fn);
   }
 
   SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
@@ -188,8 +235,19 @@ class HsyncHybrid {
 
  private:
   struct State {
-    State(HsyncHybrid& parent, int slot) : htx(parent.htm_, slot) {}
+    State(HsyncHybrid& parent, int slot) : htx(parent.htm_, slot) {
+      if (parent.mvcc_ != nullptr) {
+        mvcc_ctx.store = parent.mvcc_.get();
+        mvcc_ctx.recorder = &recorder;
+        mvcc_ctx.slot = slot;
+        if constexpr (kHtmTxHasCommitHooks<Htm>) {
+          InstallMvccCommitHooks(htx, mvcc_ctx);
+        }
+      }
+    }
     typename Htm::Tx htx;
+    MvccRecorder recorder;
+    MvccHookCtx<Mvcc> mvcc_ctx;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -214,7 +272,9 @@ class HsyncHybrid {
   }
 
   Htm& htm_;
+  const VertexId num_vertices_;
   const Config config_;
+  std::unique_ptr<Mvcc> mvcc_;
   alignas(kCacheLineBytes) TmWord global_lock_ = 0;
   Runtime runtime_;
 };

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <bit>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/spin.h"
@@ -31,6 +32,8 @@ class HtmTimestampOrdering {
     int htm_retries = 4;
   };
 
+  using Mvcc = typename TimestampOrdering<Htm, Telemetry>::Mvcc;
+
   HtmTimestampOrdering(Htm& htm, VertexId num_vertices, Config config = {})
       : htm_(htm),
         config_(config),
@@ -42,8 +45,9 @@ class HtmTimestampOrdering {
   /// timestamp maintenance.
   class HwTxn {
    public:
-    HwTxn(HtmTimestampOrdering& parent, typename Htm::Tx& htx)
-        : parent_(parent), htx_(htx) {}
+    HwTxn(HtmTimestampOrdering& parent, typename Htm::Tx& htx,
+          MvccRecorder* recorder = nullptr)
+        : parent_(parent), htx_(htx), recorder_(recorder) {}
 
     void Reset(uint64_t ts) {
       ts_ = ts;
@@ -73,6 +77,9 @@ class HtmTimestampOrdering {
         htx_.template ExplicitAbort<kAbortCodeLockBusy>();
       }
       htx_.Store(wts, ts_);
+      // MVCC: record only the user data word — the wts metadata store
+      // above is scheduler bookkeeping, not snapshot-visible state.
+      if (TUFAST_UNLIKELY(recorder_ != nullptr)) recorder_->Record(v, addr);
       htx_.Store(addr, value);
     }
 
@@ -92,6 +99,7 @@ class HtmTimestampOrdering {
    private:
     HtmTimestampOrdering& parent_;
     typename Htm::Tx& htx_;
+    MvccRecorder* recorder_;
     uint64_t ts_ = 0;
     uint64_t ops_ = 0;
   };
@@ -101,28 +109,56 @@ class HtmTimestampOrdering {
     Worker& w = runtime_.GetWorker(worker_id, *this);
     w.telemetry.TxnBegin();
     w.telemetry.EnterMode(SchedMode::kHardware);
-    HwTxn hw(*this, w.state.htx);
+    HwTxn hw(*this, w.state.htx,
+             mvcc_ != nullptr ? &w.state.recorder : nullptr);
+    uint32_t txn_aborts = 0;
     for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
       hw.Reset(fallback_.NextTs());
       const AbortStatus status = w.state.htx.Execute([&] { fn(hw); });
       if (status.ok()) {
         w.stats.RecordCommit(TxnClass::kH, hw.ops());
         w.telemetry.TxnCommit(TxnClass::kH, hw.ops());
-        return RunOutcome{true, TxnClass::kH, hw.ops()};
+        return RunOutcome{true, TxnClass::kH, hw.ops(), txn_aborts};
       }
       const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
       if (verdict == HtmAttemptVerdict::kUserAbort) {
         ++w.stats.user_aborts;
         w.telemetry.TxnUserAbort(TxnClass::kH);
-        return RunOutcome{false, TxnClass::kH, 0};
+        return RunOutcome{false, TxnClass::kH, 0, txn_aborts};
       }
+      ++txn_aborts;
       if (verdict == HtmAttemptVerdict::kCapacity) break;
     }
     // Hand off to the software path. The fallback scheduler begins its
     // own telemetry transaction (begins count hand-offs twice by design;
     // commit latency for fallen-back txns is attributed to the fallback).
     w.telemetry.EnterMode(SchedMode::kOptimistic);
-    return fallback_.Run(worker_id, size_hint, fn);
+    RunOutcome out = fallback_.Run(worker_id, size_hint, fn);
+    out.aborts += txn_aborts;  // The failed hardware attempts count too.
+    return out;
+  }
+
+  /// Attaches an MVCC version store (DESIGN.md "MVCC snapshot reads").
+  /// The fallback TO scheduler owns the store and this hybrid's hardware
+  /// path installs into the SAME store through its commit hooks — both
+  /// paths' commits must land on one version timeline. Call before the
+  /// first transaction.
+  void EnableMvcc() {
+    if (mvcc_ == nullptr) {
+      TUFAST_CHECK(kHtmTxHasCommitHooks<Htm>);
+      fallback_.EnableMvcc();
+      mvcc_ = fallback_.mvcc_store();
+    }
+  }
+  Mvcc* mvcc_store() { return mvcc_; }
+
+  /// Read-only transaction: an abort-free snapshot read once EnableMvcc
+  /// was called, an ordinary hybrid Run() otherwise.
+  template <typename Fn>
+  RunOutcome RunReadOnly(int worker_id, uint64_t size_hint, Fn&& fn) {
+    if (mvcc_ == nullptr) return Run(worker_id, size_hint, fn);
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    return RunSnapshotReadOnly(*mvcc_, w, worker_id, fn);
   }
 
   SchedulerStats AggregatedStats() const {
@@ -147,8 +183,19 @@ class HtmTimestampOrdering {
 
  private:
   struct State {
-    State(HtmTimestampOrdering& parent, int slot) : htx(parent.htm_, slot) {}
+    State(HtmTimestampOrdering& parent, int slot) : htx(parent.htm_, slot) {
+      if (parent.mvcc_ != nullptr) {
+        mvcc_ctx.store = parent.mvcc_;
+        mvcc_ctx.recorder = &recorder;
+        mvcc_ctx.slot = slot;
+        if constexpr (kHtmTxHasCommitHooks<Htm>) {
+          InstallMvccCommitHooks(htx, mvcc_ctx);
+        }
+      }
+    }
     typename Htm::Tx htx;
+    MvccRecorder recorder;
+    MvccHookCtx<Mvcc> mvcc_ctx;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -156,6 +203,7 @@ class HtmTimestampOrdering {
   Htm& htm_;
   const Config config_;
   TimestampOrdering<Htm, Telemetry> fallback_;
+  Mvcc* mvcc_ = nullptr;  // Owned by fallback_; set by EnableMvcc().
   Runtime runtime_;
 };
 

@@ -3,11 +3,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
 #include <vector>
 
 #include "common/spin.h"
 #include "common/types.h"
 #include "htm/htm_config.h"
+#include "mvcc/version_store.h"
 #include "tm/addr_map.h"
 #include "tm/outcome.h"
 #include "tm/telemetry.h"
@@ -23,13 +25,15 @@ namespace tufast {
 template <typename Htm, typename Telemetry = NullTelemetry>
 class SiloOcc {
  public:
+  using Mvcc = BasicMvccStore<HtmFailpoints<Htm>>;
+
   SiloOcc(Htm& htm, VertexId num_vertices)
       : htm_(htm), tids_(num_vertices, 0), runtime_(0x5170u) {}
   TUFAST_DISALLOW_COPY_AND_MOVE(SiloOcc);
 
   class Txn {
    public:
-    Txn(SiloOcc& parent) : parent_(parent) {}
+    Txn(SiloOcc& parent, int slot) : parent_(parent), slot_(slot) {}
     TUFAST_DISALLOW_COPY_AND_MOVE(Txn);
 
     void Reset() {
@@ -109,6 +113,7 @@ class SiloOcc {
     static constexpr uint32_t kReadSpinLimit = 1000;
 
     SiloOcc& parent_;
+    const int slot_;
     uint64_t ops_ = 0;
     std::vector<ReadEntry> reads_;
     std::vector<WriteEntry> writes_;
@@ -125,6 +130,25 @@ class SiloOcc {
         [this](Txn& txn) { return TryCommit(txn); }, [](Txn&) {});
   }
 
+  /// Attaches an MVCC version store (DESIGN.md "MVCC snapshot reads"):
+  /// commits install pre-image versions and RunReadOnly() becomes an
+  /// abort-free snapshot read. Call before the first transaction.
+  void EnableMvcc() {
+    if (mvcc_ == nullptr) {
+      mvcc_ = std::make_unique<Mvcc>(static_cast<VertexId>(tids_.size()));
+    }
+  }
+  Mvcc* mvcc_store() { return mvcc_.get(); }
+
+  /// Read-only transaction: an abort-free snapshot read once EnableMvcc
+  /// was called, an ordinary optimistic Run() otherwise.
+  template <typename Fn>
+  RunOutcome RunReadOnly(int worker_id, uint64_t size_hint, Fn&& fn) {
+    if (mvcc_ == nullptr) return Run(worker_id, size_hint, fn);
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    return RunSnapshotReadOnly(*mvcc_, w, worker_id, fn);
+  }
+
   SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
   Telemetry AggregatedTelemetry() const {
     return runtime_.AggregatedTelemetry();
@@ -138,7 +162,7 @@ class SiloOcc {
   struct SiloAbortSignal {};
 
   struct State {
-    State(SiloOcc& parent, int /*slot*/) : txn(parent) {}
+    State(SiloOcc& parent, int slot) : txn(parent, slot) {}
     Txn txn;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
@@ -200,14 +224,24 @@ class SiloOcc {
       }
     }
 
-    // Phase 3: install and bump versions.
+    // Phase 3: install and bump versions. The MVCC pre-images are
+    // captured while the write set is still TID-locked (exclusive
+    // ownership) and before the new values land in live memory.
+    if (TUFAST_UNLIKELY(mvcc_ != nullptr)) {
+      mvcc_->BeginInstall(txn.slot_, txn.writes_,
+                          [](const typename Txn::WriteEntry& e) {
+                            return MvccWrite{e.vertex, e.addr};
+                          });
+    }
     for (const auto& w : txn.writes_) htm_.NonTxStore(w.addr, w.value);
+    if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(txn.slot_);
     for (const VertexId v : wv) UnlockTidBump(v);
     return true;
   }
 
   Htm& htm_;
   std::vector<TmWord> tids_;
+  std::unique_ptr<Mvcc> mvcc_;
   Runtime runtime_;
 };
 

@@ -12,6 +12,7 @@
 #include "common/spin.h"
 #include "common/types.h"
 #include "htm/emulated_htm.h"
+#include "mvcc/version_store.h"
 #include "sharding/shard_runtime.h"
 #include "sharding/sharded_lock_table.h"
 #include "sync/lock_manager.h"
@@ -70,6 +71,14 @@ class TuFastScheduler {
   /// Fault-injection policy inherited from the HTM backend; Null (free)
   /// unless the backend is the stress harness's FaultyHtm.
   using Failpoints = HtmFailpoints<Htm>;
+  /// Version store type (Config::enable_mvcc); shares the backend's
+  /// failpoint policy so --mvcc-chaos reaches reclamation and epochs.
+  using Mvcc = BasicMvccStore<Failpoints>;
+
+  /// Whether the HTM backend's Tx exposes the commit hooks the H-mode
+  /// MVCC install needs (EmulatedHtm does; a native backend without
+  /// hooks can still run every non-MVCC configuration).
+  static constexpr bool kHtmHasCommitHooks = kHtmTxHasCommitHooks<Htm>;
 
   struct Config {
     /// H-mode retries after conflict aborts before falling to O mode.
@@ -147,6 +156,13 @@ class TuFastScheduler {
     /// messaging overhead buys nothing without contention. 0.0 ships
     /// every cross-shard item.
     double shard_ship_abort_rate = 0.0;
+    /// MVCC snapshot reads (mvcc/version_store.h, DESIGN.md "MVCC
+    /// snapshot reads"). Off by default: the non-MVCC path stays
+    /// bit-identical to a build with no version store at all (the
+    /// equivalence suites rely on this). On, every commit path installs
+    /// pre-image versions at its commit timestamp and RunReadOnly()
+    /// executes abort-free snapshot transactions against them.
+    bool enable_mvcc = false;
   };
 
   TuFastScheduler(Htm& htm, VertexId num_vertices, Config config = {})
@@ -167,6 +183,13 @@ class TuFastScheduler {
             .enabled = true}),
         runtime_(0x70f5a7u) {
     TUFAST_CHECK(max_period_ >= config_.min_period);
+    if (config_.enable_mvcc) {
+      // H-mode commits install versions through the backend's commit
+      // hooks; a hook-less backend would silently skip them and hand
+      // snapshot readers torn history.
+      TUFAST_CHECK(kHtmHasCommitHooks);
+      mvcc_ = std::make_unique<Mvcc>(num_vertices);
+    }
     if (config_.enable_sharding) {
       sharding_ = std::make_unique<ShardRuntime>(ShardRuntime::Options{
           num_vertices, ResolvedShards(config_), ResolvedWorkers(config_),
@@ -193,6 +216,21 @@ class TuFastScheduler {
     Worker& w = runtime_.GetWorker(worker_id, *this);
     w.telemetry.TxnBegin();
     return RunRouted(w, worker_id, size_hint, fn);
+  }
+
+  /// Executes one read-only transaction. With Config::enable_mvcc the
+  /// body runs against a single commit-timestamp snapshot (a
+  /// BasicMvccSnapshotTxn): it observes an atomic prefix of the commit
+  /// order, never blocks writers, and can never abort — `outcome.aborts`
+  /// is 0 by construction. The body must only read (the snapshot context
+  /// has no Write; generic `auto& txn` read bodies compile unchanged).
+  /// Without MVCC this degrades to a normal Run() — same values, but the
+  /// reads compete in the conflict space and pay aborts/retries.
+  template <typename Fn>
+  RunOutcome RunReadOnly(int worker_id, uint64_t size_hint, Fn&& fn) {
+    if (mvcc_ == nullptr) return Run(worker_id, size_hint, fn);
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    return RunSnapshotReadOnly(*mvcc_, w, worker_id, fn);
   }
 
   /// Batched execution of items [lo, hi) (tm/batch_executor.h): fuses
@@ -242,12 +280,30 @@ class TuFastScheduler {
               .min_period = parent.config_.min_period,
               .max_period = parent.max_period_,
               .initial_p = 0.0,
-              .breaker_enabled = parent.config_.enable_breaker}) {}
+              .breaker_enabled = parent.config_.enable_breaker}) {
+      if (parent.mvcc_ != nullptr) {
+        mvcc_ctx.store = parent.mvcc_.get();
+        mvcc_ctx.recorder = &recorder;
+        mvcc_ctx.slot = slot;
+        // O and L commits own a software write log and install directly;
+        // H commits have only the write-back buffer, so the recorder +
+        // commit hooks reconstruct their write set (pre-images are read
+        // from live memory between pre_publish and the flush).
+        otxn.SetMvcc(mvcc_ctx.store);
+        ltxn.SetMvcc(mvcc_ctx.store);
+        if constexpr (kHtmHasCommitHooks) {
+          InstallMvccCommitHooks(htx, mvcc_ctx);
+        }
+      }
+    }
 
     typename Htm::Tx htx;
     OTxn<Htm, Table> otxn;
     LTxn<Htm, Table> ltxn;
     ContentionMonitor monitor;
+    /// H-mode MVCC write-set recording (unused unless enable_mvcc).
+    MvccRecorder recorder;
+    MvccHookCtx<Mvcc> mvcc_ctx;
     /// Last breaker state this worker's telemetry was told about; the
     /// router diffs against the monitor to emit transition events.
     BreakerState last_breaker = BreakerState::kClosed;
@@ -558,7 +614,7 @@ class TuFastScheduler {
       return;
     }
     w.telemetry.EnterMode(SchedMode::kHardware);
-    HTxn<Htm, Table> htxn(w.state.htx, lock_table_);
+    HTxn<Htm, Table> htxn(w.state.htx, lock_table_, RecorderFor(w));
     const FusedAttemptResult attempt =
         RunFusedHtmAttempt(w.state.htx, htxn, lo, hi, body);
     if (attempt.status.ok()) {
@@ -591,6 +647,11 @@ class TuFastScheduler {
       case BreakerState::kClosed: w.telemetry.BreakerClose(); break;
     }
     w.state.last_breaker = s;
+  }
+
+  /// The H-mode contexts record their write set only when MVCC is on.
+  MvccRecorder* RecorderFor(Worker& w) {
+    return mvcc_ != nullptr ? &w.state.recorder : nullptr;
   }
 
   /// Progress-guard context for this worker's lock-mode retry loop.
@@ -641,7 +702,7 @@ class TuFastScheduler {
     }
     if (try_h) {
       w.telemetry.EnterMode(SchedMode::kHardware);
-      HTxn<Htm, Table> htxn(w.state.htx, lock_table_);
+      HTxn<Htm, Table> htxn(w.state.htx, lock_table_, RecorderFor(w));
       // Adaptive retry budget (paper SIV-D): under a high attempt-abort
       // rate, each retry re-executes the whole body just to abort again.
       const int h_retries =
@@ -656,14 +717,14 @@ class TuFastScheduler {
           w.telemetry.TxnCommit(TxnClass::kH, htxn.ops());
           BeatCommit(w);
           RecordTxnRetries(w, txn_aborts);
-          return RunOutcome{true, TxnClass::kH, htxn.ops()};
+          return RunOutcome{true, TxnClass::kH, htxn.ops(), txn_aborts};
         }
         const HtmAttemptVerdict verdict = RecordHtmAbort(w, status);
         if (verdict == HtmAttemptVerdict::kUserAbort) {
           ++w.stats.user_aborts;
           w.telemetry.TxnUserAbort(TxnClass::kH);
           RecordTxnRetries(w, txn_aborts);
-          return RunOutcome{false, TxnClass::kH, 0};
+          return RunOutcome{false, TxnClass::kH, 0, txn_aborts};
         }
         w.state.monitor.RecordAttempt(htxn.ops(), /*aborted=*/true);
         ++txn_aborts;
@@ -705,6 +766,10 @@ class TuFastScheduler {
 
   /// Sharding-layer introspection (null unless Config::enable_sharding).
   const ShardRuntime* shard_runtime() const { return sharding_.get(); }
+
+  /// Version-store introspection (null unless Config::enable_mvcc).
+  Mvcc* mvcc_store() { return mvcc_.get(); }
+  const Mvcc* mvcc_store() const { return mvcc_.get(); }
 
   /// Stats merged across all workers. Call only while no transaction is
   /// in flight (workers mutate their stats without synchronization).
@@ -777,7 +842,7 @@ class TuFastScheduler {
           w.telemetry.TxnCommit(cls, w.state.otxn.ops());
           BeatCommit(w);
           RecordTxnRetries(w, txn_aborts);
-          return RunOutcome{true, cls, w.state.otxn.ops()};
+          return RunOutcome{true, cls, w.state.otxn.ops(), txn_aborts};
         }
         if (result == OCommitResult::kLockBusy) {
           ++w.stats.lock_busy_aborts;
@@ -793,7 +858,7 @@ class TuFastScheduler {
           ++w.stats.user_aborts;
           w.telemetry.TxnUserAbort(TxnClass::kO);
           RecordTxnRetries(w, txn_aborts);
-          return RunOutcome{false, TxnClass::kO, 0};
+          return RunOutcome{false, TxnClass::kO, 0, txn_aborts};
         }
         w.state.monitor.RecordAttempt(w.state.otxn.ops(), /*aborted=*/true);
       }
@@ -819,6 +884,7 @@ class TuFastScheduler {
   const uint64_t h_hint_threshold_;
   const uint32_t max_period_;
   ProgressGuard progress_guard_;
+  std::unique_ptr<Mvcc> mvcc_;
   std::unique_ptr<ShardRuntime> sharding_;
   Runtime runtime_;
 };

@@ -11,6 +11,7 @@
 #include "common/spin.h"
 #include "htm/abort.h"
 #include "htm/htm_config.h"
+#include "mvcc/version_store.h"
 #include "tm/outcome.h"
 #include "tm/progress_guard.h"
 #include "tm/telemetry.h"
@@ -398,13 +399,13 @@ RunOutcome RunLockTxnLoop(Worker& w, LockTxn& ltxn, Fn& fn, TxnClass cls,
       w.stats.RecordCommit(cls, ltxn.ops());
       w.telemetry.TxnCommit(cls, ltxn.ops());
       RecordTxnRetries(w, aborts);
-      return RunOutcome{true, cls, ltxn.ops()};
+      return RunOutcome{true, cls, ltxn.ops(), aborts};
     } catch (const UserAbortSignal&) {
       // LockReleaseGuard frees the lock set on unwind.
       ++w.stats.user_aborts;
       w.telemetry.TxnUserAbort(cls);
       RecordTxnRetries(w, aborts);
-      return RunOutcome{false, cls, 0};
+      return RunOutcome{false, cls, 0, aborts};
     } catch (const DeadlockVictimSignal&) {
       // Free the lock set NOW — escalation and backoff must run with no
       // locks held (the guard dtor would only fire at scope end).
@@ -414,6 +415,76 @@ RunOutcome RunLockTxnLoop(Worker& w, LockTxn& ltxn, Fn& fn, TxnClass cls,
       OnLockVictimAbort(w, ctx, ++aborts);
     }
   }
+}
+
+/// Whether an HTM backend's Tx exposes the commit hooks the hardware-path
+/// MVCC install needs (EmulatedHtm does; a native backend without hooks
+/// still runs every non-MVCC configuration).
+template <typename Htm>
+inline constexpr bool kHtmTxHasCommitHooks =
+    requires(typename Htm::Tx& tx) { tx.SetHooks(typename Htm::Tx::Hooks{}); };
+
+/// HTM-path MVCC plumbing, shared by every scheduler whose hardware
+/// commits publish through Tx commit hooks (TuFast H mode, HSync, H-TO):
+/// the hardware context records (vertex, addr) on every Write and these
+/// hooks turn the recording into version-chain nodes — pre-images are
+/// read from live memory between pre_publish and the write-back flush,
+/// when the region is doomed-checked but not yet published. on_begin
+/// clears residue from aborted attempts; the empty-recording check makes
+/// commits that wrote nothing (and O-mode segment commits, which share
+/// the Tx) free.
+template <typename Store>
+struct MvccHookCtx {
+  Store* store = nullptr;
+  MvccRecorder* recorder = nullptr;
+  int slot = 0;
+};
+
+template <typename Tx, typename Store>
+inline void InstallMvccCommitHooks(Tx& htx, MvccHookCtx<Store>& ctx) {
+  typename Tx::Hooks hooks;
+  hooks.on_begin = [](void* c) {
+    static_cast<MvccHookCtx<Store>*>(c)->recorder->Clear();
+  };
+  hooks.pre_publish = [](void* c) {
+    auto* h = static_cast<MvccHookCtx<Store>*>(c);
+    if (!h->recorder->empty()) {
+      h->store->BeginInstall(h->slot, h->recorder->writes(),
+                             [](const MvccWrite& w) { return w; });
+    }
+  };
+  hooks.post_publish = [](void* c) {
+    auto* h = static_cast<MvccHookCtx<Store>*>(c);
+    h->store->EndInstall(h->slot);
+    h->recorder->Clear();
+  };
+  hooks.ctx = &ctx;
+  htx.SetHooks(hooks);
+}
+
+/// MVCC read-only runner shared by every scheduler's RunReadOnly() once
+/// a version store is attached: executes `fn` against an abort-free
+/// snapshot transaction with heartbeat + snapshot-stats accounting.
+/// `outcome.aborts` is 0 by construction — snapshot reads never enter
+/// the conflict space.
+template <typename Store, typename Worker, typename Fn>
+RunOutcome RunSnapshotReadOnly(Store& store, Worker& w, int slot, Fn& fn) {
+  BeatAttempt(w);
+  BasicMvccSnapshotTxn<Store> txn(store, slot);
+  try {
+    fn(txn);
+  } catch (const UserAbortSignal&) {
+    // The only way out without committing; the txn destructor has
+    // already unpinned the snapshot.
+    ++w.stats.user_aborts;
+    return RunOutcome{false, TxnClass::kH, 0};
+  }
+  const uint64_t ops = txn.ops();
+  txn.Finish();
+  ++w.stats.snapshot_commits;
+  w.stats.snapshot_ops += ops;
+  BeatCommit(w);
+  return RunOutcome{true, TxnClass::kH, ops};
 }
 
 /// Software-optimistic retry loop shared by the Silo, TO and TinySTM
@@ -440,7 +511,7 @@ RunOutcome RunOptimisticRetryLoop(Worker& w, Txn& txn, Fn& fn, ResetFn reset,
         w.stats.RecordCommit(TxnClass::kO, txn.ops());
         w.telemetry.TxnCommit(TxnClass::kO, txn.ops());
         RecordTxnRetries(w, aborts);
-        return RunOutcome{true, TxnClass::kO, txn.ops()};
+        return RunOutcome{true, TxnClass::kO, txn.ops(), aborts};
       }
       ++w.stats.validation_aborts;
       w.telemetry.AttemptAbort(AbortReason::kValidation);
@@ -449,7 +520,7 @@ RunOutcome RunOptimisticRetryLoop(Worker& w, Txn& txn, Fn& fn, ResetFn reset,
       ++w.stats.user_aborts;
       w.telemetry.TxnUserAbort(TxnClass::kO);
       RecordTxnRetries(w, aborts);
-      return RunOutcome{false, TxnClass::kO, 0};
+      return RunOutcome{false, TxnClass::kO, 0, aborts};
     } catch (const AbortSignal&) {
       rollback(txn);
       ++w.stats.conflict_aborts;
