@@ -52,12 +52,16 @@ struct MvccCounters {
 ///
 /// Design: *undo* chains. Live memory always holds the newest committed
 /// value — the schedulers' existing write-back commit paths stay the
-/// system of record — and each vertex has a newest-first chain of
-/// pre-image nodes stamped with the commit timestamp of the transaction
-/// that overwrote them. A read at snapshot S loads the live word, then
-/// re-applies the pre-images of every commit with ts > S (newest to
-/// oldest, so the oldest applicable pre-image — the value as of S —
-/// wins). Readers therefore never block writers and never abort.
+/// system of record — and each vertex has a chain of pre-image nodes
+/// stamped with the commit timestamp of the transaction that overwrote
+/// them. Chains are NOT timestamp-ordered: two commits writing disjoint
+/// words of the same vertex may draw timestamps in one order and publish
+/// their nodes in the other (orecs/HTM conflict-detect per word or cache
+/// line, not per vertex), so a lower-ts node can sit nearer the head
+/// than a higher-ts one. A read at snapshot S therefore walks the WHOLE
+/// chain and, for its address, applies the pre-image of the *oldest*
+/// commit with ts > S — that pre-image is the value as of S. Readers
+/// never block writers and never abort.
 ///
 /// Writer protocol (caller = a scheduler commit path that holds
 /// exclusive ownership of every written word and has NOT yet published
@@ -110,13 +114,30 @@ class BasicMvccStore {
   /// must publish its new values before EndInstall.
   template <typename Range, typename Proj>
   uint64_t BeginInstall(int slot, const Range& range, Proj&& proj) {
-    auto it = std::begin(range);
-    const auto end = std::end(range);
-    if (it == end) return 0;
+    if (std::begin(range) == std::end(range)) return 0;
+    const uint64_t ts = ReserveInstallTs(slot);
+    InstallPreimages(ts, range, proj);
+    return ts;
+  }
+
+  /// Step 1 of BeginInstall: mark the slot in-flight and draw the commit
+  /// timestamp. Exposed separately so tests can interleave two commits'
+  /// draw and publish steps in the adversarial order (lower ts pushed
+  /// after higher ts) that concurrent commits to disjoint words of one
+  /// vertex produce in the wild.
+  uint64_t ReserveInstallTs(int slot) {
     inflight_[slot].store(kReserving, std::memory_order_seq_cst);
     const uint64_t ts = clock_.fetch_add(1, std::memory_order_seq_cst) + 1;
     inflight_[slot].store(ts, std::memory_order_seq_cst);
+    return ts;
+  }
 
+  /// Step 2 of BeginInstall: capture pre-images from live memory and
+  /// push the chain nodes, stamped `ts`.
+  template <typename Range, typename Proj>
+  void InstallPreimages(uint64_t ts, const Range& range, Proj&& proj) {
+    auto it = std::begin(range);
+    const auto end = std::end(range);
     Node* open = nullptr;  // current node for open_vertex
     VertexId open_vertex = 0;
     uint64_t nodes = 0, entries = 0;
@@ -141,7 +162,6 @@ class BasicMvccStore {
     commits_installed_.fetch_add(1, std::memory_order_relaxed);
     installed_nodes_.fetch_add(nodes, std::memory_order_relaxed);
     installed_entries_.fetch_add(entries, std::memory_order_relaxed);
-    return ts;
   }
 
   /// Clears the in-flight mark set by BeginInstall (no-op if the write
@@ -171,9 +191,20 @@ class BasicMvccStore {
   /// while the snapshot is active.
   Snapshot BeginSnapshot(int slot) {
     // Epoch pin first: any limbo batch retired after this point will
-    // wait for us before its memory is recycled.
-    epochs_[slot].store(global_epoch_.load(std::memory_order_seq_cst),
-                        std::memory_order_seq_cst);
+    // wait for us before its memory is recycled. A plain load-then-store
+    // is not enough — a ReclaimPass that stamps a batch and scans the
+    // pins entirely between our load and our store would miss us and
+    // free the batch with no grace period. Standard pin-validate loop:
+    // publish the pin, then re-read the epoch; once they agree, any
+    // later pass's stamp-advance follows our pin store in seq_cst order,
+    // so its scan must observe the pin.
+    uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+      epochs_[slot].store(epoch, std::memory_order_seq_cst);
+      const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+      if (now == epoch) break;
+      epoch = now;
+    }
     // Read-timestamp pin: blocks logical reclamation of versions newer
     // than the pin. Pinning at a clock value <= our final S is safe
     // (it only keeps reclamation more conservative), and the seq_cst
@@ -209,22 +240,30 @@ class BasicMvccStore {
   }
 
   /// Value of `addr` (owned by vertex `v`) as of the snapshot. Loads the
-  /// live word first, then walks the chain newest-to-oldest applying the
-  /// pre-image of every commit newer than S; the writer's chain push
-  /// (release) precedes its live store, so a reader that observed the
-  /// new live value is guaranteed to observe the covering chain node.
+  /// live word first, then walks the chain applying the pre-image of the
+  /// OLDEST commit with ts > S that wrote this word — that pre-image is
+  /// the value as of S. Chains are not timestamp-ordered (see the class
+  /// comment), so a node with ts <= S is skipped, never a termination
+  /// signal: a newer commit's node may sit behind it. The writer's chain
+  /// push (release) precedes its live store, so a reader that observed
+  /// the new live value is guaranteed to observe the covering chain node.
   TmWord ResolveRead(const Snapshot& snap, VertexId v,
                      const TmWord* addr) const {
     snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
     TmWord value = __atomic_load_n(addr, __ATOMIC_ACQUIRE);
     if (TUFAST_UNLIKELY(v >= heads_.size())) return value;
     uint64_t walked = 0;
+    uint64_t best_ts = kIdle;  // smallest ts > S applied so far
     for (const Node* n = heads_[v].load(std::memory_order_acquire);
          n != nullptr; n = n->next.load(std::memory_order_acquire)) {
-      if (n->ts <= snap.ts) break;
       ++walked;
+      if (n->ts <= snap.ts || n->ts >= best_ts) continue;
       for (uint32_t i = 0; i < n->count; ++i) {
-        if (n->entries[i].addr == addr) value = n->entries[i].value;
+        if (n->entries[i].addr == addr) {
+          value = n->entries[i].value;
+          best_ts = n->ts;
+          break;  // duplicates in one node share the same pre-image
+        }
       }
     }
     if (walked > 0) {
@@ -266,39 +305,56 @@ class BasicMvccStore {
       const uint64_t t = s.load(std::memory_order_seq_cst);
       if (t != kIdle && t < min_ts) min_ts = t;
     }
-    Node* batch = nullptr;
+    std::vector<Node*> cut_chains;
     uint64_t batch_nodes = 0;
     for (auto& head : heads_) {
+      // Chains are not timestamp-ordered (see the class comment), so a
+      // boundary test on one node says nothing about the nodes behind
+      // it: only a suffix whose MAXIMUM ts is <= min_ts is dead. Find
+      // the last node with ts > min_ts and cut everything after it; a
+      // live node stranded in front of it stays linked until a later
+      // pass finds it inside an all-dead suffix (readers skip it by ts).
       Node* h = head.load(std::memory_order_acquire);
-      if (h == nullptr) continue;
-      if (h->ts <= min_ts) {
-        // Whole chain is dead; detach it at the head (CAS races only
-        // with a writer pushing a newer node — on failure, fall through
-        // to the interior walk from the fresh head).
-        if (head.compare_exchange_strong(h, nullptr,
-                                         std::memory_order_acq_rel)) {
-          batch_nodes += SpliceChain(h, &batch);
-          continue;
+      while (h != nullptr) {
+        Node* last_live = nullptr;
+        for (Node* n = h; n != nullptr;
+             n = n->next.load(std::memory_order_acquire)) {
+          if (n->ts > min_ts) last_live = n;
         }
-      }
-      // Interior unlink: only this (lock-holding) pass ever writes a
-      // linked node's `next`, so walking to the boundary is safe.
-      Node* prev = h;
-      for (Node* n = prev->next.load(std::memory_order_acquire);
-           n != nullptr; n = prev->next.load(std::memory_order_acquire)) {
-        if (n->ts <= min_ts) {
-          prev->next.store(nullptr, std::memory_order_release);
-          batch_nodes += SpliceChain(n, &batch);
-          break;
+        if (last_live == nullptr) {
+          // Whole chain is dead; detach it at the head. The CAS races
+          // only with a writer pushing another node — on failure,
+          // re-walk from the fresh head (each retry consumes one
+          // concurrent push, so the loop is bounded by in-flight
+          // commits). Detaching a just-pushed dead node is fine: its
+          // writer never touches it after Publish, and ts <= min_ts
+          // means no pinned reader can need it.
+          if (!head.compare_exchange_strong(h, nullptr,
+                                            std::memory_order_acq_rel)) {
+            continue;
+          }
+          batch_nodes += ChainLength(h);
+          cut_chains.push_back(h);
+        } else {
+          // Interior cut: only this (lock-holding) pass ever writes a
+          // linked node's `next`, so the walk above stays valid and the
+          // suffix after last_live is still the one we measured.
+          Node* dead = last_live->next.load(std::memory_order_acquire);
+          if (dead != nullptr) {
+            last_live->next.store(nullptr, std::memory_order_release);
+            batch_nodes += ChainLength(dead);
+            cut_chains.push_back(dead);
+          }
         }
-        prev = n;
+        break;
       }
     }
-    if (batch != nullptr) {
+    if (!cut_chains.empty()) {
       retired_nodes_.fetch_add(batch_nodes, std::memory_order_relaxed);
       const uint64_t stamp =
           global_epoch_.fetch_add(1, std::memory_order_seq_cst);
-      limbo_.push_back(LimboBatch{stamp, batch, batch_nodes});
+      limbo_.push_back(
+          LimboBatch{stamp, std::move(cut_chains), batch_nodes});
     }
     // Recycle limbo batches nobody can still be walking: a reader must
     // pin its epoch before touching a chain, so pinned > stamp means it
@@ -330,10 +386,8 @@ class BasicMvccStore {
     for (auto& head : heads_) {
       Node* h = head.exchange(nullptr, std::memory_order_acq_rel);
       if (h == nullptr) continue;
-      Node* batch = nullptr;
-      nodes += SpliceChain(h, &batch);
-      LimboBatch b{0, batch, 0};
-      FreeBatchNodesOnly(b);
+      nodes += ChainLength(h);
+      FreeBatchNodesOnly(LimboBatch{0, {h}, 0});
     }
     retired_nodes_.fetch_add(nodes, std::memory_order_relaxed);
     freed_nodes_.fetch_add(nodes, std::memory_order_relaxed);
@@ -407,9 +461,15 @@ class BasicMvccStore {
     uint32_t count;
     Entry entries[kEntriesPerNode];
   };
+  // Cut suffixes are kept as separate nullptr-terminated chains, NOT
+  // spliced into one list: a reader standing inside a suffix at the
+  // moment of the cut keeps walking to the suffix's own tail (every
+  // node there is invisible to it by timestamp), and linking suffixes
+  // together would extend that walk across every chain retired by the
+  // pass.
   struct LimboBatch {
     uint64_t stamp;
-    Node* nodes;  // linked through `next`
+    std::vector<Node*> chains;
     uint64_t count;
   };
 
@@ -443,16 +503,14 @@ class BasicMvccStore {
                                          std::memory_order_relaxed));
   }
 
-  /// Appends chain `first..` onto `*batch`, returning its node count.
-  static uint64_t SpliceChain(Node* first, Node** batch) {
+  /// Length of a retired chain (only the reclaim-lock holder walks
+  /// retired chains, so relaxed loads suffice).
+  static uint64_t ChainLength(const Node* first) {
     uint64_t n = 0;
-    Node* tail = first;
-    for (;; tail = tail->next.load(std::memory_order_relaxed)) {
+    for (const Node* p = first; p != nullptr;
+         p = p->next.load(std::memory_order_relaxed)) {
       ++n;
-      if (tail->next.load(std::memory_order_relaxed) == nullptr) break;
     }
-    tail->next.store(*batch, std::memory_order_relaxed);
-    *batch = first;
     return n;
   }
 
@@ -462,15 +520,17 @@ class BasicMvccStore {
   }
 
   void FreeBatchNodesOnly(const LimboBatch& b) {
-    if (b.nodes == nullptr) return;
+    if (b.chains.empty()) return;
     while (alloc_lock_.test_and_set(std::memory_order_acquire)) {
     }
-    Node* tail = b.nodes;
-    while (tail->next.load(std::memory_order_relaxed) != nullptr) {
-      tail = tail->next.load(std::memory_order_relaxed);
+    for (Node* first : b.chains) {
+      Node* tail = first;
+      while (tail->next.load(std::memory_order_relaxed) != nullptr) {
+        tail = tail->next.load(std::memory_order_relaxed);
+      }
+      tail->next.store(free_list_, std::memory_order_relaxed);
+      free_list_ = first;
     }
-    tail->next.store(free_list_, std::memory_order_relaxed);
-    free_list_ = b.nodes;
     alloc_lock_.clear(std::memory_order_release);
   }
 
