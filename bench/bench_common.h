@@ -41,6 +41,20 @@ namespace tufast {
 ///                   failpoints (forced version-reclaim passes, stretched
 ///                   stale-epoch snapshot windows) and run snapshot
 ///                   readers against the chaos write stream
+///   --rate=<f>      serve_bench: offered open-loop arrival rate in
+///                   requests/second (Poisson; > 0)
+///   --zipf=<f>      serve_bench: Zipf key-skew alpha (0 = uniform,
+///                   must be in [0, 4])
+///   --tenants=interactive:<p>,bulk:<p>
+///                   serve_bench: tenant mix in percent; both tiers
+///                   required, must sum to 100
+///   --slo-p99-us=<n> serve_bench: interactive-tier p99 SLO target in
+///                   microseconds (> 0)
+///   --duration=<f>  serve_bench: open-loop run length in seconds (> 0)
+///   --serve-chaos   stress drivers: additionally arm the serving
+///                   failpoints (forced run-queue/defer-queue bounces,
+///                   breaker trips) against the serve engine and check
+///                   the disposition-conservation invariants
 /// Malformed values (non-numeric, trailing junk, out of range) are hard
 /// errors: a bench silently running with scale 0 measures nothing.
 struct BenchFlags {
@@ -57,6 +71,12 @@ struct BenchFlags {
   bool mvcc = false;
   uint32_t readers = 0;
   bool mvcc_chaos = false;
+  double rate = 50000.0;
+  double zipf = 0.99;
+  uint32_t interactive_percent = 80;  // --tenants; remainder is bulk
+  uint64_t slo_p99_us = 2000;
+  double duration = 2.0;
+  bool serve_chaos = false;
 
   static BenchFlags Parse(int argc, char** argv, double default_scale) {
     BenchFlags flags;
@@ -92,6 +112,29 @@ struct BenchFlags {
         const long n = ParseLong(arg, arg + 10);
         if (n < 0 || n > 4096) Fail(arg, "must be in [0, 4096]");
         flags.readers = static_cast<uint32_t>(n);
+      } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+        flags.rate = ParseDouble(arg, arg + 7);
+        if (!(flags.rate > 0.0) || flags.rate > 1e9) {
+          Fail(arg, "must be in (0, 1e9]");
+        }
+      } else if (std::strncmp(arg, "--zipf=", 7) == 0) {
+        flags.zipf = ParseDouble(arg, arg + 7);
+        if (!(flags.zipf >= 0.0) || flags.zipf > 4.0) {
+          Fail(arg, "must be in [0, 4]");
+        }
+      } else if (std::strncmp(arg, "--tenants=", 10) == 0) {
+        flags.interactive_percent = ParseTenants(arg, arg + 10);
+      } else if (std::strncmp(arg, "--slo-p99-us=", 13) == 0) {
+        const long n = ParseLong(arg, arg + 13);
+        if (n < 1 || n > 60'000'000) Fail(arg, "must be in [1, 6e7]");
+        flags.slo_p99_us = static_cast<uint64_t>(n);
+      } else if (std::strncmp(arg, "--duration=", 11) == 0) {
+        flags.duration = ParseDouble(arg, arg + 11);
+        if (!(flags.duration > 0.0) || flags.duration > 3600.0) {
+          Fail(arg, "must be in (0, 3600]");
+        }
+      } else if (std::strcmp(arg, "--serve-chaos") == 0) {
+        flags.serve_chaos = true;
       } else if (std::strcmp(arg, "--mvcc") == 0) {
         flags.mvcc = true;
       } else if (std::strcmp(arg, "--mvcc-chaos") == 0) {
@@ -129,6 +172,35 @@ struct BenchFlags {
     const long parsed = std::strtol(value, &end, 10);
     if (end == value || *end != '\0') Fail(arg, "not an integer");
     return parsed;
+  }
+
+  /// Strict `--tenants=interactive:<p>,bulk:<p>` parser. Both tiers must
+  /// be named (in that order), percentages must be integers in [0, 100]
+  /// and sum to exactly 100 — a typo'd tenant spec silently serving the
+  /// wrong mix would invalidate every latency number downstream. Returns
+  /// the interactive percentage.
+  static uint32_t ParseTenants(const char* arg, const char* value) {
+    const char* p = value;
+    if (std::strncmp(p, "interactive:", 12) != 0) {
+      Fail(arg, "expected interactive:<pct>,bulk:<pct>");
+    }
+    p += 12;
+    char* end = nullptr;
+    const long inter = std::strtol(p, &end, 10);
+    if (end == p || inter < 0 || inter > 100) {
+      Fail(arg, "interactive pct must be an integer in [0, 100]");
+    }
+    p = end;
+    if (std::strncmp(p, ",bulk:", 6) != 0) {
+      Fail(arg, "expected interactive:<pct>,bulk:<pct>");
+    }
+    p += 6;
+    const long bulk = std::strtol(p, &end, 10);
+    if (end == p || *end != '\0' || bulk < 0 || bulk > 100) {
+      Fail(arg, "bulk pct must be an integer in [0, 100]");
+    }
+    if (inter + bulk != 100) Fail(arg, "tenant percentages must sum to 100");
+    return static_cast<uint32_t>(inter);
   }
 };
 

@@ -136,8 +136,8 @@ def cmd_compare(args):
     include_re = re.compile(args.include_titles)
     exclude_re = re.compile(args.exclude_titles)
     exclude_cols_re = re.compile(args.exclude_cols)
-    baseline = cells(load(args.baseline), include_re, exclude_re,
-                     exclude_cols_re)
+    baseline_doc = load(args.baseline)
+    baseline = cells(baseline_doc, include_re, exclude_re, exclude_cols_re)
     current_doc = load(args.current)
     current = cells(current_doc, include_re, exclude_re, exclude_cols_re)
 
@@ -203,6 +203,11 @@ def cmd_compare(args):
             check_reader_mix(current_doc, args.max_reader_abort_rate,
                              args.tolerance))
 
+    if args.max_p99_regression is not None:
+        failures.extend(
+            check_p99_regression(baseline_doc, current_doc,
+                                 args.max_p99_regression))
+
     print(f"\ncompared {len(shared)} cell(s), tolerance "
           f"{args.tolerance:.0%}: {len(failures)} regression(s)")
     return 1 if failures else 0
@@ -261,6 +266,77 @@ def check_reader_mix(doc, max_abort_rate, tolerance):
     return failures
 
 
+def check_p99_regression(baseline_doc, current_doc, multiplier):
+    """Lower-is-better latency gate for the serve_bench tables.
+
+    The generic tolerance band treats every cell as a higher-is-better
+    rate, which would wave tail-latency blowups straight through — so
+    "serve latency" tables get their own direction-flipped check: for
+    every admission-on INTERACTIVE-tier row ("on interactive...") present
+    in the CURRENT document, the "p99 us" cell fails when
+        current > baseline * multiplier.
+    Only those rows are gated because only they are portable: the
+    admission controller actively regulates the interactive tier toward
+    its configured SLO, so its p99 tracks the SLO rather than the
+    machine. The admission-off rows measure raw uncontrolled backlog and
+    the bulk-tier rows are deferral/drain-dominated — both vary with
+    machine speed by orders of magnitude, so a band on them would only
+    produce noise.
+    A NaN/inf current p99 is a broken measurement and always fails. A
+    row or table absent from the baseline, or with a zero baseline p99
+    (idle cell at baseline time), accepts any finite current value — new
+    rows must not brick the gate — but a present-and-non-finite baseline
+    is a corrupt reference and fails. A current report with no serve
+    latency table at all fails: the gate was requested, so serve_bench
+    must have run.
+    """
+    failures = []
+
+    def p99_cells(doc):
+        out = {}
+        for table in doc.get("tables", []):
+            title = table["title"]
+            if not title.startswith("serve latency"):
+                continue
+            headers = table["headers"]
+            for row in table["rows"]:
+                if not row or not str(row[0]).startswith("on interactive"):
+                    continue
+                value = numeric(dict(zip(headers[1:], row[1:])).get("p99 us"))
+                if value is not None:
+                    out[(title, row[0])] = value
+        return out
+
+    base = p99_cells(baseline_doc)
+    cur = p99_cells(current_doc)
+    if not cur:
+        print("error: --max-p99-regression set but the current report has "
+              "no serve latency table (serve_bench not run?)",
+              file=sys.stderr)
+        return [("serve latency", "-", "missing")]
+    for key in sorted(cur):
+        c = cur[key]
+        b = base.get(key)
+        title, row = key
+        if not math.isfinite(c):
+            status = "NON-FINITE"
+            failures.append((title, row, "p99 us"))
+        elif b is not None and not math.isfinite(b):
+            status = "NON-FINITE"
+            failures.append((title, row, "p99 us"))
+        elif b is None or b <= 0:
+            status = "ok"  # new or idle-at-baseline row
+        elif c > b * multiplier:
+            status = "REGRESSION"
+            failures.append((title, row, "p99 us"))
+        else:
+            status = "ok"
+        base_str = f"{b:.5g}" if b is not None else "absent"
+        print(f"{status:>10}  p99 {c:.5g} us vs {base_str} "
+              f"(max {multiplier:g}x)  {title} | {row}")
+    return failures
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -291,6 +367,12 @@ def main(argv):
                               "reader abort rate (CI: 0); also gates the "
                               "mvcc-on writer throughput against mvcc-off "
                               "within --tolerance")
+    compare.add_argument("--max-p99-regression", type=float, default=None,
+                         help="lower-is-better gate for the serve latency "
+                              "tables: fail when a row's current 'p99 us' "
+                              "exceeds baseline * this multiplier (CI: 3.0; "
+                              "absent/zero baseline rows accept any finite "
+                              "current, NaN always fails)")
     compare.set_defaults(func=cmd_compare)
 
     selftest = sub.add_parser(
@@ -364,6 +446,54 @@ def cmd_selftest(args):
         ("missing reader mix table fails",
          _run_compare(mk("100"), mk("100"),
                       ["--max-reader-abort-rate", "0"]), 1),
+    ]
+    # Serve-latency gate: lower-is-better, NaN/zero-baseline hardened.
+    sv = lambda p99, row="on interactive/all": {"tables": mk("100")["tables"] + [
+        _table("serve latency rmat-11",
+               ["tenant/op", "completed", "p99 us"], [[row, "500", p99]])]}
+    p99_gate = ["--max-p99-regression", "3.0"]
+    checks += [
+        ("serve p99 equal passes",
+         _run_compare(sv("100"), sv("100"), p99_gate), 0),
+        ("serve p99 improvement passes",
+         _run_compare(sv("100"), sv("10"), p99_gate), 0),
+        ("serve p99 within multiplier passes",
+         _run_compare(sv("100"), sv("250"), p99_gate), 0),
+        ("serve p99 beyond multiplier fails",
+         _run_compare(sv("100"), sv("400"), p99_gate), 1),
+        ("serve p99 nan current fails",
+         _run_compare(sv("100"), sv("nan"), p99_gate), 1),
+        ("serve p99 inf current fails",
+         _run_compare(sv("100"), sv("inf"), p99_gate), 1),
+        ("serve p99 nan baseline fails",
+         _run_compare(sv("nan"), sv("100"), p99_gate), 1),
+        ("serve p99 zero baseline accepts finite",
+         _run_compare(sv("0"), sv("9999"), p99_gate), 0),
+        ("serve p99 new row accepts finite",
+         _run_compare(sv("100"), sv("9999", row="on interactive/k_hop"),
+                      p99_gate), 0),
+        ("bulk-tier and admission-off rows are not gated",
+         _run_compare(sv("100"),
+                      {"tables": mk("100")["tables"] + [_table(
+                          "serve latency rmat-11",
+                          ["tenant/op", "completed", "p99 us"],
+                          [["on interactive/all", "500", "100"],
+                           ["on bulk/scan", "500", "99999"],
+                           ["off interactive/all", "500", "99999"]])]},
+                      p99_gate), 0),
+        ("serve table missing from current fails",
+         _run_compare(sv("100"), mk("100"), p99_gate), 1),
+        ("serve gate off ignores latency blowup",
+         _run_compare(sv("100"), sv("99999"), []), 0),
+        ("admission-off rows are not gated",
+         _run_compare(
+             {"tables": sv("100")["tables"] + [_table(
+                 "serve latency rmat-12", ["tenant/op", "p99 us"],
+                 [["off interactive/all", "100"]])]},
+             {"tables": sv("100")["tables"] + [_table(
+                 "serve latency rmat-12", ["tenant/op", "p99 us"],
+                 [["off interactive/all", "99999"]])]},
+             p99_gate), 0),
     ]
     failed = 0
     for name, got, want in checks:

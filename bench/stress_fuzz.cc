@@ -9,6 +9,7 @@
 //   ./stress_fuzz --seed=1 --scale=4 --threads=3
 //   ./stress_fuzz --quick                       # smoke-sized sweep
 //   ./stress_fuzz --shard-chaos                 # batched cross-shard sweep
+//   ./stress_fuzz --serve-chaos                 # serving-engine disposition sweep
 //   ./stress_fuzz --seed=1337 --failpoint-trace=/tmp/trace.txt
 
 #include <cstdio>
@@ -16,6 +17,9 @@
 
 #include "bench/bench_common.h"
 #include "bench_support/reporting.h"
+#include "graph/dynamic/dynamic_graph.h"
+#include "serving/load_generator.h"
+#include "serving/server.h"
 #include "testing/failpoints.h"
 #include "testing/stress_workloads.h"
 
@@ -72,6 +76,20 @@ FailpointPlan::Config ChaosConfig(uint64_t seed, bool progress_chaos,
     config.Arm(FailSite::kVersionReclaim, 0.05, FailAction::kFail);
     config.Arm(FailSite::kStaleEpoch, 0.05, FailAction::kFail);
   }
+  return config;
+}
+
+/// Serve chaos arms the base transaction-layer faults PLUS forced
+/// run-queue/defer-queue bounces (every offered request must still get
+/// exactly one disposition) and random breaker trips (the admission
+/// controller's breaker signal path).
+FailpointPlan::Config ServeChaosConfig(uint64_t seed) {
+  FailpointPlan::Config config =
+      ChaosConfig(seed, /*progress_chaos=*/false, /*shard_chaos=*/false,
+                  /*mvcc_chaos=*/false);
+  config.Arm(FailSite::kServeQueueFull, 0.05, FailAction::kFail);
+  config.Arm(FailSite::kServeDeferFull, 0.05, FailAction::kFail);
+  config.Arm(FailSite::kBreakerTrip, 0.002, FailAction::kFail);
   return config;
 }
 
@@ -228,10 +246,164 @@ bool FuzzScheduler(const char* name, const BenchFlags& flags, uint64_t seeds,
   return true;
 }
 
+struct ServeChaosTotals {
+  uint64_t runs = 0;
+  uint64_t injections = 0;
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t deferred = 0;
+  uint64_t readmitted = 0;
+  uint64_t controller_trips = 0;
+  uint64_t breaker_trips = 0;
+};
+
+/// Serving-engine disposition fuzz: drive the open-loop engine as fast
+/// as the generator can offer (no pacing — backlog is the point) with
+/// tiny run/defer queues, forced queue bounces, forced breaker trips,
+/// and the usual transaction-layer faults underneath, across all three
+/// deadlock policies with MVCC alternating on/off by seed. After every
+/// run the disposition conservation invariants must hold exactly:
+///   offered == admitted + shed + deferred
+///   executed == admitted == scheduler serve_requests == histogram count
+/// A deferred request that was re-admitted must appear once (admitted),
+/// not twice — the no-double-count half of the invariant.
+bool RunServeChaos(const BenchFlags& flags, uint64_t seeds,
+                   ServeChaosTotals& totals) {
+  using Scheduler = TuFastScheduler<FaultyHtm>;
+  using Engine = serving::ServeEngine<Scheduler>;
+  const uint64_t requests = flags.quick ? 2000 : 8000;
+  for (DeadlockPolicy policy :
+       {DeadlockPolicy::kDetection, DeadlockPolicy::kPrevention,
+        DeadlockPolicy::kTimeout}) {
+    for (uint64_t i = 0; i < seeds; ++i) {
+      const uint64_t seed = flags.seed + i;
+      FaultyHtm htm;
+      auto dyn = std::make_unique<DynamicGraph>(VertexId{64});
+      Scheduler::Config cfg;
+      cfg.deadlock_policy = policy;
+      cfg.enable_mvcc = (i % 2) == 1;
+      Scheduler tm(htm, dyn->capacity(), cfg);
+      // Materialize the vertices and seed a ring so reads see structure;
+      // all before chaos is armed.
+      for (VertexId u = 0; u < 64; ++u) dyn->AddVertex(tm, 0);
+      for (VertexId u = 0; u < 64; ++u) {
+        dyn->InsertEdge(tm, 0, u, (u + 1) % 64, static_cast<uint32_t>(u));
+      }
+
+      FailpointPlan plan(ServeChaosConfig(seed));
+      FailpointScope scope(plan);
+
+      serving::LoadConfig lc;
+      lc.rate = 1e6;  // irrelevant: the driver never paces
+      lc.zipf_alpha = 0.99;
+      lc.num_keys = 64;
+      lc.interactive_percent = 70;
+      serving::LoadGenerator gen(lc, seed);
+
+      Engine::Config ec;
+      ec.num_workers = flags.threads;
+      ec.queue_capacity = 64;   // tiny: natural queue-full on top of forced
+      ec.defer_capacity = 64;
+      ec.admission.enabled = true;
+      // Alternate a tight SLO (controller sheds hard, defer queue fills)
+      // with a loose one (controller recovers, TryReadmit drains the
+      // deferrals built up by the forced queue-full bounces) so both
+      // halves of the defer/readmit path run under fault injection.
+      ec.admission.slo_p99_ns = (i % 2) == 0 ? 50'000 : 50'000'000;
+      ec.admission.window = 64;
+      Engine engine(tm, *dyn, ec);
+      engine.Start();
+      for (uint64_t r = 0; r < requests; ++r) {
+        engine.Offer(gen.NextRequest());
+        if ((r & 0xf) == 0) engine.TryReadmit(4);
+      }
+      engine.Drain();
+
+      ++totals.runs;
+      totals.injections += plan.InjectionCount();
+      const serving::AdmissionController& ac = engine.admission();
+      uint64_t offered = 0, admitted = 0, shed = 0, deferred = 0,
+               readmitted = 0, hist_count = 0;
+      for (int t = 0; t < serving::kNumTenants; ++t) {
+        const serving::Tenant tenant = static_cast<serving::Tenant>(t);
+        offered += ac.Offered(tenant);
+        admitted += ac.Admitted(tenant);
+        shed += ac.Shed(tenant);
+        deferred += ac.Deferred(tenant);
+        readmitted += ac.Readmitted(tenant);
+        for (int op = 0; op < serving::kNumOps; ++op) {
+          hist_count +=
+              engine.Latency(tenant, static_cast<serving::Op>(op)).Count();
+        }
+      }
+      totals.offered += offered;
+      totals.admitted += admitted;
+      totals.shed += shed;
+      totals.deferred += deferred;
+      totals.readmitted += readmitted;
+      totals.controller_trips += ac.trips();
+      totals.breaker_trips += ac.breaker_trips();
+
+      const SchedulerStats stats = tm.AggregatedStats();
+      std::optional<std::string> err;
+      if (offered != requests) {
+        err = "offered drift: counted " + std::to_string(offered) +
+              " != generated " + std::to_string(requests);
+      } else if (!ac.Conserved()) {
+        err = "disposition conservation: offered " + std::to_string(offered) +
+              " != admitted " + std::to_string(admitted) + " + shed " +
+              std::to_string(shed) + " + deferred " + std::to_string(deferred);
+      } else if (engine.ExecutedTotal() != admitted) {
+        err = "executed " + std::to_string(engine.ExecutedTotal()) +
+              " != admitted " + std::to_string(admitted);
+      } else if (stats.serve_requests != engine.ExecutedTotal()) {
+        err = "queue-delay plumbing: serve_requests " +
+              std::to_string(stats.serve_requests) + " != executed " +
+              std::to_string(engine.ExecutedTotal());
+      } else if (hist_count != engine.ExecutedTotal()) {
+        err = "latency histogram count " + std::to_string(hist_count) +
+              " != executed " + std::to_string(engine.ExecutedTotal());
+      }
+      if (err) {
+        std::fprintf(stderr,
+                     "FAIL serve policy=%s seed=%llu mvcc=%d: %s\n"
+                     "replay: --serve-chaos --seed=%llu --threads=%d\n",
+                     PolicyName(policy),
+                     static_cast<unsigned long long>(seed),
+                     cfg.enable_mvcc ? 1 : 0, err->c_str(),
+                     static_cast<unsigned long long>(seed), flags.threads);
+        DumpTraceTo(plan, flags.failpoint_trace);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   const BenchFlags flags = BenchFlags::Parse(argc, argv, /*default_scale=*/1.0);
   const uint64_t seeds =
       flags.quick ? 2 : static_cast<uint64_t>(8 * flags.scale + 0.5);
+
+  if (flags.serve_chaos) {
+    ServeChaosTotals st;
+    const bool ok = RunServeChaos(flags, seeds, st);
+    ReportTable table({"metric", "value"});
+    table.AddRow({"suite runs", ReportTable::Int(st.runs)});
+    table.AddRow({"fault injections", ReportTable::Int(st.injections)});
+    table.AddRow({"requests offered", ReportTable::Int(st.offered)});
+    table.AddRow({"requests admitted", ReportTable::Int(st.admitted)});
+    table.AddRow({"requests shed", ReportTable::Int(st.shed)});
+    table.AddRow({"requests deferred", ReportTable::Int(st.deferred)});
+    table.AddRow({"requests readmitted", ReportTable::Int(st.readmitted)});
+    table.AddRow({"controller trips", ReportTable::Int(st.controller_trips)});
+    table.AddRow(
+        {"breaker-signal trips", ReportTable::Int(st.breaker_trips)});
+    table.AddRow({"verdict", ok ? "PASS" : "FAIL"});
+    table.Print("stress fuzz (serve chaos)");
+    return ok ? 0 : 1;
+  }
 
   FuzzTotals totals;
   bool ok = true;

@@ -272,6 +272,13 @@ std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snap) {
   out += ",\"txn_aborts\":" + LogHistogramToJson(snap.txn_abort_hist);
   out += ",\"max_txn_aborts\":" + U64(snap.max_txn_aborts);
   out += "}";
+
+  out += ",\"serve\":{";
+  out += "\"requests\":" + U64(snap.serve_requests);
+  out += ",\"queue_delay_ns\":" + U64(snap.serve_queue_delay_ns);
+  out += ",\"max_queue_delay_ns\":" + U64(snap.serve_max_queue_delay_ns);
+  out += ",\"queue_delay\":" + LogHistogramToJson(snap.serve_queue_delay_hist);
+  out += "}";
   out += "}";
   return out;
 }

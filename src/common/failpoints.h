@@ -38,6 +38,8 @@ enum class FailSite : uint8_t {
   kMessageReorder,        // Shard drain: rotate the drained batch order
   kVersionReclaim,        // MVCC EndInstall: force a reclamation pass
   kStaleEpoch,            // MVCC BeginSnapshot: stretch the pinned window
+  kServeQueueFull,        // ServeEngine::Offer: force a run-queue bounce
+  kServeDeferFull,        // ServeEngine defer path: force defer-queue full
   kNumSites
 };
 
@@ -63,6 +65,8 @@ inline const char* FailSiteName(FailSite s) {
     case FailSite::kMessageReorder: return "message_reorder";
     case FailSite::kVersionReclaim: return "version_reclaim";
     case FailSite::kStaleEpoch: return "stale_epoch";
+    case FailSite::kServeQueueFull: return "serve_queue_full";
+    case FailSite::kServeDeferFull: return "serve_defer_full";
     default: return "?";
   }
 }

@@ -1,0 +1,245 @@
+#ifndef TUFAST_SERVING_ADMISSION_H_
+#define TUFAST_SERVING_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "serving/request.h"
+
+namespace tufast {
+namespace serving {
+
+/// Admission-control policy knobs. Defaults are conservative: a window
+/// of 256 interactive completions, trip when the in-window p99 exceeds
+/// the SLO, recover when it falls back under half the SLO (hysteresis so
+/// the controller does not flap on the boundary).
+struct AdmissionConfig {
+  bool enabled = true;
+  uint64_t slo_p99_ns = 2'000'000;     // 2 ms default interactive SLO
+  uint32_t window = 256;               // interactive completions per window
+  uint32_t recover_percent = 50;       // recover when p99 <= 50% of SLO
+  uint64_t queue_delay_trip_ns = 0;    // 0 = derive from slo_p99_ns / 2
+  uint32_t min_shed_windows = 2;       // stay shedding at least this long
+
+  uint64_t QueueDelayTripNs() const {
+    return queue_delay_trip_ns != 0 ? queue_delay_trip_ns : slo_p99_ns / 2;
+  }
+};
+
+/// Two-state admission controller guarding the interactive tier's tail.
+///
+///   kOpen     - everything is admitted.
+///   kShedding - bulk-analytics requests are deferred (parked in the
+///               defer queue) or shed (defer queue full); interactive
+///               requests are always admitted.
+///
+/// The SLO check avoids quantile computation entirely: over a window of
+/// N interactive completions, p99 > SLO exactly when more than N/100
+/// completions exceeded the SLO bound. Two relaxed atomic counters give
+/// the exact comparison with no locks and no histogram scan. Three
+/// signals can trip kOpen -> kShedding:
+///   1. in-window interactive p99 over the SLO (the counting test);
+///   2. a queue-delay observation beyond QueueDelayTripNs() (backlog is
+///      about to become latency — trip before the SLO misses land);
+///   3. the PR-5 abort-storm circuit breaker opening on any worker
+///      (workers poll their own ContentionMonitor slot and call
+///      NoteBreakerOpen — TSan-safe, the slot is worker-owned).
+/// Recovery kShedding -> kOpen requires min_shed_windows full windows
+/// AND an in-window p99 at or under recover_percent of the SLO.
+///
+/// Disposition counters live here so conservation
+/// (offered == admitted + shed + deferred) is auditable from one place;
+/// the engine calls exactly one Count*() per offered request. A deferred
+/// request that is later re-admitted moves from deferred to admitted and
+/// bumps readmitted — offered is NOT re-counted, which the
+/// no-double-count regression test pins.
+class AdmissionController {
+ public:
+  enum class State : uint8_t { kOpen = 0, kShedding };
+
+  explicit AdmissionController(const AdmissionConfig& cfg) : cfg_(cfg) {}
+
+  static const char* StateName(State s) {
+    return s == State::kOpen ? "open" : "shedding";
+  }
+
+  State state() const {
+    return static_cast<State>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Should a request from `tenant` be admitted to the run queue right
+  /// now? Interactive traffic is always admitted (it may still bounce on
+  /// a hard queue-full, which the engine counts as shed).
+  bool ShouldAdmit(Tenant tenant) const {
+    if (!cfg_.enabled || tenant == Tenant::kInteractive) return true;
+    return state() == State::kOpen;
+  }
+
+  /// One interactive completion with end-to-end latency `ns`. Drives the
+  /// windowed SLO state machine.
+  void RecordInteractiveLatency(uint64_t ns) {
+    if (!cfg_.enabled) return;
+    if (ns > cfg_.slo_p99_ns) {
+      window_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const uint64_t recover_ns =
+        cfg_.slo_p99_ns / 100 * cfg_.recover_percent;
+    if (ns > recover_ns) {
+      window_over_recover_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const uint64_t n =
+        window_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n >= cfg_.window) MaybeEvaluate();
+  }
+
+  /// Queue-delay telemetry from a worker: request sat `ns` in the run
+  /// queue before execution started.
+  void NoteQueueDelay(uint64_t ns) {
+    if (!cfg_.enabled) return;
+    if (ns > cfg_.QueueDelayTripNs()) Trip(TripCause::kQueueDelay);
+  }
+
+  /// A worker observed its abort-storm circuit breaker open.
+  void NoteBreakerOpen() {
+    if (!cfg_.enabled) return;
+    Trip(TripCause::kBreaker);
+  }
+
+  // ---- Disposition accounting (one Count* call per offered request) ----
+
+  void CountOffered(Tenant t) {
+    offered_[Idx(t)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountAdmitted(Tenant t) {
+    admitted_[Idx(t)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountShed(Tenant t) {
+    shed_[Idx(t)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountDeferred(Tenant t) {
+    deferred_[Idx(t)].fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A previously deferred request was re-admitted: it moves from the
+  /// deferred column to the admitted column (offered stays untouched).
+  void CountReadmitted(Tenant t) {
+    deferred_[Idx(t)].fetch_sub(1, std::memory_order_relaxed);
+    admitted_[Idx(t)].fetch_add(1, std::memory_order_relaxed);
+    readmitted_[Idx(t)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Offered(Tenant t) const { return Ld(offered_[Idx(t)]); }
+  uint64_t Admitted(Tenant t) const { return Ld(admitted_[Idx(t)]); }
+  uint64_t Shed(Tenant t) const { return Ld(shed_[Idx(t)]); }
+  uint64_t Deferred(Tenant t) const { return Ld(deferred_[Idx(t)]); }
+  uint64_t Readmitted(Tenant t) const { return Ld(readmitted_[Idx(t)]); }
+
+  uint64_t TotalOffered() const {
+    uint64_t s = 0;
+    for (const auto& c : offered_) s += Ld(c);
+    return s;
+  }
+
+  /// Exact conservation invariant; valid once the engine has quiesced.
+  bool Conserved() const {
+    for (int i = 0; i < kNumTenants; ++i) {
+      if (Ld(offered_[i]) !=
+          Ld(admitted_[i]) + Ld(shed_[i]) + Ld(deferred_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  uint64_t trips() const { return Ld(trips_); }
+  uint64_t breaker_trips() const { return Ld(breaker_trips_); }
+  uint64_t queue_delay_trips() const { return Ld(queue_delay_trips_); }
+  uint64_t recoveries() const { return Ld(recoveries_); }
+
+ private:
+  enum class TripCause { kSlo, kQueueDelay, kBreaker };
+
+  static int Idx(Tenant t) { return static_cast<int>(t); }
+  static uint64_t Ld(const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  }
+
+  void Trip(TripCause cause) {
+    uint8_t open = static_cast<uint8_t>(State::kOpen);
+    if (state_.compare_exchange_strong(
+            open, static_cast<uint8_t>(State::kShedding),
+            std::memory_order_relaxed)) {
+      trips_.fetch_add(1, std::memory_order_relaxed);
+      if (cause == TripCause::kBreaker) {
+        breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+      } else if (cause == TripCause::kQueueDelay) {
+        queue_delay_trips_.fetch_add(1, std::memory_order_relaxed);
+      }
+      shed_windows_.store(0, std::memory_order_relaxed);
+      ResetWindow();
+    }
+  }
+
+  /// Window boundary: at most one thread wins the CAS and evaluates;
+  /// stragglers keep recording into the next window. Counter resets race
+  /// in-flight Record calls — each store/add is atomic, so the worst
+  /// case is a handful of samples credited to the wrong window, which
+  /// only delays a transition by one window.
+  void MaybeEvaluate() {
+    bool expected = false;
+    if (!evaluating_.compare_exchange_strong(expected, true,
+                                             std::memory_order_acquire)) {
+      return;
+    }
+    const uint64_t n = window_count_.load(std::memory_order_relaxed);
+    const uint64_t misses = window_misses_.load(std::memory_order_relaxed);
+    const uint64_t over_rec =
+        window_over_recover_.load(std::memory_order_relaxed);
+    if (n >= cfg_.window) {
+      const State s = state();
+      if (s == State::kOpen) {
+        // p99 > SLO  <=>  more than 1% of the window missed the SLO.
+        if (misses * 100 > n) Trip(TripCause::kSlo);
+      } else {
+        const uint32_t w =
+            shed_windows_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (w >= cfg_.min_shed_windows && over_rec * 100 <= n) {
+          state_.store(static_cast<uint8_t>(State::kOpen),
+                       std::memory_order_relaxed);
+          recoveries_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ResetWindow();
+    }
+    evaluating_.store(false, std::memory_order_release);
+  }
+
+  void ResetWindow() {
+    window_count_.store(0, std::memory_order_relaxed);
+    window_misses_.store(0, std::memory_order_relaxed);
+    window_over_recover_.store(0, std::memory_order_relaxed);
+  }
+
+  const AdmissionConfig cfg_;
+  std::atomic<uint8_t> state_{static_cast<uint8_t>(State::kOpen)};
+  std::atomic<bool> evaluating_{false};
+  std::atomic<uint64_t> window_count_{0};
+  std::atomic<uint64_t> window_misses_{0};
+  std::atomic<uint64_t> window_over_recover_{0};
+  std::atomic<uint32_t> shed_windows_{0};
+
+  std::atomic<uint64_t> offered_[kNumTenants] = {};
+  std::atomic<uint64_t> admitted_[kNumTenants] = {};
+  std::atomic<uint64_t> shed_[kNumTenants] = {};
+  std::atomic<uint64_t> deferred_[kNumTenants] = {};
+  std::atomic<uint64_t> readmitted_[kNumTenants] = {};
+
+  std::atomic<uint64_t> trips_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<uint64_t> queue_delay_trips_{0};
+  std::atomic<uint64_t> recoveries_{0};
+};
+
+}  // namespace serving
+}  // namespace tufast
+
+#endif  // TUFAST_SERVING_ADMISSION_H_

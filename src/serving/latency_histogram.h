@@ -1,0 +1,160 @@
+#ifndef TUFAST_SERVING_LATENCY_HISTOGRAM_H_
+#define TUFAST_SERVING_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace tufast {
+namespace serving {
+
+/// Lock-free HDR-style latency histogram.
+///
+/// Log-linear bucketing: values below `kSubBuckets` (32) are recorded
+/// exactly; above that each power-of-two octave is split into 32
+/// sub-buckets, bounding relative quantile error at 1/32 (~3.1%) across
+/// the whole range. The top octave covers 2^42 ns (~73 min) — anything
+/// beyond lands in a saturation bucket and bumps `saturated`.
+///
+/// Record() is a single relaxed fetch_add on the owning bucket (plus the
+/// count/sum/max summaries), safe from any number of threads with no
+/// coordination. Quantile() and Merge() read with relaxed loads: they
+/// are intended for quiesced or monitoring use where a momentarily torn
+/// view across buckets is acceptable (each individual counter is still
+/// atomic). Merge is associative and commutative — merging A into C then
+/// B, or B then A, yields identical bucket contents, which the unit
+/// tests pin.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;                  // 32 sub-buckets/octave
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBits;
+  static constexpr int kMaxExponent = 42;             // top octave: [2^42, 2^43)
+  // The first kSubBuckets slots hold the exact values [0, 32); each
+  // exponent in [kSubBits, kMaxExponent] contributes 32 sub-buckets; the
+  // final slot is the dedicated saturation bucket for v >= 2^43.
+  static constexpr int kNumBuckets =
+      static_cast<int>(kSubBuckets) +
+      (kMaxExponent - kSubBits + 1) * static_cast<int>(kSubBuckets) + 1;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Record one value (nanoseconds by convention). Lock-free; callable
+  /// concurrently from any thread.
+  void Record(uint64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+    if (v >= (uint64_t{1} << (kMaxExponent + 1))) {
+      saturated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t Saturated() const {
+    return saturated_.load(std::memory_order_relaxed);
+  }
+
+  double Mean() const {
+    const uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+
+  /// Value at quantile q in [0, 1]: the representative (midpoint) value
+  /// of the first bucket whose cumulative count reaches q * Count().
+  /// Returns 0 on an empty histogram. Saturated samples report the
+  /// observed max (the saturation bucket has no meaningful midpoint).
+  uint64_t Quantile(double q) const {
+    const uint64_t n = Count();
+    if (n == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      seen += c;
+      if (seen > rank) {
+        if (i == kNumBuckets - 1 && Saturated() > 0) return Max();
+        return BucketMid(i);
+      }
+    }
+    return Max();  // racing Record(); best effort
+  }
+
+  /// Add another histogram's contents into this one. Associative and
+  /// commutative; `other` may be concurrently recording (its counters
+  /// are read atomically, so every sample lands in at most one merge).
+  void Merge(const LatencyHistogram& other) {
+    count_.fetch_add(other.Count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+    saturated_.fetch_add(other.Saturated(), std::memory_order_relaxed);
+    uint64_t om = other.Max();
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (om > prev &&
+           !max_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+    }
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+      if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+  }
+
+  /// Zero everything. Caller must guarantee no concurrent Record().
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    saturated_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  /// Bucket a raw value (exposed for tests pinning the indexing math).
+  /// Values at or beyond 2^(kMaxExponent+1) land in the saturation slot.
+  static int BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    if (v >= (uint64_t{1} << (kMaxExponent + 1))) return kNumBuckets - 1;
+    const int exp = 63 - __builtin_clzll(v);  // floor(log2 v), >= kSubBits
+    // Sub-bucket within the octave: the kSubBits bits below the MSB.
+    const uint64_t sub = (v >> (exp - kSubBits)) - kSubBuckets;
+    return static_cast<int>(kSubBuckets +
+                            static_cast<uint64_t>(exp - kSubBits) * kSubBuckets +
+                            sub);
+  }
+
+  /// Midpoint of a bucket's value range (its representative value). The
+  /// saturation bucket has no finite range; callers (Quantile) substitute
+  /// the observed max instead.
+  static uint64_t BucketMid(int index) {
+    if (index < static_cast<int>(kSubBuckets)) {
+      return static_cast<uint64_t>(index);
+    }
+    if (index >= kNumBuckets - 1) return uint64_t{1} << (kMaxExponent + 1);
+    const uint64_t rel = static_cast<uint64_t>(index) - kSubBuckets;
+    const int exp = static_cast<int>(rel >> kSubBits) + kSubBits;
+    const uint64_t sub = rel & (kSubBuckets - 1);
+    const uint64_t lo = (kSubBuckets + sub) << (exp - kSubBits);
+    const uint64_t width = uint64_t{1} << (exp - kSubBits);
+    return lo + width / 2;
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> saturated_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+}  // namespace serving
+}  // namespace tufast
+
+#endif  // TUFAST_SERVING_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,115 @@
+#ifndef TUFAST_SERVING_LOAD_GENERATOR_H_
+#define TUFAST_SERVING_LOAD_GENERATOR_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "serving/request.h"
+
+namespace tufast {
+namespace serving {
+
+/// Workload-shape knobs for the open-loop generator.
+struct LoadConfig {
+  double rate = 50'000.0;        // offered requests/second (Poisson)
+  double zipf_alpha = 0.99;      // key skew; 0 = uniform
+  uint32_t num_keys = 1 << 16;   // vertex-id universe
+  uint32_t interactive_percent = 80;  // tenant mix; rest is bulk
+  // Per-tenant op mixes, percent. Interactive is read-dominated point
+  // traffic; bulk is scans and batched mutations.
+  uint32_t interactive_ops[kNumOps] = {60, 20, 15, 5, 0};
+  uint32_t bulk_ops[kNumOps] = {5, 0, 15, 50, 30};
+  uint16_t khop_k = 2;           // expansion depth for kKHop
+  uint16_t scan_span = 64;       // vertices per interactive kScan
+  uint16_t bulk_scan_span = 512; // vertices per bulk kScan
+  uint16_t batch_width = 16;     // updates per kBatchMutate
+};
+
+/// Open-loop request source: Poisson arrivals (exponential inter-arrival
+/// times at `rate`), Zipfian key skew, and a two-tenant mix. The
+/// generator owns the virtual arrival clock — NextRequest() returns the
+/// request stamped with its *scheduled* arrival time, and the driver
+/// sleeps until that instant before offering it. Latency measured from
+/// `arrival_ns` therefore includes any backlog the system built up
+/// (no coordinated omission: a slow system cannot slow the clock down).
+class LoadGenerator {
+ public:
+  LoadGenerator(const LoadConfig& cfg, uint64_t seed)
+      : cfg_(cfg), rng_(seed ^ 0x5e7f1e1dULL) {}
+
+  /// Draw the next request. `arrival_ns` advances by an exponential step
+  /// with mean 1/rate from the PREVIOUS scheduled arrival, never from
+  /// "now".
+  Request NextRequest() {
+    Request r;
+    r.seq = seq_++;
+    clock_ns_ += NextInterarrivalNs();
+    r.arrival_ns = clock_ns_;
+    r.tenant = rng_.NextBounded(100) <
+                       static_cast<uint64_t>(cfg_.interactive_percent)
+                   ? Tenant::kInteractive
+                   : Tenant::kBulk;
+    r.op = DrawOp(r.tenant);
+    r.key = DrawKey();
+    switch (r.op) {
+      case Op::kKHop:
+        r.aux = cfg_.khop_k;
+        break;
+      case Op::kScan:
+        r.aux = r.tenant == Tenant::kBulk ? cfg_.bulk_scan_span
+                                          : cfg_.scan_span;
+        break;
+      case Op::kBatchMutate:
+        r.aux = cfg_.batch_width;
+        break;
+      default:
+        r.aux = 0;
+        break;
+    }
+    return r;
+  }
+
+  uint64_t clock_ns() const { return clock_ns_; }
+
+ private:
+  uint64_t NextInterarrivalNs() {
+    // Exponential with mean 1e9/rate ns; clamp u away from 0 so log()
+    // stays finite.
+    double u = rng_.NextDouble();
+    if (u < 1e-12) u = 1e-12;
+    const double mean_ns = 1e9 / cfg_.rate;
+    const double step = -std::log(u) * mean_ns;
+    const uint64_t ns = static_cast<uint64_t>(step);
+    return ns > 0 ? ns : 1;
+  }
+
+  uint32_t DrawKey() {
+    if (cfg_.zipf_alpha <= 0.0) {
+      return static_cast<uint32_t>(rng_.NextBounded(cfg_.num_keys));
+    }
+    return static_cast<uint32_t>(
+        rng_.NextZipf(cfg_.num_keys, cfg_.zipf_alpha));
+  }
+
+  Op DrawOp(Tenant t) {
+    const uint32_t* mix =
+        t == Tenant::kInteractive ? cfg_.interactive_ops : cfg_.bulk_ops;
+    uint64_t pick = rng_.NextBounded(100);
+    for (int i = 0; i < kNumOps; ++i) {
+      if (pick < mix[i]) return static_cast<Op>(i);
+      pick -= mix[i];
+    }
+    return Op::kPointRead;
+  }
+
+  const LoadConfig cfg_;
+  Rng rng_;
+  uint64_t seq_ = 0;
+  uint64_t clock_ns_ = 0;
+};
+
+}  // namespace serving
+}  // namespace tufast
+
+#endif  // TUFAST_SERVING_LOAD_GENERATOR_H_

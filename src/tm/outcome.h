@@ -95,6 +95,15 @@ struct SchedulerStats {
   uint64_t breaker_bypass = 0;          // txns routed to L by the breaker
   uint64_t max_txn_aborts = 0;          // worst per-txn failed attempts
 
+  // Serving front end (serving/server.h): per-worker queue-delay
+  // accounting, recorded exactly once per executed request via
+  // TuFastScheduler::NoteQueueDelay. Kept in the plain stats (like the
+  // progress-guard counters) so serve-side SLO accounting works in
+  // NullTelemetry builds without a side channel.
+  uint64_t serve_requests = 0;
+  uint64_t serve_queue_delay_ns = 0;
+  uint64_t serve_max_queue_delay_ns = 0;
+
   // MVCC snapshot transactions (RunReadOnly with enable_mvcc). Kept out
   // of commits/class_count: snapshot reads never enter the conflict
   // space, so folding them into the Fig. 15 breakdown would skew the
@@ -161,6 +170,11 @@ struct SchedulerStats {
     breaker_bypass += other.breaker_bypass;
     if (other.max_txn_aborts > max_txn_aborts) {
       max_txn_aborts = other.max_txn_aborts;
+    }
+    serve_requests += other.serve_requests;
+    serve_queue_delay_ns += other.serve_queue_delay_ns;
+    if (other.serve_max_queue_delay_ns > serve_max_queue_delay_ns) {
+      serve_max_queue_delay_ns = other.serve_max_queue_delay_ns;
     }
     snapshot_commits += other.snapshot_commits;
     snapshot_ops += other.snapshot_ops;

@@ -110,6 +110,7 @@ struct NullTelemetry {
   void BreakerClose() {}
   void BreakerBypass() {}
   void TxnRetries(uint64_t /*aborts*/) {}
+  void ServeQueueDelay(uint64_t /*ns*/) {}
   void Merge(const NullTelemetry&) {}
 };
 
@@ -177,6 +178,15 @@ struct TelemetrySnapshot {
   uint64_t breaker_bypass = 0;
   LogHistogram txn_abort_hist;
   uint64_t max_txn_aborts = 0;
+
+  /// Serving front end (serving/server.h): time each executed request
+  /// sat between its scheduled arrival and execution start, recorded by
+  /// the owning worker exactly once per executed request — the
+  /// serve-side SLO accounting reads these instead of a side channel.
+  uint64_t serve_requests = 0;
+  uint64_t serve_queue_delay_ns = 0;
+  uint64_t serve_max_queue_delay_ns = 0;
+  LogHistogram serve_queue_delay_hist;
 
   uint64_t TotalCommits() const {
     uint64_t total = 0;
@@ -324,6 +334,17 @@ class EventTelemetry {
     if (aborts > snap_.max_txn_aborts) snap_.max_txn_aborts = aborts;
   }
 
+  /// One serving request entered execution after `ns` nanoseconds in the
+  /// run queue (measured from its scheduled open-loop arrival).
+  void ServeQueueDelay(uint64_t ns) {
+    ++snap_.serve_requests;
+    snap_.serve_queue_delay_ns += ns;
+    if (ns > snap_.serve_max_queue_delay_ns) {
+      snap_.serve_max_queue_delay_ns = ns;
+    }
+    snap_.serve_queue_delay_hist.Add(ns);
+  }
+
   void Merge(const EventTelemetry& other) {
     const TelemetrySnapshot& o = other.snap_;
     snap_.begins += o.begins;
@@ -370,6 +391,12 @@ class EventTelemetry {
     if (o.max_txn_aborts > snap_.max_txn_aborts) {
       snap_.max_txn_aborts = o.max_txn_aborts;
     }
+    snap_.serve_requests += o.serve_requests;
+    snap_.serve_queue_delay_ns += o.serve_queue_delay_ns;
+    if (o.serve_max_queue_delay_ns > snap_.serve_max_queue_delay_ns) {
+      snap_.serve_max_queue_delay_ns = o.serve_max_queue_delay_ns;
+    }
+    snap_.serve_queue_delay_hist.Merge(o.serve_queue_delay_hist);
   }
 
   /// Copy of the aggregate so far. Call only while no transaction is in

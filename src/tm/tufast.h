@@ -775,6 +775,24 @@ class TuFastScheduler {
   /// in flight (workers mutate their stats without synchronization).
   SchedulerStats AggregatedStats() const { return runtime_.AggregatedStats(); }
 
+  /// Serving front end (serving/server.h): record that worker
+  /// `worker_id` started executing a request that sat `delay_ns` in the
+  /// run queue. Must be called from the worker's own thread (the slot is
+  /// worker-owned, like every other stats mutation); exactly once per
+  /// executed request, so `serve_requests` doubles as the executed count
+  /// in the conservation cross-check.
+  void NoteQueueDelay(int worker_id, uint64_t delay_ns) {
+    Worker& w = runtime_.GetWorker(worker_id, *this);
+    ++w.stats.serve_requests;
+    w.stats.serve_queue_delay_ns += delay_ns;
+    if (delay_ns > w.stats.serve_max_queue_delay_ns) {
+      w.stats.serve_max_queue_delay_ns = delay_ns;
+    }
+    if constexpr (Telemetry::kEnabled) {
+      w.telemetry.ServeQueueDelay(delay_ns);
+    }
+  }
+
   /// Telemetry merged across all workers (same in-flight contract).
   Telemetry AggregatedTelemetry() const {
     return runtime_.AggregatedTelemetry();

@@ -69,6 +69,85 @@ TEST(BenchFlagsDeathTest, RejectsMalformedAmBatch) {
               "must be in");
 }
 
+TEST(BenchFlagsTest, ServingFlagsParse) {
+  const BenchFlags flags =
+      ParseArgs({"--rate=120000", "--zipf=1.2", "--tenants=interactive:70,bulk:30",
+                 "--slo-p99-us=1500", "--duration=3.5", "--serve-chaos"});
+  EXPECT_DOUBLE_EQ(flags.rate, 120000.0);
+  EXPECT_DOUBLE_EQ(flags.zipf, 1.2);
+  EXPECT_EQ(flags.interactive_percent, 70u);
+  EXPECT_EQ(flags.slo_p99_us, 1500u);
+  EXPECT_DOUBLE_EQ(flags.duration, 3.5);
+  EXPECT_TRUE(flags.serve_chaos);
+}
+
+TEST(BenchFlagsTest, ServingDefaults) {
+  const BenchFlags flags = ParseArgs({"--threads=2"});
+  EXPECT_DOUBLE_EQ(flags.rate, 50000.0);
+  EXPECT_DOUBLE_EQ(flags.zipf, 0.99);
+  EXPECT_EQ(flags.interactive_percent, 80u);
+  EXPECT_EQ(flags.slo_p99_us, 2000u);
+  EXPECT_DOUBLE_EQ(flags.duration, 2.0);
+  EXPECT_FALSE(flags.serve_chaos);
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedRate) {
+  EXPECT_EXIT(ParseArgs({"--rate="}), ::testing::ExitedWithCode(2),
+              "missing value");
+  EXPECT_EXIT(ParseArgs({"--rate=fast"}), ::testing::ExitedWithCode(2),
+              "not a number");
+  EXPECT_EXIT(ParseArgs({"--rate=0"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--rate=-100"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--rate=nan"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--rate=1e12"}), ::testing::ExitedWithCode(2),
+              "must be in");
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedSlo) {
+  EXPECT_EXIT(ParseArgs({"--slo-p99-us="}), ::testing::ExitedWithCode(2),
+              "missing value");
+  EXPECT_EXIT(ParseArgs({"--slo-p99-us=-5"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--slo-p99-us=0"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--slo-p99-us=2ms"}), ::testing::ExitedWithCode(2),
+              "not an integer");
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedTenantSpecs) {
+  // Unknown tenant name.
+  EXPECT_EXIT(ParseArgs({"--tenants=batch:50,bulk:50"}),
+              ::testing::ExitedWithCode(2), "expected interactive");
+  // Missing bulk tier.
+  EXPECT_EXIT(ParseArgs({"--tenants=interactive:100"}),
+              ::testing::ExitedWithCode(2), "expected interactive");
+  // Percentages that don't sum to 100.
+  EXPECT_EXIT(ParseArgs({"--tenants=interactive:60,bulk:30"}),
+              ::testing::ExitedWithCode(2), "sum to 100");
+  // Out-of-range and non-numeric percentages.
+  EXPECT_EXIT(ParseArgs({"--tenants=interactive:-1,bulk:101"}),
+              ::testing::ExitedWithCode(2), "must be an integer");
+  EXPECT_EXIT(ParseArgs({"--tenants=interactive:lots,bulk:0"}),
+              ::testing::ExitedWithCode(2), "must be an integer");
+  // Trailing junk after a well-formed spec.
+  EXPECT_EXIT(ParseArgs({"--tenants=interactive:50,bulk:50,extra:0"}),
+              ::testing::ExitedWithCode(2), "must be an integer");
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedDurationAndZipf) {
+  EXPECT_EXIT(ParseArgs({"--duration=0"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--duration=-2"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--zipf=-0.5"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--zipf=9"}), ::testing::ExitedWithCode(2),
+              "must be in");
+}
+
 TEST(BenchFlagsDeathTest, ExistingFlagsStayStrict) {
   EXPECT_EXIT(ParseArgs({"--threads=0"}), ::testing::ExitedWithCode(2),
               "must be in");

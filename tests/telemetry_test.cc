@@ -314,6 +314,9 @@ TEST(TelemetryJsonTest, SnapshotSerializationGolden) {
   snap.breaker_bypass = 128;
   snap.txn_abort_hist.Add(4, 2);
   snap.max_txn_aborts = 4;
+  snap.serve_requests = 6;
+  snap.serve_queue_delay_ns = 4000;
+  snap.serve_max_queue_delay_ns = 2000;
 
   const std::string empty_hist =
       "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"p50\":0,\"p99\":0}";
@@ -349,7 +352,10 @@ TEST(TelemetryJsonTest, SnapshotSerializationGolden) {
       "\"breaker_closes\":1,\"breaker_bypass\":128,"
       "\"txn_aborts\":{\"count\":2,\"sum\":8,\"min\":4,\"max\":4,"
       "\"p50\":4,\"p99\":4},"
-      "\"max_txn_aborts\":4}}";
+      "\"max_txn_aborts\":4},"
+      "\"serve\":{\"requests\":6,\"queue_delay_ns\":4000,"
+      "\"max_queue_delay_ns\":2000,"
+      "\"queue_delay\":" + empty_hist + "}}";
   EXPECT_EQ(TelemetrySnapshotToJson(snap), expected);
 }
 
