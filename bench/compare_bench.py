@@ -37,7 +37,10 @@ timing tolerance has to be loose. --min-shard-scaling is the analogous
 floor for the sharding layer's shard_scaling_x (active-message
 mailbox-drain committed-ops/sec / per-item committed-ops/sec): the
 group-commit drain must keep beating per-item execution despite paying
-the mailbox round trip.
+the mailbox round trip. --min-combine-gain is the hot-vertex combining
+floor for combine_gain_x (combined / per-item committed-ops/sec on a
+pre-heated 4-hub workload): announcing into combiner slots and applying
+fused batches must keep beating per-item hot-path execution.
 
 Stdlib only (json/argparse/re); no third-party dependencies.
 """
@@ -184,7 +187,8 @@ def cmd_compare(args):
               f"({ratio:6.2f}x)  {title} | {row} | {col}")
 
     for metric, floor_value in (("fusion_gain_x", args.min_fusion_gain),
-                                ("shard_scaling_x", args.min_shard_scaling)):
+                                ("shard_scaling_x", args.min_shard_scaling),
+                                ("combine_gain_x", args.min_combine_gain)):
         if floor_value is None:
             continue
         gain = metric_value(current_doc, "micro ops", metric)
@@ -192,7 +196,9 @@ def cmd_compare(args):
             print(f"error: current report has no 'micro ops' {metric} "
                   "metric", file=sys.stderr)
             return 2
-        ok = gain >= floor_value
+        # A NaN/inf gain is a broken measurement (zero elapsed time in
+        # one of the passes), never a pass.
+        ok = math.isfinite(gain) and gain >= floor_value
         print(f"{'ok' if ok else 'REGRESSION':>10}  {metric} "
               f"{gain:.3f} (floor {floor_value:.3f})")
         if not ok:
@@ -357,6 +363,8 @@ def main(argv):
                          help="absolute floor for micro ops fusion_gain_x")
     compare.add_argument("--min-shard-scaling", type=float, default=None,
                          help="absolute floor for micro ops shard_scaling_x")
+    compare.add_argument("--min-combine-gain", type=float, default=None,
+                         help="absolute floor for micro ops combine_gain_x")
     compare.add_argument("--include-titles", default=DEFAULT_INCLUDE)
     compare.add_argument("--exclude-titles", default=DEFAULT_EXCLUDE)
     compare.add_argument("--exclude-cols", default=DEFAULT_EXCLUDE_COLS)
@@ -446,6 +454,24 @@ def cmd_selftest(args):
         ("missing reader mix table fails",
          _run_compare(mk("100"), mk("100"),
                       ["--max-reader-abort-rate", "0"]), 1),
+    ]
+    # Hot-vertex combining floor: same shape as the fusion/shard gates.
+    mo = lambda gain: {"tables": mk("100")["tables"] + [_table(
+        "micro ops", ["metric", "value"], [["combine_gain_x", gain]])]}
+    cg = ["--min-combine-gain", "1.2"]
+    checks += [
+        ("combine gain above floor passes",
+         _run_compare(mk("100"), mo("1.69"), cg), 0),
+        ("combine gain at floor passes",
+         _run_compare(mk("100"), mo("1.2"), cg), 0),
+        ("combine gain below floor fails",
+         _run_compare(mk("100"), mo("0.9"), cg), 1),
+        ("nan combine gain fails", _run_compare(mk("100"), mo("nan"), cg), 1),
+        ("inf combine gain fails", _run_compare(mk("100"), mo("inf"), cg), 1),
+        ("missing combine gain metric is rc 2",
+         _run_compare(mk("100"), mk("100"), cg), 2),
+        ("combine gate off ignores low gain",
+         _run_compare(mk("100"), mo("0.1"), []), 0),
     ]
     # Serve-latency gate: lower-is-better, NaN/zero-baseline hardened.
     sv = lambda p99, row="on interactive/all": {"tables": mk("100")["tables"] + [

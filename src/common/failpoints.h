@@ -40,6 +40,8 @@ enum class FailSite : uint8_t {
   kStaleEpoch,            // MVCC BeginSnapshot: stretch the pinned window
   kServeQueueFull,        // ServeEngine::Offer: force a run-queue bounce
   kServeDeferFull,        // ServeEngine defer path: force defer-queue full
+  kCombinerSlotFull,      // Combiner announce: force a slot-array overflow
+  kOwnerHandoff,          // Combiner collect: truncate the sweep mid-batch
   kNumSites
 };
 
@@ -67,6 +69,8 @@ inline const char* FailSiteName(FailSite s) {
     case FailSite::kStaleEpoch: return "stale_epoch";
     case FailSite::kServeQueueFull: return "serve_queue_full";
     case FailSite::kServeDeferFull: return "serve_defer_full";
+    case FailSite::kCombinerSlotFull: return "combiner_slot_full";
+    case FailSite::kOwnerHandoff: return "owner_handoff";
     default: return "?";
   }
 }

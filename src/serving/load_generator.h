@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "common/zipf.h"
 #include "serving/request.h"
 
 namespace tufast {
@@ -36,7 +37,9 @@ struct LoadConfig {
 class LoadGenerator {
  public:
   LoadGenerator(const LoadConfig& cfg, uint64_t seed)
-      : cfg_(cfg), rng_(seed ^ 0x5e7f1e1dULL) {}
+      : cfg_(cfg),
+        key_sampler_(cfg.num_keys, cfg.zipf_alpha),
+        rng_(seed ^ 0x5e7f1e1dULL) {}
 
   /// Draw the next request. `arrival_ns` advances by an exponential step
   /// with mean 1/rate from the PREVIOUS scheduled arrival, never from
@@ -85,11 +88,7 @@ class LoadGenerator {
   }
 
   uint32_t DrawKey() {
-    if (cfg_.zipf_alpha <= 0.0) {
-      return static_cast<uint32_t>(rng_.NextBounded(cfg_.num_keys));
-    }
-    return static_cast<uint32_t>(
-        rng_.NextZipf(cfg_.num_keys, cfg_.zipf_alpha));
+    return static_cast<uint32_t>(key_sampler_.Draw(rng_));
   }
 
   Op DrawOp(Tenant t) {
@@ -104,6 +103,7 @@ class LoadGenerator {
   }
 
   const LoadConfig cfg_;
+  const ZipfSampler key_sampler_;
   Rng rng_;
   uint64_t seq_ = 0;
   uint64_t clock_ns_ = 0;

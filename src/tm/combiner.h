@@ -1,0 +1,139 @@
+#ifndef TUFAST_TM_COMBINER_H_
+#define TUFAST_TM_COMBINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/compiler.h"
+#include "common/spin.h"
+#include "common/types.h"
+#include "tm/contention_history.h"
+
+namespace tufast {
+
+/// Flat-combining runtime for hot vertices (DESIGN.md "Hot-vertex
+/// combining"). When the contention history flags an operation's home
+/// region hot, the batch router stops running it competitively and
+/// instead *announces* it in the region's combiner cell: a fixed array
+/// of single-writer announce slots (the Synch-Framework ToggleVector
+/// idiom — publish into your own slot, a collector sweeps all of them).
+/// Whichever worker holds the cell's owner lock collects every announced
+/// operation and applies the whole set as ONE fused transaction through
+/// the PR-4 group-commit machinery, so N conflicting operations pay one
+/// BEGIN/COMMIT and zero cross-worker aborts instead of N retry storms.
+///
+/// Slot life cycle (all transitions on one atomic word per slot):
+///
+///   kEmpty --CAS(announcer)--> kClaimed --store rel--> kReady
+///   kReady --exchange(collector, under owner lock)--> kTaken
+///   kTaken --store rel (collector, after the op committed)--> kApplied
+///   kApplied --store rel (announcer, after observing)--> kEmpty
+///
+/// Exactly-once: a slot in kReady is taken by exactly one collector (the
+/// owner lock serializes collectors; the exchange makes even a handoff
+/// race lose cleanly), and an announce that finds no free slot returns
+/// failure so the caller runs the operation locally — an operation is
+/// applied either by the one collector that took its slot or by its own
+/// worker, never both, never zero times. The announcing worker's stack
+/// frame (the type-erased body behind `frame`) must outlive application;
+/// the scheduler's flush phase spins — helping collect — until every
+/// slot it announced reached kApplied, mirroring the sharded-mailbox
+/// pending protocol.
+inline constexpr uint32_t kCombineSlotEmpty = 0;
+inline constexpr uint32_t kCombineSlotClaimed = 1;
+inline constexpr uint32_t kCombineSlotReady = 2;
+inline constexpr uint32_t kCombineSlotTaken = 3;
+inline constexpr uint32_t kCombineSlotApplied = 4;
+
+struct CombineSlot {
+  std::atomic<uint32_t> state{kCombineSlotEmpty};
+  /// Type-erased pointer to the announcer's in-flight BatchFrame plus
+  /// the item index; written in kClaimed, read by the collector after
+  /// its acquire observation of kReady.
+  const void* frame = nullptr;
+  uint64_t item = 0;
+};
+
+/// One hot region's combining state. Cache-line aligned: announce traffic
+/// on one hub must not false-share with a neighboring region's cell.
+struct alignas(kCacheLineBytes) CombinerCell {
+  SpinLock owner_lock;
+  /// Round-robin announce cursor: spreads probe start points so each
+  /// announcer typically claims on its first probe instead of rescanning
+  /// the occupied prefix (which costs a failed CAS per occupied slot).
+  /// Purely a performance hint — any value is correct.
+  std::atomic<uint32_t> announce_cursor{0};
+};
+
+/// The scheduler-owned combining runtime: the contention history plus one
+/// combiner cell (owner lock + announce slots) per history bucket.
+/// Constructed only when Config::enable_combining is set; the default
+/// paths never touch it.
+class CombinerRuntime {
+ public:
+  struct Options {
+    uint32_t history_buckets = 1024;
+    double hot_threshold = 0.5;
+    uint32_t combiner_slots = 8;
+  };
+
+  explicit CombinerRuntime(const Options& opts)
+      : history_(ContentionHistory::Config{opts.history_buckets,
+                                           opts.hot_threshold}),
+        slots_per_cell_(opts.combiner_slots == 0 ? 1 : opts.combiner_slots),
+        cells_(new CombinerCell[history_.num_buckets()]),
+        slots_(new CombineSlot[static_cast<size_t>(history_.num_buckets()) *
+                               slots_per_cell_]) {}
+  TUFAST_DISALLOW_COPY_AND_MOVE(CombinerRuntime);
+
+  ContentionHistory& history() { return history_; }
+  const ContentionHistory& history() const { return history_; }
+  uint32_t slots_per_cell() const { return slots_per_cell_; }
+  uint32_t num_cells() const { return history_.num_buckets(); }
+
+  uint32_t CellOf(VertexId v) const { return history_.BucketOf(v); }
+  CombinerCell& cell(uint32_t c) { return cells_[c]; }
+  /// The cell's announce slots, `slots_per_cell()` of them.
+  CombineSlot* slots(uint32_t c) {
+    return slots_.get() + static_cast<size_t>(c) * slots_per_cell_;
+  }
+
+  /// Claims a free announce slot in cell `c` and publishes (frame, item)
+  /// in it. Returns the slot index, or a negative value when every slot
+  /// is occupied (the caller executes the operation locally — overflow
+  /// never loses an operation).
+  int Announce(uint32_t c, const void* frame, uint64_t item) {
+    CombineSlot* s = slots(c);
+    const uint32_t start =
+        cells_[c].announce_cursor.fetch_add(1, std::memory_order_relaxed);
+    for (uint32_t i = 0; i < slots_per_cell_; ++i) {
+      const uint32_t k = (start + i) % slots_per_cell_;
+      // Test before CAS: a probe of an occupied slot stays a plain load
+      // instead of a failed atomic RMW.
+      if (s[k].state.load(std::memory_order_relaxed) != kCombineSlotEmpty) {
+        continue;
+      }
+      uint32_t expected = kCombineSlotEmpty;
+      if (s[k].state.compare_exchange_strong(expected, kCombineSlotClaimed,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+        s[k].frame = frame;
+        s[k].item = item;
+        s[k].state.store(kCombineSlotReady, std::memory_order_release);
+        return static_cast<int>(k);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  ContentionHistory history_;
+  const uint32_t slots_per_cell_;
+  std::unique_ptr<CombinerCell[]> cells_;
+  std::unique_ptr<CombineSlot[]> slots_;
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_TM_COMBINER_H_

@@ -148,6 +148,59 @@ TEST(BenchFlagsDeathTest, RejectsMalformedDurationAndZipf) {
               "must be in");
 }
 
+TEST(BenchFlagsTest, CombiningFlagsParse) {
+  const BenchFlags flags = ParseArgs(
+      {"--combine", "--hot-threshold=0.25", "--combine-skew=1.2",
+       "--combine-chaos"});
+  EXPECT_TRUE(flags.combine);
+  EXPECT_DOUBLE_EQ(flags.hot_threshold, 0.25);
+  EXPECT_DOUBLE_EQ(flags.combine_skew, 1.2);
+  EXPECT_TRUE(flags.combine_chaos);
+}
+
+TEST(BenchFlagsTest, CombiningDefaults) {
+  const BenchFlags flags = ParseArgs({"--threads=2"});
+  EXPECT_FALSE(flags.combine);
+  EXPECT_DOUBLE_EQ(flags.hot_threshold, 0.5);
+  EXPECT_DOUBLE_EQ(flags.combine_skew, -1.0);  // -1 = sweep default alphas.
+  EXPECT_FALSE(flags.combine_chaos);
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedHotThreshold) {
+  EXPECT_EXIT(ParseArgs({"--hot-threshold="}), ::testing::ExitedWithCode(2),
+              "missing value");
+  EXPECT_EXIT(ParseArgs({"--hot-threshold=warm"}),
+              ::testing::ExitedWithCode(2), "not a number");
+  EXPECT_EXIT(ParseArgs({"--hot-threshold=0"}), ::testing::ExitedWithCode(2),
+              "must be in");
+  EXPECT_EXIT(ParseArgs({"--hot-threshold=-0.5"}),
+              ::testing::ExitedWithCode(2), "must be in");
+  EXPECT_EXIT(ParseArgs({"--hot-threshold=1.5"}),
+              ::testing::ExitedWithCode(2), "must be in");
+  EXPECT_EXIT(ParseArgs({"--hot-threshold=nan"}),
+              ::testing::ExitedWithCode(2), "must be in");
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedCombineSkew) {
+  EXPECT_EXIT(ParseArgs({"--combine-skew="}), ::testing::ExitedWithCode(2),
+              "missing value");
+  EXPECT_EXIT(ParseArgs({"--combine-skew=steep"}),
+              ::testing::ExitedWithCode(2), "not a number");
+  EXPECT_EXIT(ParseArgs({"--combine-skew=-0.1"}),
+              ::testing::ExitedWithCode(2), "must be in");
+  EXPECT_EXIT(ParseArgs({"--combine-skew=4.5"}),
+              ::testing::ExitedWithCode(2), "must be in");
+  EXPECT_EXIT(ParseArgs({"--combine-skew=nan"}),
+              ::testing::ExitedWithCode(2), "must be in");
+}
+
+TEST(BenchFlagsTest, CombineIsAPlainSwitch) {
+  // "--combine=yes" is not the "--combine" switch (exact match only) and
+  // must not accidentally enable combining via prefix matching.
+  const BenchFlags flags = ParseArgs({"--combine=yes"});
+  EXPECT_FALSE(flags.combine);
+}
+
 TEST(BenchFlagsDeathTest, ExistingFlagsStayStrict) {
   EXPECT_EXIT(ParseArgs({"--threads=0"}), ::testing::ExitedWithCode(2),
               "must be in");
