@@ -69,6 +69,19 @@ namespace tufast {
 ///                   failpoints (forced slot-array overflow, truncated
 ///                   collect sweeps) and run the exactly-once histogram
 ///                   invariants on a hot-vertex combining scheduler
+///   --wal           streaming_updates: add the WAL-durability overhead
+///                   column (Config::enable_wal with a log under the
+///                   temp dir; wal_records/wal_bytes/wal_fsyncs land in
+///                   the report and --json-out)
+///   --checkpoint-every=<n>
+///                   streaming_updates --wal: checkpoint + truncate the
+///                   log every <n> applied batches (0 = never)
+///   --crash-chaos   stress_fuzz: crash-injection harness — arm the WAL
+///                   crash failpoints (torn write, short write, crash
+///                   before fsync, partial checkpoint), kill the log
+///                   mid-record, RecoverFromWal, and verify
+///                   bank-conservation + exactly-once invariants across
+///                   schedulers and deadlock policies
 /// Malformed values (non-numeric, trailing junk, out of range) are hard
 /// errors: a bench silently running with scale 0 measures nothing.
 struct BenchFlags {
@@ -95,6 +108,9 @@ struct BenchFlags {
   double hot_threshold = 0.5;
   double combine_skew = -1.0;  // < 0 = not set
   bool combine_chaos = false;
+  bool wal = false;
+  uint64_t checkpoint_every = 0;
+  bool crash_chaos = false;
 
   static BenchFlags Parse(int argc, char** argv, double default_scale) {
     BenchFlags flags;
@@ -161,6 +177,14 @@ struct BenchFlags {
         if (!(flags.combine_skew >= 0.0) || flags.combine_skew > 4.0) {
           Fail(arg, "must be in [0, 4]");
         }
+      } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+        const long n = ParseLong(arg, arg + 19);
+        if (n < 0) Fail(arg, "must be >= 0");
+        flags.checkpoint_every = static_cast<uint64_t>(n);
+      } else if (std::strcmp(arg, "--wal") == 0) {
+        flags.wal = true;
+      } else if (std::strcmp(arg, "--crash-chaos") == 0) {
+        flags.crash_chaos = true;
       } else if (std::strcmp(arg, "--combine") == 0) {
         flags.combine = true;
       } else if (std::strcmp(arg, "--combine-chaos") == 0) {

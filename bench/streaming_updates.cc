@@ -16,6 +16,9 @@
 //     not just timed).
 // Sanity failures (conservation, audit, analytics mismatch) exit 1.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -29,6 +32,7 @@
 #include "bench_support/reporting.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "durability/recovery.h"
 #include "graph/dynamic/dynamic_graph.h"
 #include "graph/dynamic/incremental.h"
 #include "graph/generators.h"
@@ -407,6 +411,110 @@ void RunReaderWriterMixVariant(const std::string& name, const Graph& base,
                  ReportTable::Int(reclaims)});
 }
 
+// Durability overhead (--wal): the identical churn mix runs twice on a
+// fresh copy of the dataset — WAL off, then WAL on (Config::enable_wal,
+// group-commit fsync) — and the table carries both rates plus the log
+// telemetry, so one run answers "what does durability cost here". With
+// --checkpoint-every=N the WAL-on run also checkpoints (and truncates
+// the log) every N batch rounds between quiesced phases. The WAL-on run
+// ends with an actual recovery: the log (+ last checkpoint) is replayed
+// into a second graph, whose frozen snapshot must match the live one
+// bit for bit — the durability contract, not just a timing.
+void RunWalOverhead(const std::string& name, const Graph& base,
+                    const BenchFlags& flags, bool skewed) {
+  ThreadPool pool(flags.threads);
+  const int batches = flags.quick ? 50 : 200;
+  const int batch_size = 32;
+  const MixSpec mix{"churn", 50, 40, skewed};
+  ReportTable table({"wal", "updates", "seconds", "updates/s", "overhead %",
+                     "wal records", "wal bytes", "fsyncs", "checkpoints",
+                     "replayed", "recovered"});
+  double base_rate = 0;
+  for (int on = 0; on <= 1; ++on) {
+    auto dyn = DynamicGraph::FromCsr(base);
+    EmulatedHtm htm;
+    TuFastInstrumented::Config cfg;
+    const std::string wal_path = "/tmp/tufast_stream_" +
+                                 std::to_string(getpid()) + "_" + name +
+                                 ".wal";
+    const std::string ck_path = wal_path + ".ckpt";
+    if (on != 0) {
+      cfg.enable_wal = true;
+      cfg.wal_path = wal_path;
+    }
+    TuFastInstrumented tm(htm, dyn->capacity(), cfg);
+
+    uint64_t checkpoints = 0;
+    uint64_t updates = 0;
+    double seconds = 0;
+    const uint64_t every = flags.checkpoint_every;
+    int done = 0;
+    while (done < batches) {
+      const int chunk =
+          (on != 0 && every > 0)
+              ? static_cast<int>(std::min<uint64_t>(
+                    every, static_cast<uint64_t>(batches - done)))
+              : batches - done;
+      const MixOutcome out = RunMix(*dyn, tm, pool, mix, chunk, batch_size,
+                                    flags.seed + 31 * done, false);
+      updates += out.updates;
+      seconds += out.seconds;
+      done += chunk;
+      if (on != 0 && every > 0 && done < batches) {
+        // RunMix joined its workers, so the graph is quiesced here.
+        Check(WriteCheckpoint(*dyn, ck_path,
+                              tm.wal_writer()->durable_seq()),
+              name + ": mid-stream checkpoint failed");
+        Check(tm.wal_writer()->Truncate(),
+              name + ": wal truncation after checkpoint failed");
+        ++checkpoints;
+      }
+    }
+    const double rate = updates / seconds;
+    if (on == 0) base_rate = rate;
+
+    uint64_t replayed = 0;
+    const char* recovered = "-";
+    SchedulerStats stats = tm.AggregatedStats();
+    uint64_t fsyncs = 0;
+    if (on != 0) {
+      fsyncs = tm.wal_writer()->fsyncs();
+      stats.wal_fsyncs = fsyncs;
+      // Replay onto a second copy of the base dataset (checkpoints, when
+      // taken, carry the full image and override the seed). Log order is
+      // commit order, so the recovered store must equal the live one.
+      auto rec = DynamicGraph::FromCsr(base);
+      const WalRecoveryResult res = RecoverFromWal(
+          rec.get(), wal_path, checkpoints > 0 ? ck_path : std::string());
+      replayed = res.replayed;
+      stats.recovery_replayed = res.replayed;
+      stats.recovery_torn_tail = res.torn_tail ? 1 : 0;
+      Check(!res.torn_tail, name + ": clean shutdown left a torn wal tail");
+      Check(checkpoints == 0 || res.from_checkpoint,
+            name + ": recovery ignored a valid checkpoint");
+      const Graph live = dyn->Freeze();
+      const Graph rebuilt = rec->Freeze();
+      const bool equal = live.offsets() == rebuilt.offsets() &&
+                         live.targets() == rebuilt.targets() &&
+                         live.weights() == rebuilt.weights();
+      Check(equal, name + ": recovered snapshot diverged from live state");
+      recovered = equal ? "match" : "DIVERGED";
+      std::remove(wal_path.c_str());
+      std::remove(ck_path.c_str());
+    }
+    table.AddRow({on != 0 ? "on" : "off", ReportTable::Int(updates),
+                  ReportTable::Num(seconds), ReportTable::Num(rate),
+                  on != 0 ? ReportTable::Num(100.0 * (base_rate - rate) /
+                                             base_rate)
+                          : std::string("-"),
+                  ReportTable::Int(stats.wal_records),
+                  ReportTable::Int(stats.wal_bytes),
+                  ReportTable::Int(fsyncs), ReportTable::Int(checkpoints),
+                  ReportTable::Int(replayed), recovered});
+  }
+  table.Print("wal overhead — " + name);
+}
+
 void RunReaderWriterMix(const std::string& name, const Graph& base,
                         const BenchFlags& flags, bool skewed) {
   ReportTable table({"mode", "writers", "readers", "updates/s",
@@ -442,6 +550,13 @@ int Main(int argc, char** argv) {
                        /*skewed=*/true);
     RunReaderWriterMix("uniform-" + std::to_string(rmat_scale), uniform,
                        flags, /*skewed=*/false);
+  }
+
+  if (flags.wal) {
+    RunWalOverhead("rmat-" + std::to_string(rmat_scale), rmat, flags,
+                   /*skewed=*/true);
+    RunWalOverhead("uniform-" + std::to_string(rmat_scale), uniform, flags,
+                   /*skewed=*/false);
   }
 
   if (g_failures != 0) {

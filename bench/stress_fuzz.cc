@@ -11,13 +11,22 @@
 //   ./stress_fuzz --shard-chaos                 # batched cross-shard sweep
 //   ./stress_fuzz --combine-chaos               # hot-vertex combiner sweep
 //   ./stress_fuzz --serve-chaos                 # serving-engine disposition sweep
+//   ./stress_fuzz --crash-chaos                 # WAL crash/recovery sweep
 //   ./stress_fuzz --seed=1337 --failpoint-trace=/tmp/trace.txt
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <set>
+#include <span>
 #include <string>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "bench_support/reporting.h"
+#include "durability/recovery.h"
 #include "graph/dynamic/dynamic_graph.h"
 #include "serving/load_generator.h"
 #include "serving/server.h"
@@ -415,10 +424,544 @@ bool RunServeChaos(const BenchFlags& flags, uint64_t seeds,
   return true;
 }
 
+// ---------------------------------------------------------------------
+// --crash-chaos: durability sweep. Every (scheduler, policy, crash site)
+// combination runs a bank-conservation workload with the WAL enabled,
+// forces a crash mid-flush (torn write, short write, or power loss
+// before fsync), recovers a fresh graph from the log, and checks that
+//   - no acknowledged commit was lost (recovered seq >= durable seq),
+//   - no partial transaction is visible (every conservation pair is
+//     both-or-neither and sums to the constant),
+//   - the recovered state is a prefix of the committed state, and
+//   - a second workload phase runs cleanly on the recovered graph.
+// A separate case per scheduler exercises checkpoint + WAL-truncation
+// recovery, including a torn checkpoint image that CRC validation must
+// reject, and a serving-engine case crashes the log under live traffic.
+
+struct CrashChaosTotals {
+  uint64_t runs = 0;
+  uint64_t crashes = 0;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t replayed = 0;
+  uint64_t torn_tails = 0;
+  uint64_t checkpoint_recoveries = 0;
+};
+
+constexpr VertexId kCrashCapacity = 1024;
+constexpr VertexId kCrashSources = 8;    // txn t writes under 2 + t % 8
+constexpr VertexId kCrashPairBase = 64;  // conservation pairs live here
+constexpr VertexId kCrashPairs = 4;
+constexpr VertexId kCrashMarkerBase = 128;  // marker edge = 128 + txn id
+constexpr uint32_t kCrashPairSum = 1000;
+
+VertexId CrashSrc(uint64_t t) {
+  return 2 + static_cast<VertexId>(t % kCrashSources);
+}
+
+std::string CrashTempPath(const char* name, const char* kind, int policy,
+                          int site) {
+  return "/tmp/tufast_crash_" + std::to_string(getpid()) + "_" + name + "_" +
+         std::to_string(policy) + "_" + std::to_string(site) + "." + kind;
+}
+
+/// Transaction t: both halves of one conservation pair (weights summing
+/// to kCrashPairSum) plus a unique marker edge, all under one source
+/// vertex so the batch is a single transaction and a single WAL record.
+/// Any prefix of committed transactions satisfies the pair invariant;
+/// a partially applied transaction breaks it.
+template <typename Tm>
+void RunCrashWorkload(Tm& tm, DynamicGraph& dyn,
+                      BasicWalWriter<StressFailpoints>* writer, int threads,
+                      uint64_t first_txn, uint64_t txns) {
+  std::atomic<uint64_t> next{first_txn};
+  const uint64_t end = first_txn + txns;
+  auto body = [&](int worker) {
+    for (;;) {
+      if (writer != nullptr && writer->crashed()) return;
+      const uint64_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= end) return;
+      const VertexId u = CrashSrc(t);
+      const VertexId a =
+          kCrashPairBase + 2 * static_cast<VertexId>(t % kCrashPairs);
+      const uint32_t w =
+          1 + static_cast<uint32_t>((t * 37) % (kCrashPairSum - 1));
+      const EdgeUpdate ups[3] = {
+          EdgeUpdate::Insert(u, a, w),
+          EdgeUpdate::Insert(u, a + 1, kCrashPairSum - w),
+          EdgeUpdate::Insert(u, kCrashMarkerBase + static_cast<VertexId>(t), 1),
+      };
+      dyn.ApplyBatch(tm, worker, std::span<const EdgeUpdate>(ups, 3));
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int i = 0; i < threads; ++i) workers.emplace_back(body, i);
+  for (auto& th : workers) th.join();
+}
+
+/// Structural invariants plus the conservation and marker checks over a
+/// quiesced graph. `txn_bound` is an exclusive upper bound on marker
+/// transaction ids ever started; `markers` (optional) collects the ids
+/// found so callers can compare committed vs recovered sets.
+std::optional<std::string> CheckCrashState(const DynamicGraph& dyn,
+                                           uint64_t txn_bound,
+                                           std::set<uint64_t>* markers) {
+  if (auto err = dyn.CheckInvariantsQuiesced()) return err;
+  const Graph g = dyn.Freeze();
+  for (VertexId u = 2; u < 2 + kCrashSources && u < g.NumVertices(); ++u) {
+    uint32_t weight[kCrashPairs][2] = {};
+    bool present[kCrashPairs][2] = {};
+    const auto nbrs = g.OutNeighbors(u);
+    const auto wts = g.OutWeights(u);
+    for (size_t e = 0; e < nbrs.size(); ++e) {
+      const VertexId d = nbrs[e];
+      if (d >= kCrashMarkerBase) {
+        const uint64_t t = d - kCrashMarkerBase;
+        if (t >= txn_bound) {
+          return "phantom marker for txn " + std::to_string(t) +
+                 " (only " + std::to_string(txn_bound) + " ever started)";
+        }
+        if (CrashSrc(t) != u) {
+          return "marker for txn " + std::to_string(t) +
+                 " filed under vertex " + std::to_string(u);
+        }
+        if (markers != nullptr) markers->insert(t);
+      } else if (d >= kCrashPairBase && d < kCrashPairBase + 2 * kCrashPairs) {
+        const VertexId j = (d - kCrashPairBase) / 2;
+        const int side = static_cast<int>((d - kCrashPairBase) % 2);
+        present[j][side] = true;
+        weight[j][side] = wts[e];
+      }
+    }
+    for (VertexId j = 0; j < kCrashPairs; ++j) {
+      if (present[j][0] != present[j][1]) {
+        return "torn transaction visible: vertex " + std::to_string(u) +
+               " pair " + std::to_string(j) + " has one side only";
+      }
+      if (present[j][0] && weight[j][0] + weight[j][1] != kCrashPairSum) {
+        return "conservation broken: vertex " + std::to_string(u) + " pair " +
+               std::to_string(j) + " sums to " +
+               std::to_string(weight[j][0] + weight[j][1]);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+template <typename Scheduler>
+std::optional<std::string> CrashCheckpointCase(const char* name,
+                                               DeadlockPolicy policy,
+                                               const BenchFlags& flags,
+                                               CrashChaosTotals& totals) {
+  const std::string wal_path = CrashTempPath(name, "ckwal", 0, 0);
+  const std::string ck_path = CrashTempPath(name, "ckpt", 0, 0);
+  const uint64_t phase1 = flags.quick ? 50 : 100;
+  const uint64_t phase2 = 40;
+
+  DynamicGraph live(kCrashCapacity, {.weighted = true});
+  live.EnsureVerticesQuiesced(kCrashCapacity);
+  FaultyHtm htm;
+  auto tm = MakeSchedulerFor<Scheduler>(htm, kCrashCapacity, policy);
+  BasicWalWriter<StressFailpoints> writer(wal_path);
+  if (!writer.ok()) return "cannot open wal at " + wal_path;
+  tm->EnableWal(&writer);
+
+  // Clean phase 1, then a checkpoint attempt that dies halfway and
+  // leaves a torn image at the final path.
+  RunCrashWorkload(*tm, live, &writer, flags.threads, 0, phase1);
+  ++totals.runs;
+  {
+    FailpointPlan::Config pc;
+    pc.seed = flags.seed;
+    FailpointPlan plan(pc);
+    plan.ForceAt(FailSite::kCheckpointPartial, 0, 0, FailAction::kFail);
+    FailpointScope scope(plan);
+    if (WriteCheckpoint<StressFailpoints>(live, ck_path,
+                                          writer.durable_seq())) {
+      return "checkpoint write survived the injected partial-write crash";
+    }
+  }
+  {
+    // The torn image must be rejected (CRC) and the untruncated WAL must
+    // carry recovery on its own.
+    DynamicGraph rec(kCrashCapacity, {.weighted = true});
+    const WalRecoveryResult res = RecoverFromWal(&rec, wal_path, ck_path);
+    totals.replayed += res.replayed;
+    if (res.from_checkpoint) return "torn checkpoint image accepted";
+    if (res.last_seq < writer.durable_seq()) {
+      return "acked commits lost recovering around the torn checkpoint";
+    }
+    rec.EnsureVerticesQuiesced(kCrashCapacity);
+    if (auto err = CheckCrashState(rec, phase1, nullptr)) return err;
+  }
+
+  // A good checkpoint lets the WAL truncate; a crash afterwards must
+  // recover from snapshot + short log suffix.
+  if (!WriteCheckpoint(live, ck_path, writer.durable_seq())) {
+    return "checkpoint write failed";
+  }
+  if (!writer.Truncate()) return "wal truncation failed";
+  {
+    FailpointPlan::Config pc;
+    pc.seed = flags.seed + 1;
+    FailpointPlan plan(pc);
+    plan.ForceAt(FailSite::kWalTornWrite, 0, 8 + flags.seed % 8,
+                 FailAction::kFail);
+    FailpointScope scope(plan);
+    RunCrashWorkload(*tm, live, &writer, flags.threads, phase1, phase2);
+  }
+  ++totals.runs;
+  if (writer.crashed()) ++totals.crashes;
+  const SchedulerStats stats = tm->AggregatedStats();
+  totals.wal_records += stats.wal_records;
+  totals.wal_bytes += stats.wal_bytes;
+  totals.wal_fsyncs += writer.fsyncs();
+  DynamicGraph rec(kCrashCapacity, {.weighted = true});
+  const WalRecoveryResult res = RecoverFromWal(&rec, wal_path, ck_path);
+  totals.replayed += res.replayed;
+  ++totals.checkpoint_recoveries;
+  if (!res.from_checkpoint) return "valid checkpoint not used for recovery";
+  if (res.last_seq < writer.durable_seq()) {
+    return "acked commit lost across checkpoint+wal recovery";
+  }
+  rec.EnsureVerticesQuiesced(kCrashCapacity);
+  if (auto err = CheckCrashState(rec, phase1 + phase2, nullptr)) return err;
+  std::remove(wal_path.c_str());
+  std::remove(ck_path.c_str());
+  return std::nullopt;
+}
+
+template <typename Scheduler>
+bool CrashChaosScheduler(const char* name, const BenchFlags& flags,
+                         CrashChaosTotals& totals) {
+  std::vector<DeadlockPolicy> policies;
+  if constexpr (kSchedulerUsesPolicy<Scheduler, FaultyHtm>) {
+    policies = {DeadlockPolicy::kDetection, DeadlockPolicy::kPrevention,
+                DeadlockPolicy::kTimeout};
+  } else {
+    policies = {DeadlockPolicy::kDetection};
+  }
+  const FailSite sites[] = {FailSite::kWalTornWrite, FailSite::kWalShortWrite,
+                            FailSite::kCrashBeforeFsync};
+  int policy_idx = 0;
+  for (DeadlockPolicy policy : policies) {
+    int site_idx = 0;
+    for (FailSite site : sites) {
+      const uint64_t seed = flags.seed + site_idx + 3 * policy_idx;
+      const std::string wal_path =
+          CrashTempPath(name, "wal", policy_idx, site_idx);
+      const std::string wal2_path =
+          CrashTempPath(name, "wal2", policy_idx, site_idx);
+      const uint64_t phase1 = flags.quick ? 60 : 120;
+      std::optional<std::string> err;
+
+      DynamicGraph live(kCrashCapacity, {.weighted = true});
+      live.EnsureVerticesQuiesced(kCrashCapacity);
+      bool crashed = false;
+      uint64_t durable = 0;
+      {
+        FaultyHtm htm;
+        auto tm = MakeSchedulerFor<Scheduler>(htm, kCrashCapacity, policy);
+        BasicWalWriter<StressFailpoints> writer(wal_path);
+        if (!writer.ok()) {
+          err = "cannot open wal at " + wal_path;
+        } else {
+          tm->EnableWal(&writer);
+          FailpointPlan::Config pc;
+          pc.seed = seed;
+          FailpointPlan plan(pc);
+          // Crash at the Nth group-commit flush, somewhere mid-workload.
+          plan.ForceAt(site, 0, 4 + seed % 8, FailAction::kFail);
+          {
+            FailpointScope scope(plan);
+            RunCrashWorkload(*tm, live, &writer, flags.threads, 0, phase1);
+          }
+          crashed = writer.crashed();
+          durable = writer.durable_seq();
+          const SchedulerStats stats = tm->AggregatedStats();
+          totals.wal_records += stats.wal_records;
+          totals.wal_bytes += stats.wal_bytes;
+          totals.wal_fsyncs += writer.fsyncs();
+        }
+      }
+      ++totals.runs;
+      if (crashed) ++totals.crashes;
+
+      DynamicGraph recovered(kCrashCapacity, {.weighted = true});
+      if (!err) {
+        const WalRecoveryResult res = RecoverFromWal(&recovered, wal_path);
+        totals.replayed += res.replayed;
+        if (res.torn_tail) ++totals.torn_tails;
+        if (res.last_seq < durable) {
+          err = "acked commit lost: durable seq " + std::to_string(durable) +
+                ", recovered through " + std::to_string(res.last_seq);
+        } else if (crashed && site == FailSite::kCrashBeforeFsync &&
+                   res.torn_tail) {
+          err = "fully-written log scanned as torn";
+        } else if (crashed && site != FailSite::kCrashBeforeFsync &&
+                   !res.torn_tail) {
+          err = "injected torn/short write not detected in the log tail";
+        }
+        recovered.EnsureVerticesQuiesced(kCrashCapacity);
+      }
+
+      // Prefix consistency: the recovered marker set must be a subset of
+      // the committed (in-memory) one, and both states must satisfy the
+      // conservation invariant on their own.
+      std::set<uint64_t> live_markers;
+      std::set<uint64_t> recovered_markers;
+      if (!err) {
+        if ((err = CheckCrashState(live, phase1, &live_markers))) {
+          err = "committed state: " + *err;
+        }
+      }
+      if (!err) {
+        if ((err = CheckCrashState(recovered, phase1, &recovered_markers))) {
+          err = "recovered state: " + *err;
+        }
+      }
+      if (!err &&
+          !std::includes(live_markers.begin(), live_markers.end(),
+                         recovered_markers.begin(), recovered_markers.end())) {
+        err = "recovered state is not a prefix of the committed state";
+      }
+
+      // Phase 2: the recovered graph must accept new transactions — and
+      // a fresh log — as if nothing happened.
+      if (!err) {
+        FaultyHtm htm2;
+        auto tm2 = MakeSchedulerFor<Scheduler>(htm2, kCrashCapacity, policy);
+        BasicWalWriter<StressFailpoints> writer2(wal2_path);
+        if (!writer2.ok()) {
+          err = "cannot open wal at " + wal2_path;
+        } else {
+          tm2->EnableWal(&writer2);
+          const uint64_t phase2 = 40;
+          RunCrashWorkload(*tm2, recovered, nullptr, flags.threads, phase1,
+                           phase2);
+          const SchedulerStats stats = tm2->AggregatedStats();
+          totals.wal_records += stats.wal_records;
+          totals.wal_bytes += stats.wal_bytes;
+          totals.wal_fsyncs += writer2.fsyncs();
+          err = CheckCrashState(recovered, phase1 + phase2, nullptr);
+          if (!err && writer2.durable_seq() != writer2.records()) {
+            err = "clean run left undurable records: " +
+                  std::to_string(writer2.records()) + " published, durable " +
+                  std::to_string(writer2.durable_seq());
+          }
+        }
+      }
+      if (err) {
+        std::fprintf(stderr,
+                     "FAIL %s policy=%s site=%s: %s\n"
+                     "replay: --crash-chaos --seed=%llu --threads=%d\n",
+                     name, PolicyName(policy), FailSiteName(site),
+                     err->c_str(), static_cast<unsigned long long>(flags.seed),
+                     flags.threads);
+        return false;
+      }
+      std::remove(wal_path.c_str());
+      std::remove(wal2_path.c_str());
+      ++site_idx;
+    }
+    ++policy_idx;
+  }
+  if (auto err = CrashCheckpointCase<Scheduler>(name, policies.front(), flags,
+                                                totals)) {
+    std::fprintf(stderr,
+                 "FAIL %s checkpoint case: %s\n"
+                 "replay: --crash-chaos --seed=%llu --threads=%d\n",
+                 name, err->c_str(),
+                 static_cast<unsigned long long>(flags.seed), flags.threads);
+    return false;
+  }
+  return true;
+}
+
+/// Serving-engine crash case: the WAL dies under live traffic, the
+/// engine drains, and the disposition conservation identity must still
+/// hold exactly (a log crash must never double-count or lose a request
+/// disposition). The log then recovers into a fresh graph that a fresh
+/// engine serves — the re-admitted traffic conserves on its own fresh
+/// counters, so nothing is double-counted across the recovery boundary.
+bool RunServeCrash(const BenchFlags& flags, CrashChaosTotals& totals) {
+  using Scheduler = TuFastScheduler<FaultyHtm>;
+  using Engine = serving::ServeEngine<Scheduler>;
+  const uint64_t requests = flags.quick ? 1500 : 4000;
+  const std::string wal_path = CrashTempPath("serve", "wal", 0, 0);
+  const std::string wal2_path = CrashTempPath("serve", "wal2", 0, 0);
+  std::optional<std::string> err;
+
+  FaultyHtm htm;
+  auto dyn = std::make_unique<DynamicGraph>(VertexId{64});
+  Scheduler::Config cfg;
+  Scheduler tm(htm, dyn->capacity(), cfg);
+  BasicWalWriter<StressFailpoints> writer(wal_path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "FAIL serve crash: cannot open wal at %s\n",
+                 wal_path.c_str());
+    return false;
+  }
+  tm.EnableWal(&writer);
+  for (VertexId u = 0; u < 64; ++u) dyn->AddVertex(tm, 0);
+  for (VertexId u = 0; u < 64; ++u) {
+    dyn->InsertEdge(tm, 0, u, (u + 1) % 64, static_cast<uint32_t>(u));
+  }
+
+  serving::LoadConfig lc;
+  lc.rate = 1e6;
+  lc.zipf_alpha = 0.99;
+  lc.num_keys = 64;
+  lc.interactive_percent = 70;
+  serving::LoadGenerator gen(lc, flags.seed);
+
+  Engine::Config ec;
+  ec.num_workers = flags.threads;
+  ec.queue_capacity = 64;
+  ec.defer_capacity = 64;
+  ec.admission.enabled = true;
+  ec.admission.slo_p99_ns = 50'000'000;
+  ec.admission.window = 64;
+  {
+    FailpointPlan::Config pc;
+    pc.seed = flags.seed;
+    FailpointPlan plan(pc);
+    plan.ForceAt(FailSite::kWalTornWrite, 0, 32 + flags.seed % 32,
+                 FailAction::kFail);
+    FailpointScope scope(plan);
+    Engine engine(tm, *dyn, ec);
+    engine.Start();
+    for (uint64_t r = 0; r < requests; ++r) {
+      engine.Offer(gen.NextRequest());
+      if ((r & 0xf) == 0) engine.TryReadmit(4);
+    }
+    engine.Drain();
+
+    ++totals.runs;
+    if (writer.crashed()) ++totals.crashes;
+    const serving::AdmissionController& ac = engine.admission();
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    for (int t = 0; t < serving::kNumTenants; ++t) {
+      const serving::Tenant tenant = static_cast<serving::Tenant>(t);
+      offered += ac.Offered(tenant);
+      admitted += ac.Admitted(tenant);
+    }
+    if (offered != requests) {
+      err = "offered drift under log crash: " + std::to_string(offered) +
+            " != " + std::to_string(requests);
+    } else if (!ac.Conserved()) {
+      err = "disposition conservation broken by the log crash";
+    } else if (engine.ExecutedTotal() != admitted) {
+      err = "executed " + std::to_string(engine.ExecutedTotal()) +
+            " != admitted " + std::to_string(admitted) + " under log crash";
+    }
+  }
+  const SchedulerStats stats = tm.AggregatedStats();
+  totals.wal_records += stats.wal_records;
+  totals.wal_bytes += stats.wal_bytes;
+  totals.wal_fsyncs += writer.fsyncs();
+
+  // Recover the serving graph and re-serve on top of it.
+  DynamicGraph rec(VertexId{64});
+  if (!err) {
+    const WalRecoveryResult res = RecoverFromWal(&rec, wal_path);
+    totals.replayed += res.replayed;
+    if (res.torn_tail) ++totals.torn_tails;
+    if (res.last_seq < writer.durable_seq()) {
+      err = "serve recovery lost acked commits";
+    }
+    rec.EnsureVerticesQuiesced(VertexId{64});
+    if (!err) {
+      if (auto inv = rec.CheckInvariantsQuiesced()) err = inv;
+    }
+  }
+  if (!err) {
+    FaultyHtm htm2;
+    Scheduler tm2(htm2, rec.capacity(), cfg);
+    BasicWalWriter<StressFailpoints> writer2(wal2_path);
+    tm2.EnableWal(&writer2);
+    Engine engine2(tm2, rec, ec);
+    engine2.Start();
+    const uint64_t requests2 = requests / 4;
+    for (uint64_t r = 0; r < requests2; ++r) {
+      engine2.Offer(gen.NextRequest());
+      if ((r & 0xf) == 0) engine2.TryReadmit(4);
+    }
+    engine2.Drain();
+    ++totals.runs;
+    const serving::AdmissionController& ac2 = engine2.admission();
+    uint64_t offered2 = 0;
+    uint64_t admitted2 = 0;
+    for (int t = 0; t < serving::kNumTenants; ++t) {
+      const serving::Tenant tenant = static_cast<serving::Tenant>(t);
+      offered2 += ac2.Offered(tenant);
+      admitted2 += ac2.Admitted(tenant);
+    }
+    if (offered2 != requests2) {
+      err = "re-admitted traffic miscounted after recovery: " +
+            std::to_string(offered2) + " != " + std::to_string(requests2);
+    } else if (!ac2.Conserved()) {
+      err = "disposition conservation broken after recovery";
+    } else if (engine2.ExecutedTotal() != admitted2) {
+      err = "double-count after recovery: executed " +
+            std::to_string(engine2.ExecutedTotal()) + " != admitted " +
+            std::to_string(admitted2);
+    }
+    const SchedulerStats stats2 = tm2.AggregatedStats();
+    totals.wal_records += stats2.wal_records;
+    totals.wal_bytes += stats2.wal_bytes;
+    totals.wal_fsyncs += writer2.fsyncs();
+  }
+  if (err) {
+    std::fprintf(stderr,
+                 "FAIL serve crash: %s\n"
+                 "replay: --crash-chaos --seed=%llu --threads=%d\n",
+                 err->c_str(), static_cast<unsigned long long>(flags.seed),
+                 flags.threads);
+    return false;
+  }
+  std::remove(wal_path.c_str());
+  std::remove(wal2_path.c_str());
+  return true;
+}
+
 int Main(int argc, char** argv) {
   const BenchFlags flags = BenchFlags::Parse(argc, argv, /*default_scale=*/1.0);
   const uint64_t seeds =
       flags.quick ? 2 : static_cast<uint64_t>(8 * flags.scale + 0.5);
+
+  if (flags.crash_chaos) {
+    CrashChaosTotals ct;
+    bool ok = true;
+    ok = ok && CrashChaosScheduler<TuFastScheduler<FaultyHtm>>("tufast", flags,
+                                                               ct);
+    ok = ok && CrashChaosScheduler<TwoPhaseLocking<FaultyHtm>>("2pl", flags,
+                                                               ct);
+    ok = ok && CrashChaosScheduler<SiloOcc<FaultyHtm>>("silo", flags, ct);
+    ok = ok &&
+         CrashChaosScheduler<TimestampOrdering<FaultyHtm>>("to", flags, ct);
+    ok = ok && CrashChaosScheduler<TinyStm<FaultyHtm>>("tinystm", flags, ct);
+    ok = ok && CrashChaosScheduler<HsyncHybrid<FaultyHtm>>("hsync", flags, ct);
+    ok = ok && CrashChaosScheduler<HtmTimestampOrdering<FaultyHtm>>("hto",
+                                                                    flags, ct);
+    ok = ok && RunServeCrash(flags, ct);
+    ReportTable table({"metric", "value"});
+    table.AddRow({"crash runs", ReportTable::Int(ct.runs)});
+    table.AddRow({"forced crashes", ReportTable::Int(ct.crashes)});
+    table.AddRow({"wal records published", ReportTable::Int(ct.wal_records)});
+    table.AddRow({"wal payload bytes", ReportTable::Int(ct.wal_bytes)});
+    table.AddRow({"wal fsyncs", ReportTable::Int(ct.wal_fsyncs)});
+    table.AddRow({"records replayed", ReportTable::Int(ct.replayed)});
+    table.AddRow({"torn tails detected", ReportTable::Int(ct.torn_tails)});
+    table.AddRow({"checkpoint recoveries",
+                  ReportTable::Int(ct.checkpoint_recoveries)});
+    table.AddRow({"verdict", ok ? "PASS" : "FAIL"});
+    table.Print("stress fuzz (crash chaos)");
+    return ok ? 0 : 1;
+  }
 
   if (flags.serve_chaos) {
     ServeChaosTotals st;

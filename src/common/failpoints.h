@@ -42,6 +42,10 @@ enum class FailSite : uint8_t {
   kServeDeferFull,        // ServeEngine defer path: force defer-queue full
   kCombinerSlotFull,      // Combiner announce: force a slot-array overflow
   kOwnerHandoff,          // Combiner collect: truncate the sweep mid-batch
+  kWalTornWrite,          // WAL flush: corrupt a bit inside the tail record
+  kWalShortWrite,         // WAL flush: persist only a prefix of the tail
+  kCrashBeforeFsync,      // WAL flush: crash after write, before fsync
+  kCheckpointPartial,     // Checkpoint: crash between tmp write and rename
   kNumSites
 };
 
@@ -71,6 +75,10 @@ inline const char* FailSiteName(FailSite s) {
     case FailSite::kServeDeferFull: return "serve_defer_full";
     case FailSite::kCombinerSlotFull: return "combiner_slot_full";
     case FailSite::kOwnerHandoff: return "owner_handoff";
+    case FailSite::kWalTornWrite: return "wal_torn_write";
+    case FailSite::kWalShortWrite: return "wal_short_write";
+    case FailSite::kCrashBeforeFsync: return "crash_before_fsync";
+    case FailSite::kCheckpointPartial: return "checkpoint_partial";
     default: return "?";
   }
 }

@@ -1,0 +1,57 @@
+#ifndef TUFAST_DURABILITY_CRC32_H_
+#define TUFAST_DURABILITY_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tufast {
+
+/// Plain table-driven CRC-32 (IEEE 802.3 polynomial, reflected). Used to
+/// frame WAL records and to footer checkpoint / SaveBinary files. Not
+/// hardware-accelerated on purpose: durability verification must give the
+/// same answer on every build, and the streamed volumes (one record per
+/// commit batch) are far below the point where SSE4.2 CRC would matter.
+class Crc32 {
+ public:
+  static uint32_t Compute(const void* data, size_t len,
+                          uint32_t seed = 0xFFFFFFFFu) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    uint32_t crc = seed;
+    for (size_t i = 0; i < len; ++i) {
+      crc = Table()[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    }
+    return crc;
+  }
+
+  /// Finalize a chained Compute sequence (seed each call with the prior
+  /// raw value, then xor-out once at the end).
+  static uint32_t Finalize(uint32_t raw) { return raw ^ 0xFFFFFFFFu; }
+
+  /// One-shot convenience: checksum of a single buffer.
+  static uint32_t Of(const void* data, size_t len) {
+    return Finalize(Compute(data, len));
+  }
+
+ private:
+  static const uint32_t* Table() {
+    static const auto table = [] {
+      struct T {
+        uint32_t v[256];
+      };
+      T t{};
+      for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+          c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        }
+        t.v[i] = c;
+      }
+      return t;
+    }();
+    return table.v;
+  }
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_DURABILITY_CRC32_H_

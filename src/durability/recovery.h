@@ -1,0 +1,214 @@
+#ifndef TUFAST_DURABILITY_RECOVERY_H_
+#define TUFAST_DURABILITY_RECOVERY_H_
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/failpoints.h"
+#include "durability/crc32.h"
+#include "durability/wal.h"
+#include "graph/builder.h"
+#include "graph/dynamic/dynamic_graph.h"
+#include "graph/graph.h"
+
+namespace tufast {
+
+/// Checkpoint + replay companion to the WAL (DESIGN.md "Durability &
+/// crash recovery"). A checkpoint is a CRC-footered snapshot of the
+/// quiesced DynamicGraph written atomically (tmp + fsync + rename), so
+/// at any crash point the checkpoint file is either the complete old
+/// snapshot, the complete new one, or absent — never torn. After a
+/// checkpoint the WAL can be truncated: recovery loads the snapshot and
+/// replays only records with seq greater than the snapshot's last_seq.
+
+/// Checkpoint file layout, little-endian:
+///   [8B magic "tuFastCk"][u32 version][u32 weighted][u64 last_seq]
+///   [u64 n][u64 m][(n+1) x u64 offsets][m x u32 targets]
+///   [m x u32 weights iff weighted][u32 crc over everything before]
+inline constexpr char kCheckpointMagic[8] = {'t', 'u', 'F', 'a',
+                                             's', 't', 'C', 'k'};
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+namespace ckpt_internal {
+
+inline void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  wal_internal::PutU32(out, v);
+}
+inline void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  wal_internal::PutU64(out, v);
+}
+
+}  // namespace ckpt_internal
+
+/// Serializes the quiesced graph (+ the WAL sequence number its state
+/// reflects) into `path`. Returns false if any I/O step failed or the
+/// kCheckpointPartial failpoint simulated a crash — in both cases the
+/// previous checkpoint (if any) is what recovery will see, except under
+/// the failpoint, which deliberately leaves a torn file at `path` to
+/// exercise the CRC validation path.
+template <typename FailpointsT = NullFailpoints>
+bool WriteCheckpoint(const DynamicGraph& graph, const std::string& path,
+                     uint64_t last_seq) {
+  const Graph g = graph.Freeze();
+  const uint64_t n = g.NumVertices();
+  const uint64_t m = g.NumEdges();
+  const bool weighted = graph.HasWeights();
+
+  std::vector<uint8_t> buf;
+  buf.reserve(48 + (n + 1) * 8 + m * (weighted ? 8 : 4));
+  buf.insert(buf.end(), kCheckpointMagic, kCheckpointMagic + 8);
+  ckpt_internal::PutU32(buf, kCheckpointVersion);
+  ckpt_internal::PutU32(buf, weighted ? 1 : 0);
+  ckpt_internal::PutU64(buf, last_seq);
+  ckpt_internal::PutU64(buf, n);
+  ckpt_internal::PutU64(buf, m);
+  for (VertexId u = 0; u <= n; ++u) {
+    ckpt_internal::PutU64(buf, u == 0 ? 0 : g.EdgeEnd(u - 1));
+  }
+  for (EdgeId e = 0; e < m; ++e) ckpt_internal::PutU32(buf, g.EdgeTarget(e));
+  if (weighted) {
+    for (EdgeId e = 0; e < m; ++e) {
+      ckpt_internal::PutU32(buf, g.EdgeWeight(e));
+    }
+  }
+  ckpt_internal::PutU32(buf, Crc32::Of(buf.data(), buf.size()));
+
+  if constexpr (FailpointsT::kEnabled) {
+    if (FailpointsT::Hit(FailSite::kCheckpointPartial, 0) !=
+        FailAction::kNone) {
+      // Simulated kill mid-checkpoint on a filesystem without atomic
+      // rename: half the image lands at the final path. The CRC footer
+      // is what lets recovery reject it.
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      if (f == nullptr) return false;
+      std::fwrite(buf.data(), 1, buf.size() / 2, f);
+      std::fclose(f);
+      return false;
+    }
+  }
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  const bool flushed = wrote && std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Validates and loads a checkpoint into `graph` (quiesced). Returns
+/// false — leaving the graph untouched — on a missing file, bad magic,
+/// version mismatch, or CRC failure.
+inline bool LoadCheckpointInto(DynamicGraph* graph, const std::string& path,
+                               uint64_t* last_seq) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> buf(size > 0 ? static_cast<size_t>(size) : 0);
+  const bool read_ok =
+      !buf.empty() && std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  // Fixed header (40B) + CRC footer is the minimum well-formed file.
+  if (!read_ok || buf.size() < 44) return false;
+  const size_t body = buf.size() - wal_internal::kCrcBytes;
+  if (wal_internal::GetU32(buf.data() + body) != Crc32::Of(buf.data(), body)) {
+    return false;
+  }
+  if (!std::equal(kCheckpointMagic, kCheckpointMagic + 8, buf.data())) {
+    return false;
+  }
+  if (wal_internal::GetU32(buf.data() + 8) != kCheckpointVersion) return false;
+  const bool weighted = wal_internal::GetU32(buf.data() + 12) != 0;
+  const uint64_t seq = wal_internal::GetU64(buf.data() + 16);
+  const uint64_t n = wal_internal::GetU64(buf.data() + 24);
+  const uint64_t m = wal_internal::GetU64(buf.data() + 32);
+  const size_t expect = 40 + (n + 1) * 8 + m * (weighted ? 8 : 4);
+  if (body != expect) return false;
+
+  const uint8_t* offsets = buf.data() + 40;
+  const uint8_t* targets = offsets + (n + 1) * 8;
+  const uint8_t* weights = targets + m * 4;
+  GraphBuilder builder(static_cast<VertexId>(n));
+  builder.Reserve(m);
+  for (uint64_t u = 0; u < n; ++u) {
+    const uint64_t begin = wal_internal::GetU64(offsets + u * 8);
+    const uint64_t end = wal_internal::GetU64(offsets + (u + 1) * 8);
+    if (begin > end || end > m) return false;
+    for (uint64_t e = begin; e < end; ++e) {
+      const VertexId t =
+          static_cast<VertexId>(wal_internal::GetU32(targets + e * 4));
+      if (weighted) {
+        builder.AddEdge(static_cast<VertexId>(u), t,
+                        wal_internal::GetU32(weights + e * 4));
+      } else {
+        builder.AddEdge(static_cast<VertexId>(u), t);
+      }
+    }
+  }
+  graph->LoadCsrQuiesced(builder.Build({.remove_self_loops = false,
+                                        .remove_duplicate_edges = false,
+                                        .sort_neighbors = true}));
+  *last_seq = seq;
+  return true;
+}
+
+/// Outcome of RecoverFromWal, for telemetry and the crash harness.
+struct WalRecoveryResult {
+  uint64_t last_seq = 0;    ///< Highest sequence number applied.
+  uint64_t replayed = 0;    ///< Records replayed from the log.
+  bool torn_tail = false;   ///< Log ended in a torn/corrupt record.
+  bool from_checkpoint = false;  ///< A valid checkpoint seeded the state.
+};
+
+/// Rebuilds `graph` (quiesced, caller-constructed with enough capacity)
+/// to the prefix-consistent durable state: the checkpoint image (when
+/// `checkpoint_path` names a valid one), then every whole, checksummed
+/// WAL record with a higher sequence number, in log order. A torn or
+/// corrupt record ends replay — everything after it is discarded, which
+/// is exactly the un-acked suffix. Records are applied atomically
+/// (record = one committed transaction), so no partial transaction is
+/// ever visible in the recovered graph.
+inline WalRecoveryResult RecoverFromWal(
+    DynamicGraph* graph, const std::string& wal_path,
+    const std::string& checkpoint_path = "") {
+  WalRecoveryResult result;
+  uint64_t base_seq = 0;
+  if (!checkpoint_path.empty() &&
+      LoadCheckpointInto(graph, checkpoint_path, &base_seq)) {
+    result.from_checkpoint = true;
+    result.last_seq = base_seq;
+  }
+  const WalScanResult scan =
+      ScanWal(wal_path, [&](const WalRecoveredRecord& rec) {
+        if (rec.seq <= base_seq) return;  // Already in the checkpoint.
+        for (const EdgeUpdate& up : rec.updates) {
+          if (up.src >= graph->NumVertices()) {
+            graph->EnsureVerticesQuiesced(up.src + 1);
+          }
+          graph->ApplyQuiescedUpdate(up);
+        }
+        ++result.replayed;
+        result.last_seq = rec.seq;
+      });
+  result.torn_tail = scan.torn_tail;
+  return result;
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_DURABILITY_RECOVERY_H_

@@ -1,0 +1,378 @@
+#ifndef TUFAST_DURABILITY_WAL_H_
+#define TUFAST_DURABILITY_WAL_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/failpoints.h"
+#include "durability/crc32.h"
+#include "graph/dynamic/edge_update.h"
+
+namespace tufast {
+
+/// Checksummed group-commit write-ahead log (DESIGN.md "Durability &
+/// crash recovery").
+///
+/// On-disk record framing, all fields little-endian:
+///
+///   [u32 len][u64 seq][payload][u32 crc]
+///
+/// `len` is the payload byte count; the payload is `u32 count` followed
+/// by `count` fixed-width updates {u8 op, u32 src, u32 dst, u32 weight};
+/// `crc` covers len + seq + payload. A record is one commit's mutation
+/// batch — under fused commits, one record per fused HTM region. Replay
+/// stops at the first record whose length or CRC does not check out, so
+/// a torn tail (partial write, bit flip) yields exactly the durable
+/// prefix: every record before it is intact, nothing after it is
+/// visible, and no record is ever half-applied.
+
+/// When the writer issues fsync(2). Acks are only durable under
+/// kFsyncEachCommit; kFlushOnly exists to measure the fsync tax apart
+/// from the serialization tax.
+enum class WalSyncPolicy : uint8_t {
+  kFsyncEachCommit = 0,  // fsync on every group-commit flush
+  kFlushOnly,            // fwrite+fflush only; acks are not crash-durable
+};
+
+/// What one Publish appended: the record's log sequence number (0 means
+/// the sink dropped it — writer crashed or closed) and its on-disk size.
+struct WalPublishInfo {
+  uint64_t seq = 0;
+  uint64_t bytes = 0;
+};
+
+/// Type-erased sink so recorders and scheduler hook contexts are not
+/// templated on the writer's failpoint policy.
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  /// Append one commit's updates as a single record to the group-commit
+  /// buffer. Called inside the commit window (vertex ownership held), so
+  /// buffer order == commit serialization order.
+  virtual WalPublishInfo Publish(const EdgeUpdate* updates, size_t count) = 0;
+  /// Group-commit barrier: returns once every record up to `seq` is
+  /// durable (another worker's flush may have already covered us).
+  /// Called after locks are released, before Run() acknowledges.
+  virtual bool Commit(uint64_t seq) = 0;
+};
+
+/// Per-worker staging buffer, the WAL twin of MvccRecorder: transaction
+/// bodies Note() their mutations, the scheduler's publish step hands the
+/// batch to the sink as one record, and the post-release accounting step
+/// drains the counters into SchedulerStats. Never shared across threads.
+class WalRecorder {
+ public:
+  void SetSink(WalSink* sink) { sink_ = sink; }
+  WalSink* sink() const { return sink_; }
+
+  void Note(const EdgeUpdate& up) { updates_.push_back(up); }
+  void Clear() { updates_.clear(); }
+  bool empty() const { return updates_.empty(); }
+
+  /// Appends the staged batch to the sink as one record and clears the
+  /// stage. Must run inside the commit window.
+  void Publish() {
+    if (sink_ == nullptr || updates_.empty()) return;
+    const WalPublishInfo info = sink_->Publish(updates_.data(), updates_.size());
+    updates_.clear();
+    if (info.seq == 0) return;  // writer gone (simulated crash): drop
+    last_seq = info.seq;
+    published_records += 1;
+    published_bytes += info.bytes;
+  }
+
+  /// True while an H-mode transaction owns this recorder. H publish runs
+  /// from the HTM commit hooks, which also fire on O-mode segment
+  /// boundaries — the flag keeps those from touching WAL state.
+  bool hw_armed = false;
+
+  /// Accounting drained by AccountWalCommit after the ack barrier.
+  uint64_t last_seq = 0;
+  uint64_t published_records = 0;
+  uint64_t published_bytes = 0;
+
+ private:
+  WalSink* sink_ = nullptr;
+  std::vector<EdgeUpdate> updates_;
+};
+
+namespace wal_internal {
+
+inline void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+inline void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+constexpr size_t kUpdateBytes = 1 + 4 + 4 + 4;  // op, src, dst, weight
+constexpr size_t kHeaderBytes = 4 + 8;          // len, seq
+constexpr size_t kCrcBytes = 4;
+
+/// Serializes one record into `out`; returns its on-disk byte count.
+inline size_t AppendRecord(std::vector<uint8_t>& out, uint64_t seq,
+                           const EdgeUpdate* updates, size_t count) {
+  const size_t start = out.size();
+  const uint32_t len = static_cast<uint32_t>(4 + kUpdateBytes * count);
+  PutU32(out, len);
+  PutU64(out, seq);
+  PutU32(out, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<uint8_t>(updates[i].op));
+    PutU32(out, updates[i].src);
+    PutU32(out, updates[i].dst);
+    PutU32(out, updates[i].weight);
+  }
+  const uint32_t crc = Crc32::Of(out.data() + start, kHeaderBytes + len);
+  PutU32(out, crc);
+  return out.size() - start;
+}
+
+}  // namespace wal_internal
+
+/// The group-commit writer. Publish appends serialized records to an
+/// in-memory buffer under the writer mutex (drawing the sequence number
+/// there, so file order matches commit order); Commit flushes the whole
+/// buffer — covering every record batched since the last flush — and
+/// fsyncs per policy. Crash failpoints damage the buffered tail exactly
+/// the way a kill -9 mid-write would, then freeze the writer so the rest
+/// of the run behaves like a dead process: publishes drop, commits fail,
+/// durable_seq stays at the last truly-synced record.
+template <typename FailpointsT = NullFailpoints>
+class BasicWalWriter final : public WalSink {
+ public:
+  explicit BasicWalWriter(std::string path,
+                          WalSyncPolicy sync = WalSyncPolicy::kFsyncEachCommit)
+      : path_(std::move(path)), sync_(sync) {
+    file_ = std::fopen(path_.c_str(), "wb");
+  }
+  ~BasicWalWriter() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  BasicWalWriter(const BasicWalWriter&) = delete;
+  BasicWalWriter& operator=(const BasicWalWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  WalPublishInfo Publish(const EdgeUpdate* updates, size_t count) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (file_ == nullptr || crashed_.load(std::memory_order_relaxed) ||
+        count == 0) {
+      return {};
+    }
+    const uint64_t seq = ++next_seq_;
+    last_record_offset_ = pending_.size();
+    const size_t bytes =
+        wal_internal::AppendRecord(pending_, seq, updates, count);
+    buffered_seq_ = seq;
+    records_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return {seq, bytes};
+  }
+
+  bool Commit(uint64_t seq) override {
+    // Fast path: another worker's group-commit flush already covered us.
+    if (durable_seq_.load(std::memory_order_acquire) >= seq) return true;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (durable_seq_.load(std::memory_order_relaxed) >= seq) return true;
+    if (file_ == nullptr || crashed_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    return FlushLocked();
+  }
+
+  /// Drops every durable record after a successful checkpoint rename.
+  /// Quiesced-only: no Publish/Commit may be in flight. Sequence numbers
+  /// keep increasing across the truncation so replay's `seq >
+  /// checkpoint_seq` filter stays monotone.
+  bool Truncate() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (file_ == nullptr || crashed_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    pending_.clear();
+    std::fflush(file_);
+    if (::ftruncate(fileno(file_), 0) != 0) return false;
+    // ftruncate does not move the stdio stream position; without the
+    // rewind the next fwrite would land at the old offset and leave a
+    // zero-filled hole the scanner reads as a torn record.
+    std::rewind(file_);
+    ::fsync(fileno(file_));
+    return true;
+  }
+
+  uint64_t durable_seq() const {
+    return durable_seq_.load(std::memory_order_acquire);
+  }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+  uint64_t records() const { return records_.load(std::memory_order_relaxed); }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  bool FlushLocked() {
+    if (pending_.empty()) return true;
+    if constexpr (FailpointsT::kEnabled) {
+      if (FailpointsT::Hit(FailSite::kWalTornWrite, 0) != FailAction::kNone) {
+        // Bit-flip inside the tail record's payload (its count field):
+        // every earlier record in the batch lands intact, the tail fails
+        // its CRC on replay.
+        std::vector<uint8_t> damaged = pending_;
+        damaged[last_record_offset_ + wal_internal::kHeaderBytes] ^= 0x40;
+        std::fwrite(damaged.data(), 1, damaged.size(), file_);
+        std::fflush(file_);
+        crashed_.store(true, std::memory_order_release);
+        return false;
+      }
+      if (FailpointsT::Hit(FailSite::kWalShortWrite, 0) != FailAction::kNone) {
+        // Persist only half of the tail record, as if the kernel tore the
+        // final write across the crash.
+        const size_t keep =
+            last_record_offset_ + (pending_.size() - last_record_offset_) / 2;
+        std::fwrite(pending_.data(), 1, keep, file_);
+        std::fflush(file_);
+        crashed_.store(true, std::memory_order_release);
+        return false;
+      }
+      if (FailpointsT::Hit(FailSite::kCrashBeforeFsync, 0) !=
+          FailAction::kNone) {
+        // Data reached the file but was never forced down; the ack must
+        // not go out. Recovery legitimately may replay MORE than
+        // durable_seq here — extra un-acked but intact records are fine.
+        std::fwrite(pending_.data(), 1, pending_.size(), file_);
+        std::fflush(file_);
+        crashed_.store(true, std::memory_order_release);
+        return false;
+      }
+    }
+    std::fwrite(pending_.data(), 1, pending_.size(), file_);
+    std::fflush(file_);
+    if (sync_ == WalSyncPolicy::kFsyncEachCommit) {
+      ::fsync(fileno(file_));
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    durable_seq_.store(buffered_seq_, std::memory_order_release);
+    pending_.clear();
+    return true;
+  }
+
+  const std::string path_;
+  const WalSyncPolicy sync_;
+  std::FILE* file_ = nullptr;
+
+  std::mutex mu_;
+  std::vector<uint8_t> pending_;   // serialized records since last flush
+  size_t last_record_offset_ = 0;  // tail record's start within pending_
+  uint64_t next_seq_ = 0;
+  uint64_t buffered_seq_ = 0;
+
+  std::atomic<uint64_t> durable_seq_{0};
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+using WalWriter = BasicWalWriter<NullFailpoints>;
+
+/// One replayable record as scanned back from disk.
+struct WalRecoveredRecord {
+  uint64_t seq = 0;
+  std::vector<EdgeUpdate> updates;
+};
+
+struct WalScanResult {
+  uint64_t last_seq = 0;  // highest seq that passed validation
+  uint64_t records = 0;   // records delivered to the callback
+  bool torn_tail = false;  // scan stopped at a damaged/partial record
+};
+
+/// Walks the log front to back, invoking `fn(const WalRecoveredRecord&)`
+/// for every record whose framing and CRC validate, and stopping at the
+/// first that does not — the replay-to-last-valid-record rule that makes
+/// recovery prefix-consistent. A missing file scans as empty (fresh log).
+template <typename Fn>
+WalScanResult ScanWal(const std::string& path, Fn&& fn) {
+  using namespace wal_internal;
+  WalScanResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return result;
+  std::vector<uint8_t> buf;
+  {
+    uint8_t chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      buf.insert(buf.end(), chunk, chunk + n);
+    }
+  }
+  std::fclose(f);
+
+  size_t off = 0;
+  while (off < buf.size()) {
+    if (buf.size() - off < kHeaderBytes + kCrcBytes) {
+      result.torn_tail = true;
+      break;
+    }
+    const uint32_t len = GetU32(buf.data() + off);
+    if (len < 4 || len > buf.size() - off - kHeaderBytes - kCrcBytes) {
+      result.torn_tail = true;
+      break;
+    }
+    const uint8_t* rec = buf.data() + off;
+    const uint32_t stored_crc = GetU32(rec + kHeaderBytes + len);
+    if (Crc32::Of(rec, kHeaderBytes + len) != stored_crc) {
+      result.torn_tail = true;
+      break;
+    }
+    const uint32_t count = GetU32(rec + kHeaderBytes);
+    if (4 + kUpdateBytes * static_cast<size_t>(count) != len) {
+      result.torn_tail = true;
+      break;
+    }
+    WalRecoveredRecord record;
+    record.seq = GetU64(rec + 4);
+    record.updates.reserve(count);
+    const uint8_t* p = rec + kHeaderBytes + 4;
+    for (uint32_t i = 0; i < count; ++i) {
+      EdgeUpdate up;
+      up.op = static_cast<EdgeUpdate::Op>(p[0]);
+      up.src = GetU32(p + 1);
+      up.dst = GetU32(p + 5);
+      up.weight = GetU32(p + 9);
+      record.updates.push_back(up);
+      p += kUpdateBytes;
+    }
+    result.last_seq = record.seq;
+    result.records += 1;
+    fn(static_cast<const WalRecoveredRecord&>(record));
+    off += kHeaderBytes + len + kCrcBytes;
+  }
+  return result;
+}
+
+}  // namespace tufast
+
+#endif  // TUFAST_DURABILITY_WAL_H_

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 
 #if defined(_WIN32)
@@ -17,6 +19,13 @@ namespace tufast {
 
 namespace {
 std::atomic<uint64_t> g_instance_counter{0};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 }  // namespace
 
 OocEngine::OocEngine(ThreadPool& pool, const Graph& graph, OocConfig config)
@@ -63,10 +72,20 @@ OocEngine::OocEngine(ThreadPool& pool, const Graph& graph, OocConfig config)
   }
 
   staging_.assign(m, kNoMessage);
-  WriteAllShards();
+  // If the initial shard write throws (disk full, bad tmp_dir), the
+  // destructor never runs — without the explicit cleanup, every shard
+  // file written before the failure would leak into tmp_dir.
+  try {
+    WriteAllShards();
+  } catch (...) {
+    RemoveShardFiles();
+    throw;
+  }
 }
 
-OocEngine::~OocEngine() {
+OocEngine::~OocEngine() { RemoveShardFiles(); }
+
+void OocEngine::RemoveShardFiles() {
   for (int s = 0; s < config_.num_intervals; ++s) {
     std::remove(ShardPath(s).c_str());
   }
@@ -102,12 +121,19 @@ void OocEngine::ReadShard(int s) {
   shard_edge_base_ = begin;
   shard_buffer_.resize(end - begin);
   if (end == begin) return;
-  std::FILE* f = std::fopen(ShardPath(s).c_str(), "rb");
-  TUFAST_CHECK(f != nullptr);
+  // I/O failures throw (not abort): a vanished or short shard file is an
+  // environment fault the caller can handle, and the stack unwind keeps
+  // the destructor's shard cleanup reachable.
+  FilePtr f(std::fopen(ShardPath(s).c_str(), "rb"));
+  if (f == nullptr) {
+    throw std::runtime_error("ooc: cannot open shard file " + ShardPath(s));
+  }
   const size_t read =
-      std::fread(shard_buffer_.data(), sizeof(TmWord), end - begin, f);
-  std::fclose(f);
-  TUFAST_CHECK(read == end - begin);
+      std::fread(shard_buffer_.data(), sizeof(TmWord), end - begin, f.get());
+  if (read != end - begin) {
+    throw std::runtime_error("ooc: short read from shard file " +
+                             ShardPath(s));
+  }
   Throttle((end - begin) * sizeof(TmWord));
 }
 
@@ -127,15 +153,20 @@ void OocEngine::WriteAllShards() {
   for (int s = 0; s < config_.num_intervals; ++s) {
     const EdgeId begin = shard_edge_begin_[s];
     const EdgeId end = shard_edge_begin_[s + 1];
-    std::FILE* f = std::fopen(ShardPath(s).c_str(), "wb");
-    TUFAST_CHECK(f != nullptr);
+    FilePtr f(std::fopen(ShardPath(s).c_str(), "wb"));
+    if (f == nullptr) {
+      throw std::runtime_error("ooc: cannot create shard file " +
+                               ShardPath(s));
+    }
     if (end > begin) {
-      const size_t written =
-          std::fwrite(staging_.data() + begin, sizeof(TmWord), end - begin, f);
-      TUFAST_CHECK(written == end - begin);
+      const size_t written = std::fwrite(staging_.data() + begin,
+                                         sizeof(TmWord), end - begin, f.get());
+      if (written != end - begin) {
+        throw std::runtime_error("ooc: short write to shard file " +
+                                 ShardPath(s));
+      }
       Throttle((end - begin) * sizeof(TmWord));
     }
-    std::fclose(f);
   }
 }
 

@@ -59,7 +59,10 @@ class OocEngine {
 
   /// merge(acc, incoming, reversed_pos) folds one incoming edge value
   /// (the reversed position lets SSSP add per-edge weights at gather
-  /// time); for the first message `acc` is kNoMessage.
+  /// time); for the first message `acc` is kNoMessage. Shard I/O
+  /// failures (a deleted or truncated shard file, a full disk) throw
+  /// std::runtime_error; the destructor still removes whatever shard
+  /// files remain.
   template <typename MergeFn, typename ApplyFn>
   void RunIteration(MergeFn&& merge, ApplyFn&& apply) {
     // Sequential over intervals: GraphChi processes one memory-resident
@@ -120,10 +123,11 @@ class OocEngine {
   const Graph& reversed() const { return reversed_; }
 
  private:
-  void ReadShard(int s);
-  void WriteAllShards();
+  void ReadShard(int s);       // Throws std::runtime_error on I/O failure.
+  void WriteAllShards();       // Throws std::runtime_error on I/O failure.
   void Throttle(uint64_t bytes);
   std::string ShardPath(int s) const;
+  void RemoveShardFiles();
 
   ThreadPool& pool_;
   const Graph& graph_;

@@ -185,6 +185,44 @@ void DynamicGraph::CompactQuiesced() {
   for (VertexId u = 0; u < n; ++u) WriteChainQuiesced(u, live[u]);
 }
 
+namespace {
+
+/// Transaction-shaped shim over plain memory for the quiesced apply
+/// path. Deliberately has no WalNote: replaying a recovered record must
+/// not re-log it.
+struct QuiescedShim {
+  TmWord Read(VertexId /*v*/, const TmWord* addr) { return *addr; }
+  TmWord ReadForUpdate(VertexId /*v*/, const TmWord* addr) { return *addr; }
+  void Write(VertexId /*v*/, TmWord* addr, TmWord value) { *addr = value; }
+};
+
+}  // namespace
+
+void DynamicGraph::ApplyQuiescedUpdate(const EdgeUpdate& up,
+                                       ApplyResult* res) {
+  TUFAST_CHECK(up.src < NumVertices());
+  TUFAST_CHECK(up.dst < capacity_);
+  std::vector<uint64_t> spares;
+  if (up.op == EdgeUpdate::Op::kInsert) GrabSpares(1, &spares);
+  size_t spares_used = 0;
+  ApplyResult local;
+  QuiescedShim shim;
+  ApplyOneInTxn(shim, up.src, up, spares, &spares_used, &local);
+  ReturnSpares(std::span<const uint64_t>(spares).subspan(spares_used));
+  if (res != nullptr) res->Merge(local);
+}
+
+void DynamicGraph::EnsureVerticesQuiesced(VertexId n) {
+  TUFAST_CHECK(n <= capacity_);
+  const VertexId cur = num_vertices_.load(std::memory_order_relaxed);
+  if (n <= cur) return;
+  for (VertexId v = cur; v < n; ++v) {
+    heads_[v] = 0;
+    degree_[v] = 0;
+  }
+  num_vertices_.store(n, std::memory_order_release);
+}
+
 std::optional<std::string> DynamicGraph::CheckInvariantsQuiesced() const {
   const VertexId n = NumVertices();
   const uint64_t allocated = AllocatedBlocks();

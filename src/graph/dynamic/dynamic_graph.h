@@ -14,50 +14,13 @@
 #include "common/spin.h"
 #include "common/types.h"
 #include "graph/builder.h"
+#include "graph/dynamic/edge_update.h"
 #include "graph/graph.h"
 #include "htm/htm_config.h"
 #include "tm/batch_executor.h"
 #include "tm/outcome.h"
 
 namespace tufast {
-
-/// One streaming mutation. `weight` is ignored by kDelete and by
-/// unweighted graphs.
-struct EdgeUpdate {
-  enum class Op : uint8_t { kInsert = 0, kDelete, kUpdateWeight };
-
-  Op op = Op::kInsert;
-  VertexId src = 0;
-  VertexId dst = 0;
-  uint32_t weight = 0;
-
-  static EdgeUpdate Insert(VertexId u, VertexId v, uint32_t w = 0) {
-    return {Op::kInsert, u, v, w};
-  }
-  static EdgeUpdate Delete(VertexId u, VertexId v) {
-    return {Op::kDelete, u, v, 0};
-  }
-  static EdgeUpdate Reweight(VertexId u, VertexId v, uint32_t w) {
-    return {Op::kUpdateWeight, u, v, w};
-  }
-};
-
-/// Per-call mutation outcome tally. `inserted - removed` is the committed
-/// change to the live edge count — the quantity the edge-count
-/// conservation stress invariant audits against TotalLiveEdges().
-struct ApplyResult {
-  uint64_t inserted = 0;  // new edges materialized
-  uint64_t updated = 0;   // weight rewrites of already-present edges
-  uint64_t removed = 0;   // live edges tombstoned
-  uint64_t missing = 0;   // delete/reweight of an absent edge
-
-  void Merge(const ApplyResult& other) {
-    inserted += other.inserted;
-    updated += other.updated;
-    removed += other.removed;
-    missing += other.missing;
-  }
-};
 
 /// One vertex's adjacency as observed by a single committed transaction:
 /// the degree counter and every live slot, read atomically together.
@@ -421,6 +384,15 @@ class DynamicGraph {
   /// violation description, or nullopt when consistent.
   std::optional<std::string> CheckInvariantsQuiesced() const;
 
+  /// Applies one update without any transaction machinery (quiesced
+  /// bulk path): WAL recovery replays committed records through this so
+  /// the rebuild neither takes locks nor re-logs.
+  void ApplyQuiescedUpdate(const EdgeUpdate& up, ApplyResult* res = nullptr);
+
+  /// Grows the live-vertex count to at least `n` (quiesced), formalizing
+  /// the zeroed per-vertex words like AddVertex does transactionally.
+  void EnsureVerticesQuiesced(VertexId n);
+
  private:
   /// One cache line: a link word (block index + 1, 0 = end of chain)
   /// followed by kSlotsPerBlock edge slots.
@@ -540,6 +512,12 @@ class DynamicGraph {
   void ApplyOneInTxn(Txn& txn, VertexId u, const EdgeUpdate& up,
                      std::span<const uint64_t> spares, size_t* spares_used,
                      ApplyResult* res) {
+    // Durable builds: stage the logical mutation for the WAL. Staging is
+    // idempotent across re-executions — aborted attempts clear the stage
+    // (Reset / on_begin hook) before the body re-runs, so exactly the
+    // committed execution's notes publish. Recovery's replay shim has no
+    // WalNote, so replayed updates are not re-logged.
+    if constexpr (requires { txn.WalNote(up); }) txn.WalNote(up);
     // Full-chain scan: the first matching slot decides presence; the
     // first dead slot is remembered for tombstone reuse; `link_addr`
     // ends at the tail's link word for appending a spare block. All

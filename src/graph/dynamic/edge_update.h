@@ -1,0 +1,53 @@
+#ifndef TUFAST_GRAPH_DYNAMIC_EDGE_UPDATE_H_
+#define TUFAST_GRAPH_DYNAMIC_EDGE_UPDATE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace tufast {
+
+/// One streaming mutation. `weight` is ignored by kDelete and by
+/// unweighted graphs. Lives in its own header (rather than
+/// dynamic_graph.h) because the durability layer logs EdgeUpdates and
+/// the tm/ hook seam must see the type without pulling in the full
+/// DynamicGraph (which itself includes tm/batch_executor.h).
+struct EdgeUpdate {
+  enum class Op : uint8_t { kInsert = 0, kDelete, kUpdateWeight };
+
+  Op op = Op::kInsert;
+  VertexId src = 0;
+  VertexId dst = 0;
+  uint32_t weight = 0;
+
+  static EdgeUpdate Insert(VertexId u, VertexId v, uint32_t w = 0) {
+    return {Op::kInsert, u, v, w};
+  }
+  static EdgeUpdate Delete(VertexId u, VertexId v) {
+    return {Op::kDelete, u, v, 0};
+  }
+  static EdgeUpdate Reweight(VertexId u, VertexId v, uint32_t w) {
+    return {Op::kUpdateWeight, u, v, w};
+  }
+};
+
+/// Per-call mutation outcome tally. `inserted - removed` is the committed
+/// change to the live edge count — the quantity the edge-count
+/// conservation stress invariant audits against TotalLiveEdges().
+struct ApplyResult {
+  uint64_t inserted = 0;  // new edges materialized
+  uint64_t updated = 0;   // weight rewrites of already-present edges
+  uint64_t removed = 0;   // live edges tombstoned
+  uint64_t missing = 0;   // delete/reweight of an absent edge
+
+  void Merge(const ApplyResult& other) {
+    inserted += other.inserted;
+    updated += other.updated;
+    removed += other.removed;
+    missing += other.missing;
+  }
+};
+
+}  // namespace tufast
+
+#endif  // TUFAST_GRAPH_DYNAMIC_EDGE_UPDATE_H_

@@ -5,13 +5,20 @@
 #include <memory>
 #include <vector>
 
+#include "durability/crc32.h"
 #include "graph/builder.h"
 
 namespace tufast {
 
 namespace {
 
-constexpr uint64_t kBinaryMagic = 0x7475466173744731ULL;  // "tuFastG1"
+// Version 1 ("tuFastG1") files carry no checksum; version 2 ("tuFastG2")
+// appends a CRC-32 footer over the header and body, so silent on-disk
+// corruption (bit flips, truncation past the size checks) is detected at
+// load instead of surfacing as wrong analytics results. SaveBinary
+// always writes version 2; LoadBinary accepts both.
+constexpr uint64_t kBinaryMagicV1 = 0x7475466173744731ULL;  // "tuFastG1"
+constexpr uint64_t kBinaryMagicV2 = 0x7475466173744732ULL;  // "tuFastG2"
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -93,7 +100,7 @@ Status SaveBinary(const Graph& graph, const std::string& path) {
   const uint64_t n = graph.NumVertices();
   const uint64_t m = graph.NumEdges();
   const uint64_t weighted = graph.HasWeights() ? 1 : 0;
-  const uint64_t header[4] = {kBinaryMagic, n, m, weighted};
+  const uint64_t header[4] = {kBinaryMagicV2, n, m, weighted};
   if (std::fwrite(header, sizeof(header), 1, file.get()) != 1 ||
       std::fwrite(graph.offsets().data(), sizeof(EdgeId), n + 1,
                   file.get()) != n + 1 ||
@@ -102,6 +109,19 @@ Status SaveBinary(const Graph& graph, const std::string& path) {
       (weighted != 0 && m > 0 &&
        std::fwrite(graph.weights().data(), sizeof(uint32_t), m, file.get()) !=
            m)) {
+    return Status::IoError("short write to " + path);
+  }
+  // CRC-32 footer over exactly the bytes written above, in file order.
+  uint32_t crc = Crc32::Compute(header, sizeof(header));
+  crc = Crc32::Compute(graph.offsets().data(), (n + 1) * sizeof(EdgeId), crc);
+  if (m > 0) {
+    crc = Crc32::Compute(graph.targets().data(), m * sizeof(VertexId), crc);
+    if (weighted != 0) {
+      crc = Crc32::Compute(graph.weights().data(), m * sizeof(uint32_t), crc);
+    }
+  }
+  const uint32_t footer = Crc32::Finalize(crc);
+  if (std::fwrite(&footer, sizeof(footer), 1, file.get()) != 1) {
     return Status::IoError("short write to " + path);
   }
   return Status::Ok();
@@ -115,9 +135,10 @@ StatusOr<Graph> LoadBinary(const std::string& path) {
   if (std::fread(header, sizeof(header), 1, file.get()) != 1) {
     return Status::IoError(path + ": truncated header");
   }
-  if (header[0] != kBinaryMagic) {
+  if (header[0] != kBinaryMagicV1 && header[0] != kBinaryMagicV2) {
     return Status::InvalidArgument(path + ": not a tufast binary graph");
   }
+  const bool has_crc = header[0] == kBinaryMagicV2;
   const uint64_t n = header[1], m = header[2], weighted = header[3];
   if (weighted > 1) {
     return Status::InvalidArgument(path + ": bad weighted flag " +
@@ -132,10 +153,12 @@ StatusOr<Graph> LoadBinary(const std::string& path) {
     return Status::IoError(path + ": cannot seek");
   }
   const long file_size = std::ftell(file.get());
-  if (file_size < static_cast<long>(sizeof(header))) {
+  const uint64_t trailer = has_crc ? sizeof(uint32_t) : 0;
+  if (file_size < static_cast<long>(sizeof(header) + trailer)) {
     return Status::IoError(path + ": cannot size");
   }
-  const uint64_t body = static_cast<uint64_t>(file_size) - sizeof(header);
+  const uint64_t body =
+      static_cast<uint64_t>(file_size) - sizeof(header) - trailer;
   const uint64_t per_edge = sizeof(VertexId) + (weighted != 0 ? 4 : 0);
   if (n >= body / sizeof(EdgeId) || m > body / per_edge ||
       (n + 1) * sizeof(EdgeId) + m * per_edge != body) {
@@ -157,6 +180,23 @@ StatusOr<Graph> LoadBinary(const std::string& path) {
       (weighted != 0 && m > 0 &&
        std::fread(weights.data(), sizeof(uint32_t), m, file.get()) != m)) {
     return Status::IoError(path + ": truncated body");
+  }
+  if (has_crc) {
+    uint32_t footer = 0;
+    if (std::fread(&footer, sizeof(footer), 1, file.get()) != 1) {
+      return Status::IoError(path + ": truncated checksum footer");
+    }
+    uint32_t crc = Crc32::Compute(header, sizeof(header));
+    crc = Crc32::Compute(offsets.data(), (n + 1) * sizeof(EdgeId), crc);
+    if (m > 0) {
+      crc = Crc32::Compute(targets.data(), m * sizeof(VertexId), crc);
+      if (weighted != 0) {
+        crc = Crc32::Compute(weights.data(), m * sizeof(uint32_t), crc);
+      }
+    }
+    if (Crc32::Finalize(crc) != footer) {
+      return Status::InvalidArgument(path + ": checksum mismatch");
+    }
   }
   if (offsets.front() != 0 || offsets.back() != m) {
     return Status::InvalidArgument(path + ": inconsistent CSR offsets");

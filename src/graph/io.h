@@ -18,15 +18,18 @@ namespace tufast {
 /// line longer than 1 MiB is rejected as corrupt input.
 StatusOr<Graph> LoadEdgeList(const std::string& path);
 
-/// Compact binary CSR format (magic + counts + raw arrays), for fast
-/// reload of generated datasets between bench runs.
+/// Compact binary CSR format (magic + counts + raw arrays + CRC-32
+/// footer), for fast reload of generated datasets between bench runs.
+/// Writes version 2 ("tuFastG2"); the footer covers header and body.
 Status SaveBinary(const Graph& graph, const std::string& path);
 
-/// Loads a SaveBinary file. The header's vertex/edge counts are checked
-/// against the actual file size before anything is allocated, and the
-/// CSR arrays are validated (offsets start at 0, end at m, monotonic;
-/// targets in range) — corrupt files yield InvalidArgument, never a
-/// bad_alloc or an out-of-bounds graph.
+/// Loads a SaveBinary file — current "tuFastG2" (checksummed) or legacy
+/// "tuFastG1" (no footer). The header's vertex/edge counts are checked
+/// against the actual file size before anything is allocated, the CRC
+/// footer (when present) is verified, and the CSR arrays are validated
+/// (offsets start at 0, end at m, monotonic; targets in range) —
+/// corrupt files yield InvalidArgument, never a bad_alloc or an
+/// out-of-bounds graph.
 StatusOr<Graph> LoadBinary(const std::string& path);
 
 }  // namespace tufast

@@ -123,6 +123,37 @@ class BasicEmulatedHtm {
     return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
   }
 
+  /// Non-transactional load that serializes with transactional WRITERS
+  /// of addr's line: a writer past its commit point (it may already be
+  /// flushing buffered values) is waited out so the load observes its
+  /// write-back, and a writer before its commit point is doomed
+  /// (requester-wins) so the value returned here can never be silently
+  /// overwritten by an already-validated commit. Readers of the line are
+  /// left untouched — this is the read-side counterpart of NonTxStore,
+  /// for lock/metadata words that hardware paths write transactionally.
+  /// The native backend uses a plain load (a real XEND is atomic; there
+  /// is no window where a committed transaction is still flushing).
+  TmWord DrainLoad(const TmWord* addr) {
+    LineEntry& e = EntryFor(htm_internal::LineOf(addr));
+    Backoff backoff;
+    while (true) {
+      LockEntry(e);
+      const int16_t writer = e.writer.load(std::memory_order_relaxed);
+      if (writer < 0 || !DoomWriterMustWait(writer)) {
+        // No writer, or one doomed before its commit point: its buffered
+        // write can never land, so current memory is committed state.
+        const TmWord value = __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+        UnlockEntry(e);
+        return value;
+      }
+      UnlockEntry(e);
+      // Committing writer: wait (yielding) for its write-back to drain.
+      while (e.writer.load(std::memory_order_acquire) == writer) {
+        backoff.Pause();
+      }
+    }
+  }
+
  private:
   friend class Tx;
 

@@ -51,6 +51,11 @@ class NativeHtm {
     return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
   }
 
+  /// A real XEND is atomic — no window where a committed transaction is
+  /// still flushing — so the emulated backend's drain degenerates to a
+  /// plain load here.
+  TmWord DrainLoad(const TmWord* addr) { return NonTxLoad(addr); }
+
  private:
   HtmConfig config_;
 };

@@ -80,6 +80,7 @@ concept HtmBackend = requires(H& htm, typename H::Tx& tx, TmWord* addr,
   { htm.NonTxStore(addr, value) } -> std::same_as<void>;
   htm.NotifyNonTxWrite(addr);
   { H::NonTxLoad(caddr) } -> std::same_as<TmWord>;
+  { htm.DrainLoad(caddr) } -> std::same_as<TmWord>;
 };
 
 }  // namespace tufast

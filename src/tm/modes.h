@@ -8,6 +8,7 @@
 #include "common/compiler.h"
 #include "common/failpoints.h"
 #include "common/types.h"
+#include "durability/wal.h"
 #include "htm/htm_config.h"
 #include "mvcc/version_store.h"
 #include "sync/lock_manager.h"
@@ -39,10 +40,14 @@ template <typename Htm, typename Table = LockTable<Htm>>
 class HTxn {
  public:
   /// `recorder` (optional, MVCC builds) collects (vertex, addr) for every
-  /// Write so the HTM commit hook can install pre-image versions.
+  /// Write so the HTM commit hook can install pre-image versions. `wal`
+  /// (optional, durable builds) stages logical graph mutations; arming it
+  /// scopes the shared Tx commit hooks to this hardware transaction.
   HTxn(typename Htm::Tx& htx, const Table& locks,
-       MvccRecorder* recorder = nullptr)
-      : htx_(htx), locks_(locks), recorder_(recorder) {}
+       MvccRecorder* recorder = nullptr, WalRecorder* wal = nullptr)
+      : htx_(htx), locks_(locks), recorder_(recorder), wal_(wal) {
+    if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->hw_armed = true;
+  }
 
   TUFAST_ALWAYS_INLINE TmWord Read(VertexId v, const TmWord* addr) {
     ++ops_;
@@ -88,10 +93,18 @@ class HTxn {
   uint64_t ops() const { return ops_; }
   void ResetOps() { ops_ = 0; }
 
+  /// Durable builds: stage one logical mutation for the WAL. The commit
+  /// hook publishes the staged batch as a single record at pre_publish.
+  void WalNote(const EdgeUpdate& up) {
+    if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+  }
+  WalRecorder* wal_recorder() const { return wal_; }
+
  private:
   typename Htm::Tx& htx_;
   const Table& locks_;
   MvccRecorder* recorder_;
+  WalRecorder* wal_ = nullptr;
   uint64_t ops_ = 0;
 };
 
@@ -118,6 +131,9 @@ class OTxn {
   /// (Config::enable_mvcc). Call before the first Run.
   void SetMvcc(Mvcc* mvcc) { mvcc_ = mvcc; }
 
+  /// Opts this context into WAL staging (Config::enable_wal).
+  void SetWal(WalRecorder* wal) { wal_ = wal; }
+
   /// Prepares for one attempt with the given hardware-segment length.
   void Reset(uint32_t period) {
     period_ = period;
@@ -126,6 +142,13 @@ class OTxn {
     reads_.clear();
     writes_.clear();
     write_map_.Clear();
+    if (TUFAST_UNLIKELY(wal_ != nullptr)) {
+      // Disarm the shared hardware recorder: O-mode segment commits fire
+      // the same Tx hooks, and they must not clear or publish this
+      // software transaction's staged notes.
+      wal_->hw_armed = false;
+      wal_->Clear();
+    }
   }
 
   TUFAST_ALWAYS_INLINE TmWord Read(VertexId v, const TmWord* addr) {
@@ -213,11 +236,21 @@ class OTxn {
         return MvccWrite{w.vertex, w.addr};
       });
     }
+    // The WAL record is appended inside the same exclusive window, so log
+    // order matches publication order; the fsync waits for the group
+    // commit barrier after release (AccountWalCommit).
+    if (TUFAST_UNLIKELY(wal_ != nullptr) && !wal_->empty()) wal_->Publish();
     for (const WriteEntry& w : writes_) htm_.NonTxStore(w.addr, w.value);
     if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(htx_.slot());
     ReleaseExclusive(write_vertices_.size());
     return OCommitResult::kOk;
   }
+
+  /// Durable builds: stage one logical mutation for the WAL.
+  void WalNote(const EdgeUpdate& up) {
+    if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+  }
+  WalRecorder* wal_recorder() const { return wal_; }
 
   uint64_t ops() const { return ops_; }
   uint32_t period() const { return period_; }
@@ -260,6 +293,7 @@ class OTxn {
   typename Htm::Tx& htx_;
   Table& locks_;
   Mvcc* mvcc_ = nullptr;
+  WalRecorder* wal_ = nullptr;
   uint32_t period_ = 1000;
   uint32_t segment_ops_ = 0;
   uint64_t ops_ = 0;
@@ -281,12 +315,19 @@ class LTxn {
   /// Opts this context into MVCC version installation at commit.
   void SetMvcc(Mvcc* mvcc) { mvcc_ = mvcc; }
 
+  /// Opts this context into WAL staging (Config::enable_wal).
+  void SetWal(WalRecorder* wal) { wal_ = wal; }
+
   void Reset() {
     ops_ = 0;
     held_.clear();
     held_map_.Clear();
     writes_.clear();
     write_map_.Clear();
+    if (TUFAST_UNLIKELY(wal_ != nullptr)) {
+      wal_->hw_armed = false;  // See OTxn::Reset: shared Tx hook scoping.
+      wal_->Clear();
+    }
   }
 
   TmWord Read(VertexId v, const TmWord* addr) {
@@ -342,10 +383,19 @@ class LTxn {
         return MvccWrite{w.vertex, w.addr};
       });
     }
+    // Log-before-release: the record lands in the group-commit buffer
+    // while every written vertex is still exclusively held.
+    if (TUFAST_UNLIKELY(wal_ != nullptr) && !wal_->empty()) wal_->Publish();
     for (const WriteEntry& w : writes_) htm_.NonTxStore(w.addr, w.value);
     if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(slot_);
     ReleaseAll();
   }
+
+  /// Durable builds: stage one logical mutation for the WAL.
+  void WalNote(const EdgeUpdate& up) {
+    if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+  }
+  WalRecorder* wal_recorder() const { return wal_; }
 
   /// Releases the whole held set. Idempotent: a second call (the
   /// RunLockTxnLoop RAII guard unwinding after an explicit release on
@@ -408,6 +458,7 @@ class LTxn {
   const int slot_;
   LockManager<Htm, Table>& manager_;
   Mvcc* mvcc_ = nullptr;
+  WalRecorder* wal_ = nullptr;
   uint64_t ops_ = 0;
   std::vector<Held> held_;
   AddrMap held_map_;

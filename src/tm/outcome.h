@@ -125,6 +125,16 @@ struct SchedulerStats {
   uint64_t snapshot_commits = 0;
   uint64_t snapshot_ops = 0;
 
+  // Durability (enable_wal / EnableWal): committed WAL records and
+  // payload bytes attributed to this worker's transactions; fsyncs come
+  // from the shared writer and recovery_* from the replay path — both
+  // stamped into one stats copy post-run (never per-worker).
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t recovery_replayed = 0;
+  uint64_t recovery_torn_tail = 0;
+
   void RecordCommit(TxnClass cls, uint64_t ops) {
     ++commits;
     ops_committed += ops;
@@ -199,6 +209,11 @@ struct SchedulerStats {
     }
     snapshot_commits += other.snapshot_commits;
     snapshot_ops += other.snapshot_ops;
+    wal_records += other.wal_records;
+    wal_bytes += other.wal_bytes;
+    wal_fsyncs += other.wal_fsyncs;
+    recovery_replayed += other.recovery_replayed;
+    recovery_torn_tail += other.recovery_torn_tail;
   }
 };
 

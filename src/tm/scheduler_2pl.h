@@ -63,6 +63,12 @@ class TwoPhaseLocking {
   }
   Mvcc* mvcc_store() { return mvcc_.get(); }
 
+  /// Attaches a WAL sink (durability/wal.h): commits publish their
+  /// staged mutations as checksummed records and Run() acks only after
+  /// the group commit made them durable. Call before the first
+  /// transaction.
+  void EnableWal(WalSink* sink) { wal_sink_ = sink; }
+
   /// Read-only transaction: an abort-free snapshot read once EnableMvcc
   /// was called, an ordinary locking Run() otherwise.
   template <typename Fn>
@@ -89,8 +95,13 @@ class TwoPhaseLocking {
     State(TwoPhaseLocking& parent, int slot)
         : ltxn(parent.htm_, slot, parent.lock_manager_) {
       if (parent.mvcc_ != nullptr) ltxn.SetMvcc(parent.mvcc_.get());
+      if (parent.wal_sink_ != nullptr) {
+        wal_recorder.SetSink(parent.wal_sink_);
+        ltxn.SetWal(&wal_recorder);
+      }
     }
     LTxn<Htm> ltxn;
+    WalRecorder wal_recorder;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -100,6 +111,7 @@ class TwoPhaseLocking {
   LockTable<Htm> lock_table_;
   LockManager<Htm> lock_manager_;
   std::unique_ptr<Mvcc> mvcc_;
+  WalSink* wal_sink_ = nullptr;
   /// Same escalation ladder as TuFast's L mode: the baseline sees the
   /// identical per-transaction retry bound in the starvation stress.
   ProgressGuard progress_guard_;

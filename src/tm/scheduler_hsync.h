@@ -40,8 +40,12 @@ class HsyncHybrid {
   class HwTxn {
    public:
     HwTxn(typename Htm::Tx& htx, const TmWord* global_lock,
-          MvccRecorder* recorder = nullptr)
-        : htx_(htx), global_lock_(global_lock), recorder_(recorder) {}
+          MvccRecorder* recorder = nullptr, WalRecorder* wal = nullptr)
+        : htx_(htx), global_lock_(global_lock), recorder_(recorder),
+          wal_(wal) {
+      // Hardware-path publishes ride the Tx commit hooks; arm them.
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->hw_armed = true;
+    }
 
     TmWord Read(VertexId /*v*/, const TmWord* addr) {
       ++ops_;
@@ -77,10 +81,17 @@ class HsyncHybrid {
     uint64_t ops() const { return ops_; }
     void ResetOps() { ops_ = 0; }
 
+    /// Durable builds: stage one logical mutation for the WAL.
+    void WalNote(const EdgeUpdate& up) {
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+    }
+    WalRecorder* wal_recorder() const { return wal_; }
+
    private:
     typename Htm::Tx& htx_;
     const TmWord* global_lock_;
     MvccRecorder* recorder_;
+    WalRecorder* wal_;
     uint64_t ops_ = 0;
   };
 
@@ -111,6 +122,12 @@ class HsyncHybrid {
 
     uint64_t ops() const { return ops_; }
 
+    /// Durable builds: stage one logical mutation for the WAL.
+    void WalNote(const EdgeUpdate& up) {
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+    }
+    WalRecorder* wal_recorder() const { return wal_; }
+
    private:
     friend class HsyncHybrid;
     struct Pending {
@@ -118,6 +135,7 @@ class HsyncHybrid {
       TmWord value;
       VertexId vertex;  // MVCC version-chain owner (unused otherwise).
     };
+    WalRecorder* wal_ = nullptr;
     uint64_t ops_ = 0;
     std::vector<Pending> pending_;
 
@@ -134,8 +152,10 @@ class HsyncHybrid {
     Worker& w = runtime_.GetWorker(worker_id, *this);
     w.telemetry.TxnBegin();
     w.telemetry.EnterMode(SchedMode::kHardware);
+    WalRecorder* wal =
+        wal_sink_ != nullptr ? &w.state.wal_recorder : nullptr;
     HwTxn hw(w.state.htx, &global_lock_,
-             mvcc_ != nullptr ? &w.state.recorder : nullptr);
+             mvcc_ != nullptr ? &w.state.recorder : nullptr, wal);
     uint32_t txn_aborts = 0;
     for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
       BeatAttempt(w);
@@ -145,6 +165,7 @@ class HsyncHybrid {
         fn(hw);
       });
       if (status.ok()) {
+        AccountWalCommit(w, wal);  // Ack barrier: HW commit done.
         w.stats.RecordCommit(TxnClass::kH, hw.ops());
         w.telemetry.TxnCommit(TxnClass::kH, hw.ops());
         BeatCommit(w);
@@ -170,6 +191,13 @@ class HsyncHybrid {
     BeatAttempt(w);
     AcquireGlobalLock();
     FallbackTxn fb;
+    if (TUFAST_UNLIKELY(wal != nullptr)) {
+      // Drop residue from the failed hardware attempts and route staged
+      // notes through the software publish below, not the Tx hooks.
+      wal->hw_armed = false;
+      wal->Clear();
+      fb.wal_ = wal;
+    }
     try {
       fn(fb);
     } catch (const UserAbortSignal&) {
@@ -191,9 +219,16 @@ class HsyncHybrid {
                             return MvccWrite{p.vertex, p.addr};
                           });
     }
+    // WAL record lands under the global lock (exclusive window), so log
+    // order matches commit order; the fsync waits for the group-commit
+    // barrier after the lock is released.
+    if (TUFAST_UNLIKELY(wal != nullptr) && !wal->empty()) {
+      wal->Publish();
+    }
     for (const auto& p : fb.pending_) htm_.NonTxStore(p.addr, p.value);
     if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(worker_id);
     ReleaseGlobalLock();
+    AccountWalCommit(w, wal);  // Ack barrier: global lock released.
     w.stats.RecordCommit(TxnClass::kL, fb.ops());
     w.telemetry.TxnCommit(TxnClass::kL, fb.ops());
     BeatCommit(w);
@@ -214,6 +249,15 @@ class HsyncHybrid {
     }
   }
   Mvcc* mvcc_store() { return mvcc_.get(); }
+
+  /// Attaches a WAL sink (durability/wal.h): commits publish their
+  /// staged mutations as checksummed records and Run() acks only after
+  /// the group commit made them durable. The hardware path publishes
+  /// through Tx commit hooks; call before the first transaction.
+  void EnableWal(WalSink* sink) {
+    TUFAST_CHECK(kHtmTxHasCommitHooks<Htm>);
+    wal_sink_ = sink;
+  }
 
   /// Read-only transaction: an abort-free snapshot read once EnableMvcc
   /// was called, an ordinary hybrid Run() otherwise.
@@ -236,18 +280,25 @@ class HsyncHybrid {
  private:
   struct State {
     State(HsyncHybrid& parent, int slot) : htx(parent.htm_, slot) {
+      hook_ctx.slot = slot;
       if (parent.mvcc_ != nullptr) {
-        mvcc_ctx.store = parent.mvcc_.get();
-        mvcc_ctx.recorder = &recorder;
-        mvcc_ctx.slot = slot;
+        hook_ctx.store = parent.mvcc_.get();
+        hook_ctx.recorder = &recorder;
+      }
+      if (parent.wal_sink_ != nullptr) {
+        wal_recorder.SetSink(parent.wal_sink_);
+        hook_ctx.wal = &wal_recorder;
+      }
+      if (parent.mvcc_ != nullptr || parent.wal_sink_ != nullptr) {
         if constexpr (kHtmTxHasCommitHooks<Htm>) {
-          InstallMvccCommitHooks(htx, mvcc_ctx);
+          InstallCommitHooks(htx, hook_ctx);
         }
       }
     }
     typename Htm::Tx htx;
     MvccRecorder recorder;
-    MvccHookCtx<Mvcc> mvcc_ctx;
+    WalRecorder wal_recorder;
+    CommitHookCtx<Mvcc> hook_ctx;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -275,6 +326,7 @@ class HsyncHybrid {
   const VertexId num_vertices_;
   const Config config_;
   std::unique_ptr<Mvcc> mvcc_;
+  WalSink* wal_sink_ = nullptr;
   alignas(kCacheLineBytes) TmWord global_lock_ = 0;
   Runtime runtime_;
 };

@@ -46,16 +46,34 @@ class HtmTimestampOrdering {
   class HwTxn {
    public:
     HwTxn(HtmTimestampOrdering& parent, typename Htm::Tx& htx,
-          MvccRecorder* recorder = nullptr)
-        : parent_(parent), htx_(htx), recorder_(recorder) {}
+          MvccRecorder* recorder = nullptr, WalRecorder* wal = nullptr)
+        : parent_(parent), htx_(htx), recorder_(recorder), wal_(wal) {
+      // Hardware-path publishes ride the Tx commit hooks; arm them.
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->hw_armed = true;
+    }
 
     void Reset(uint64_t ts) {
       ts_ = ts;
       ops_ = 0;
     }
 
+    /// Durable builds: stage one logical mutation for the WAL.
+    void WalNote(const EdgeUpdate& up) {
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+    }
+    WalRecorder* wal_recorder() const { return wal_; }
+
     TmWord Read(VertexId v, const TmWord* addr) {
       ++ops_;
+      // Subscribe the fallback's commit latch: if the software path holds
+      // it, v is mid-read or mid-install — back off. Once subscribed, a
+      // later software Latch() dooms this transaction (NotifyNonTxWrite),
+      // so a hardware commit can never interleave with a latched software
+      // read or install — the same lock-word subscription TuFast H mode
+      // and HSync use against their software fallbacks.
+      if (htx_.Load(parent_.fallback_.LatchAddr(v)) != 0) {
+        htx_.template ExplicitAbort<kAbortCodeLockBusy>();
+      }
       TmWord* wts = parent_.fallback_.WriteTsAddr(v);
       TmWord* rts = parent_.fallback_.ReadTsAddr(v);
       if (htx_.Load(wts) > ts_) {
@@ -71,6 +89,9 @@ class HtmTimestampOrdering {
 
     void Write(VertexId v, TmWord* addr, TmWord value) {
       ++ops_;
+      if (htx_.Load(parent_.fallback_.LatchAddr(v)) != 0) {
+        htx_.template ExplicitAbort<kAbortCodeLockBusy>();  // See Read().
+      }
       TmWord* wts = parent_.fallback_.WriteTsAddr(v);
       TmWord* rts = parent_.fallback_.ReadTsAddr(v);
       if (htx_.Load(wts) > ts_ || htx_.Load(rts) > ts_) {
@@ -100,6 +121,7 @@ class HtmTimestampOrdering {
     HtmTimestampOrdering& parent_;
     typename Htm::Tx& htx_;
     MvccRecorder* recorder_;
+    WalRecorder* wal_;
     uint64_t ts_ = 0;
     uint64_t ops_ = 0;
   };
@@ -109,13 +131,16 @@ class HtmTimestampOrdering {
     Worker& w = runtime_.GetWorker(worker_id, *this);
     w.telemetry.TxnBegin();
     w.telemetry.EnterMode(SchedMode::kHardware);
+    WalRecorder* wal =
+        wal_sink_ != nullptr ? &w.state.wal_recorder : nullptr;
     HwTxn hw(*this, w.state.htx,
-             mvcc_ != nullptr ? &w.state.recorder : nullptr);
+             mvcc_ != nullptr ? &w.state.recorder : nullptr, wal);
     uint32_t txn_aborts = 0;
     for (int attempt = 0; attempt <= config_.htm_retries; ++attempt) {
       hw.Reset(fallback_.NextTs());
       const AbortStatus status = w.state.htx.Execute([&] { fn(hw); });
       if (status.ok()) {
+        AccountWalCommit(w, wal);  // Ack barrier: HW commit done.
         w.stats.RecordCommit(TxnClass::kH, hw.ops());
         w.telemetry.TxnCommit(TxnClass::kH, hw.ops());
         return RunOutcome{true, TxnClass::kH, hw.ops(), txn_aborts};
@@ -152,6 +177,17 @@ class HtmTimestampOrdering {
   }
   Mvcc* mvcc_store() { return mvcc_; }
 
+  /// Attaches a WAL sink (durability/wal.h). The fallback TO scheduler
+  /// publishes under its commit latches; this hybrid's hardware path
+  /// publishes through its Tx commit hooks into the SAME sink — both
+  /// paths' records must land on one log. Call before the first
+  /// transaction.
+  void EnableWal(WalSink* sink) {
+    TUFAST_CHECK(kHtmTxHasCommitHooks<Htm>);
+    fallback_.EnableWal(sink);
+    wal_sink_ = sink;
+  }
+
   /// Read-only transaction: an abort-free snapshot read once EnableMvcc
   /// was called, an ordinary hybrid Run() otherwise.
   template <typename Fn>
@@ -184,18 +220,25 @@ class HtmTimestampOrdering {
  private:
   struct State {
     State(HtmTimestampOrdering& parent, int slot) : htx(parent.htm_, slot) {
+      hook_ctx.slot = slot;
       if (parent.mvcc_ != nullptr) {
-        mvcc_ctx.store = parent.mvcc_;
-        mvcc_ctx.recorder = &recorder;
-        mvcc_ctx.slot = slot;
+        hook_ctx.store = parent.mvcc_;
+        hook_ctx.recorder = &recorder;
+      }
+      if (parent.wal_sink_ != nullptr) {
+        wal_recorder.SetSink(parent.wal_sink_);
+        hook_ctx.wal = &wal_recorder;
+      }
+      if (parent.mvcc_ != nullptr || parent.wal_sink_ != nullptr) {
         if constexpr (kHtmTxHasCommitHooks<Htm>) {
-          InstallMvccCommitHooks(htx, mvcc_ctx);
+          InstallCommitHooks(htx, hook_ctx);
         }
       }
     }
     typename Htm::Tx htx;
     MvccRecorder recorder;
-    MvccHookCtx<Mvcc> mvcc_ctx;
+    WalRecorder wal_recorder;
+    CommitHookCtx<Mvcc> hook_ctx;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -204,6 +247,7 @@ class HtmTimestampOrdering {
   const Config config_;
   TimestampOrdering<Htm, Telemetry> fallback_;
   Mvcc* mvcc_ = nullptr;  // Owned by fallback_; set by EnableMvcc().
+  WalSink* wal_sink_ = nullptr;
   Runtime runtime_;
 };
 

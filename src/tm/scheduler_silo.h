@@ -41,7 +41,14 @@ class SiloOcc {
       reads_.clear();
       writes_.clear();
       write_map_.Clear();
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Clear();
     }
+
+    /// Durable builds: stage one logical mutation for the WAL.
+    void WalNote(const EdgeUpdate& up) {
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+    }
+    WalRecorder* wal_recorder() const { return wal_; }
 
     TmWord Read(VertexId v, const TmWord* addr) {
       ++ops_;
@@ -114,6 +121,7 @@ class SiloOcc {
 
     SiloOcc& parent_;
     const int slot_;
+    WalRecorder* wal_ = nullptr;
     uint64_t ops_ = 0;
     std::vector<ReadEntry> reads_;
     std::vector<WriteEntry> writes_;
@@ -140,6 +148,12 @@ class SiloOcc {
   }
   Mvcc* mvcc_store() { return mvcc_.get(); }
 
+  /// Attaches a WAL sink (durability/wal.h): commits publish their
+  /// staged mutations as checksummed records and Run() acks only after
+  /// the group commit made them durable. Call before the first
+  /// transaction.
+  void EnableWal(WalSink* sink) { wal_sink_ = sink; }
+
   /// Read-only transaction: an abort-free snapshot read once EnableMvcc
   /// was called, an ordinary optimistic Run() otherwise.
   template <typename Fn>
@@ -162,8 +176,14 @@ class SiloOcc {
   struct SiloAbortSignal {};
 
   struct State {
-    State(SiloOcc& parent, int slot) : txn(parent, slot) {}
+    State(SiloOcc& parent, int slot) : txn(parent, slot) {
+      if (parent.wal_sink_ != nullptr) {
+        wal_recorder.SetSink(parent.wal_sink_);
+        txn.wal_ = &wal_recorder;
+      }
+    }
     Txn txn;
+    WalRecorder wal_recorder;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -233,6 +253,12 @@ class SiloOcc {
                             return MvccWrite{e.vertex, e.addr};
                           });
     }
+    // WAL record lands while the write set is still TID-locked, so log
+    // order matches commit order; the fsync waits for the group-commit
+    // barrier after unlock (AccountWalCommit in the retry loop).
+    if (TUFAST_UNLIKELY(txn.wal_ != nullptr) && !txn.wal_->empty()) {
+      txn.wal_->Publish();
+    }
     for (const auto& w : txn.writes_) htm_.NonTxStore(w.addr, w.value);
     if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(txn.slot_);
     for (const VertexId v : wv) UnlockTidBump(v);
@@ -242,6 +268,7 @@ class SiloOcc {
   Htm& htm_;
   std::vector<TmWord> tids_;
   std::unique_ptr<Mvcc> mvcc_;
+  WalSink* wal_sink_ = nullptr;
   Runtime runtime_;
 };
 

@@ -47,7 +47,14 @@ class TinyStm {
       write_orecs_.clear();
       writes_.clear();
       write_map_.Clear();
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Clear();
     }
+
+    /// Durable builds: stage one logical mutation for the WAL.
+    void WalNote(const EdgeUpdate& up) {
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+    }
+    WalRecorder* wal_recorder() const { return wal_; }
 
     TmWord Read(VertexId /*v*/, const TmWord* addr) {
       ++ops_;
@@ -129,6 +136,7 @@ class TinyStm {
 
     TinyStm& parent_;
     const int slot_;
+    WalRecorder* wal_ = nullptr;
     const uint64_t owner_mark_;  // (slot<<1)|1: odd = locked marker.
     uint64_t rv_ = 0;
     uint64_t ops_ = 0;
@@ -158,6 +166,12 @@ class TinyStm {
   }
   Mvcc* mvcc_store() { return mvcc_.get(); }
 
+  /// Attaches a WAL sink (durability/wal.h): commits publish their
+  /// staged mutations as checksummed records and Run() acks only after
+  /// the group commit made them durable. Call before the first
+  /// transaction.
+  void EnableWal(WalSink* sink) { wal_sink_ = sink; }
+
   /// Read-only transaction: an abort-free snapshot read once EnableMvcc
   /// was called, an ordinary STM Run() otherwise.
   template <typename Fn>
@@ -181,8 +195,14 @@ class TinyStm {
   static constexpr size_t kOrecCount = size_t{1} << 20;
 
   struct State {
-    State(TinyStm& parent, int slot) : txn(parent, slot) {}
+    State(TinyStm& parent, int slot) : txn(parent, slot) {
+      if (parent.wal_sink_ != nullptr) {
+        wal_recorder.SetSink(parent.wal_sink_);
+        txn.wal_ = &wal_recorder;
+      }
+    }
     Txn txn;
+    WalRecorder wal_recorder;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -230,6 +250,12 @@ class TinyStm {
                             return MvccWrite{e.vertex, e.addr};
                           });
     }
+    // WAL record lands while the write stripes are still orec-locked, so
+    // log order matches commit order; the fsync waits for the
+    // group-commit barrier after unlock (AccountWalCommit in the loop).
+    if (TUFAST_UNLIKELY(txn.wal_ != nullptr) && !txn.wal_->empty()) {
+      txn.wal_->Publish();
+    }
     for (const auto& w : txn.writes_) htm_.NonTxStore(w.addr, w.value);
     if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(txn.slot_);
     for (const auto& e : txn.write_orecs_) {
@@ -244,6 +270,7 @@ class TinyStm {
   std::atomic<uint64_t> clock_{0};
   std::vector<uint64_t> orecs_;
   std::unique_ptr<Mvcc> mvcc_;
+  WalSink* wal_sink_ = nullptr;
   Runtime runtime_;
 };
 

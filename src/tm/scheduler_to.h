@@ -48,7 +48,14 @@ class TimestampOrdering {
       ops_ = 0;
       writes_.clear();
       write_map_.Clear();
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Clear();
     }
+
+    /// Durable builds: stage one logical mutation for the WAL.
+    void WalNote(const EdgeUpdate& up) {
+      if (TUFAST_UNLIKELY(wal_ != nullptr)) wal_->Note(up);
+    }
+    WalRecorder* wal_recorder() const { return wal_; }
 
     TmWord Read(VertexId v, const TmWord* addr) {
       ++ops_;
@@ -57,11 +64,18 @@ class TimestampOrdering {
         return writes_[*idx].value;
       }
       parent_.Latch(v);
-      if (__atomic_load_n(&parent_.write_ts_[v], __ATOMIC_ACQUIRE) > ts_) {
+      // DrainLoad (not a plain load): an H-TO hardware commit past its
+      // commit point may still be flushing buffered wts/rts/data out of
+      // the emulated write buffer. Latch() doomed every hardware txn
+      // still before its commit point and the latch word keeps new ones
+      // out, so draining the committing writers makes these checks — and
+      // the data load below, which any data-writer's drained wts store
+      // ordered behind its data flush — race-free against the HW path.
+      if (parent_.htm_.DrainLoad(&parent_.write_ts_[v]) > ts_) {
         parent_.Unlatch(v);
         throw ToAbortSignal{};  // A younger transaction already wrote v.
       }
-      if (__atomic_load_n(&parent_.read_ts_[v], __ATOMIC_ACQUIRE) < ts_) {
+      if (parent_.htm_.DrainLoad(&parent_.read_ts_[v]) < ts_) {
         // NonTxStore (not a plain store): H-TO's hardware path writes the
         // same word transactionally, so the store must first drain/doom
         // any transactional owner of the line. No-op difference on the
@@ -118,6 +132,7 @@ class TimestampOrdering {
 
     TimestampOrdering& parent_;
     const int slot_;
+    WalRecorder* wal_ = nullptr;
     uint64_t ts_ = 0;
     uint64_t ops_ = 0;
     std::vector<WriteEntry> writes_;
@@ -148,6 +163,11 @@ class TimestampOrdering {
   /// paths could not see each other's conflicts.
   TmWord* ReadTsAddr(VertexId v) { return &read_ts_[v]; }
   TmWord* WriteTsAddr(VertexId v) { return &write_ts_[v]; }
+  /// The H-TO hardware path subscribes this word and aborts when it is
+  /// held, so a hardware commit can never interleave with a latched
+  /// software read or install (mirrors how TuFast H mode and HSync
+  /// subscribe their software lock words).
+  TmWord* LatchAddr(VertexId v) { return &latches_[v]; }
   uint64_t NextTs() {
     return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
@@ -167,6 +187,12 @@ class TimestampOrdering {
   void SetMvccStore(Mvcc* store) { mvcc_ = store; }
   Mvcc* mvcc_store() { return mvcc_; }
 
+  /// Attaches a WAL sink (durability/wal.h): commits publish their
+  /// staged mutations as checksummed records and Run() acks only after
+  /// the group commit made them durable. Call before the first
+  /// transaction.
+  void EnableWal(WalSink* sink) { wal_sink_ = sink; }
+
   /// Read-only transaction: an abort-free snapshot read once a store is
   /// attached, an ordinary timestamped Run() otherwise.
   template <typename Fn>
@@ -180,8 +206,14 @@ class TimestampOrdering {
   struct ToAbortSignal {};
 
   struct State {
-    State(TimestampOrdering& parent, int slot) : txn(parent, slot) {}
+    State(TimestampOrdering& parent, int slot) : txn(parent, slot) {
+      if (parent.wal_sink_ != nullptr) {
+        wal_recorder.SetSink(parent.wal_sink_);
+        txn.wal_ = &wal_recorder;
+      }
+    }
     Txn txn;
+    WalRecorder wal_recorder;
   };
   using Runtime = WorkerRuntime<State, Telemetry>;
   using Worker = typename Runtime::Worker;
@@ -195,6 +227,12 @@ class TimestampOrdering {
       expected = 0;
       backoff.Pause();
     }
+    // The H-TO hardware path subscribes the latch word (HwTxn checks it
+    // before touching v), so taking the latch must doom the subscribed
+    // hardware transactions — otherwise one could validate and commit on
+    // v while this software transaction reads or installs under the
+    // latch. No-op on the native backend (the CAS itself invalidates).
+    htm_.NotifyNonTxWrite(&latches_[v]);
   }
 
   void Unlatch(VertexId v) {
@@ -212,8 +250,11 @@ class TimestampOrdering {
     // timestamp rules, install, advance write timestamps.
     for (const VertexId v : wv) Latch(v);
     for (const VertexId v : wv) {
-      if (__atomic_load_n(&read_ts_[v], __ATOMIC_ACQUIRE) > txn.ts_ ||
-          __atomic_load_n(&write_ts_[v], __ATOMIC_ACQUIRE) > txn.ts_) {
+      // DrainLoad: see Read() — Latch() doomed the active hardware txns
+      // and bars new ones; these waits drain the committing ones, so the
+      // recheck cannot miss a hardware commit still flushing timestamps.
+      if (htm_.DrainLoad(&read_ts_[v]) > txn.ts_ ||
+          htm_.DrainLoad(&write_ts_[v]) > txn.ts_) {
         for (const VertexId u : wv) Unlatch(u);
         return false;
       }
@@ -227,6 +268,12 @@ class TimestampOrdering {
                           [](const typename Txn::WriteEntry& e) {
                             return MvccWrite{e.vertex, e.addr};
                           });
+    }
+    // WAL record lands under the latches, so log order matches commit
+    // order; the fsync waits for the group-commit barrier after unlatch
+    // (AccountWalCommit in the retry loop).
+    if (TUFAST_UNLIKELY(txn.wal_ != nullptr) && !txn.wal_->empty()) {
+      txn.wal_->Publish();
     }
     for (const auto& w : txn.writes_) htm_.NonTxStore(w.addr, w.value);
     if (TUFAST_UNLIKELY(mvcc_ != nullptr)) mvcc_->EndInstall(txn.slot_);
@@ -244,6 +291,7 @@ class TimestampOrdering {
   std::vector<TmWord> latches_;
   Mvcc* mvcc_ = nullptr;
   std::unique_ptr<Mvcc> owned_mvcc_;
+  WalSink* wal_sink_ = nullptr;
   Runtime runtime_;
 };
 

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "common/failpoints.h"
 #include "common/spin.h"
 #include "common/types.h"
+#include "durability/wal.h"
 #include "htm/emulated_htm.h"
 #include "mvcc/version_store.h"
 #include "sharding/shard_runtime.h"
@@ -165,6 +167,21 @@ class TuFastScheduler {
     /// pre-image versions at its commit timestamp and RunReadOnly()
     /// executes abort-free snapshot transactions against them.
     bool enable_mvcc = false;
+    /// Crash-consistent durability (durability/wal.h, DESIGN.md
+    /// "Durability & crash recovery"). Off by default: the non-durable
+    /// path stays bit-identical to a build with no WAL at all (the
+    /// equivalence suites rely on this). On, every commit path stages
+    /// its logical graph mutations (txn.WalNote) and publishes them as
+    /// one checksummed record inside the commit window; Run() returns
+    /// only after the record is durable per wal_sync (group commit: a
+    /// concurrent worker's fsync may cover it).
+    bool enable_wal = false;
+    /// Log file path; required when enable_wal is set (the scheduler
+    /// owns the writer). Alternatively attach an external sink with
+    /// EnableWal() — the crash harness does, to arm failpoints.
+    std::string wal_path;
+    /// fsync policy for the owned group-commit writer.
+    WalSyncPolicy wal_sync = WalSyncPolicy::kFsyncEachCommit;
     /// Hot-vertex flat combining (tm/combiner.h, DESIGN.md "Hot-vertex
     /// combining"). Off by default: the batch paths stay bit-for-bit the
     /// pre-combining executor (the equivalence suites rely on this). On,
@@ -210,6 +227,17 @@ class TuFastScheduler {
       // snapshot readers torn history.
       TUFAST_CHECK(kHtmHasCommitHooks);
       mvcc_ = std::make_unique<Mvcc>(num_vertices);
+    }
+    if (config_.enable_wal) {
+      // H-mode commits publish WAL records through the backend's commit
+      // hooks; a hook-less backend would silently drop them and break
+      // the every-acked-commit-durable contract.
+      TUFAST_CHECK(kHtmHasCommitHooks);
+      TUFAST_CHECK(!config_.wal_path.empty());
+      owned_wal_ = std::make_unique<BasicWalWriter<Failpoints>>(
+          config_.wal_path, config_.wal_sync);
+      TUFAST_CHECK(owned_wal_->ok());
+      wal_sink_ = owned_wal_.get();
     }
     if (config_.enable_sharding) {
       sharding_ = std::make_unique<ShardRuntime>(ShardRuntime::Options{
@@ -309,18 +337,29 @@ class TuFastScheduler {
               .max_period = parent.max_period_,
               .initial_p = 0.0,
               .breaker_enabled = parent.config_.enable_breaker}) {
+      hook_ctx.slot = slot;
       if (parent.mvcc_ != nullptr) {
-        mvcc_ctx.store = parent.mvcc_.get();
-        mvcc_ctx.recorder = &recorder;
-        mvcc_ctx.slot = slot;
+        hook_ctx.store = parent.mvcc_.get();
+        hook_ctx.recorder = &recorder;
         // O and L commits own a software write log and install directly;
         // H commits have only the write-back buffer, so the recorder +
         // commit hooks reconstruct their write set (pre-images are read
         // from live memory between pre_publish and the flush).
-        otxn.SetMvcc(mvcc_ctx.store);
-        ltxn.SetMvcc(mvcc_ctx.store);
+        otxn.SetMvcc(hook_ctx.store);
+        ltxn.SetMvcc(hook_ctx.store);
+      }
+      if (parent.wal_sink_ != nullptr) {
+        wal_recorder.SetSink(parent.wal_sink_);
+        // O and L publish their staged notes from their own commit
+        // windows; H publishes through the Tx commit hooks (scoped by
+        // WalRecorder::hw_armed, since O-mode segments share the Tx).
+        hook_ctx.wal = &wal_recorder;
+        otxn.SetWal(&wal_recorder);
+        ltxn.SetWal(&wal_recorder);
+      }
+      if (parent.mvcc_ != nullptr || parent.wal_sink_ != nullptr) {
         if constexpr (kHtmHasCommitHooks) {
-          InstallMvccCommitHooks(htx, mvcc_ctx);
+          InstallCommitHooks(htx, hook_ctx);
         }
       }
     }
@@ -331,7 +370,9 @@ class TuFastScheduler {
     ContentionMonitor monitor;
     /// H-mode MVCC write-set recording (unused unless enable_mvcc).
     MvccRecorder recorder;
-    MvccHookCtx<Mvcc> mvcc_ctx;
+    /// WAL mutation staging (unused unless a WAL sink is attached).
+    WalRecorder wal_recorder;
+    CommitHookCtx<Mvcc> hook_ctx;
     /// Last breaker state this worker's telemetry was told about; the
     /// router diffs against the monitor to emit transition events.
     BreakerState last_breaker = BreakerState::kClosed;
@@ -875,10 +916,14 @@ class TuFastScheduler {
       return;
     }
     w.telemetry.EnterMode(SchedMode::kHardware);
-    HTxn<Htm, Table> htxn(w.state.htx, lock_table_, RecorderFor(w));
+    HTxn<Htm, Table> htxn(w.state.htx, lock_table_, RecorderFor(w),
+                          WalRecorderFor(w));
     const FusedAttemptResult attempt =
         RunFusedHtmAttempt(w.state.htx, htxn, lo, hi, body);
     if (attempt.status.ok()) {
+      // The fused bodies' notes went out as ONE record at pre_publish;
+      // ack it now that the region (and its subscriptions) retired.
+      AccountWalCommit(w, WalRecorderFor(w));
       w.state.monitor.RecordFusedAttempt(width, /*aborted=*/false);
       RecordFusedCommit(w, static_cast<uint32_t>(width), depth, attempt.ops);
       if constexpr (Probe::kEnabled) {
@@ -916,6 +961,11 @@ class TuFastScheduler {
   /// The H-mode contexts record their write set only when MVCC is on.
   MvccRecorder* RecorderFor(Worker& w) {
     return mvcc_ != nullptr ? &w.state.recorder : nullptr;
+  }
+
+  /// The mode contexts stage WAL notes only when a sink is attached.
+  WalRecorder* WalRecorderFor(Worker& w) {
+    return wal_sink_ != nullptr ? &w.state.wal_recorder : nullptr;
   }
 
   /// Progress-guard context for this worker's lock-mode retry loop.
@@ -966,7 +1016,8 @@ class TuFastScheduler {
     }
     if (try_h) {
       w.telemetry.EnterMode(SchedMode::kHardware);
-      HTxn<Htm, Table> htxn(w.state.htx, lock_table_, RecorderFor(w));
+      HTxn<Htm, Table> htxn(w.state.htx, lock_table_, RecorderFor(w),
+                            WalRecorderFor(w));
       // Adaptive retry budget (paper SIV-D): under a high attempt-abort
       // rate, each retry re-executes the whole body just to abort again.
       const int h_retries =
@@ -976,6 +1027,7 @@ class TuFastScheduler {
         htxn.ResetOps();
         const AbortStatus status = w.state.htx.Execute([&] { fn(htxn); });
         if (status.ok()) {
+          AccountWalCommit(w, WalRecorderFor(w));  // Ack: region retired.
           w.state.monitor.RecordAttempt(htxn.ops(), /*aborted=*/false);
           w.stats.RecordCommit(TxnClass::kH, htxn.ops());
           w.telemetry.TxnCommit(TxnClass::kH, htxn.ops());
@@ -1038,6 +1090,24 @@ class TuFastScheduler {
   /// Version-store introspection (null unless Config::enable_mvcc).
   Mvcc* mvcc_store() { return mvcc_.get(); }
   const Mvcc* mvcc_store() const { return mvcc_.get(); }
+
+  /// Attaches an external WAL sink (the crash harness's failpoint-armed
+  /// writer). Call before the first Run on any worker — lazily built
+  /// worker slots wire their recorders to whatever sink is attached at
+  /// construction time.
+  void EnableWal(WalSink* sink) {
+    TUFAST_CHECK(kHtmHasCommitHooks);
+    wal_sink_ = sink;
+  }
+
+  /// Active WAL sink (null when durability is off).
+  WalSink* wal_sink() { return wal_sink_; }
+  /// The Config-owned writer (null when the sink is external or WAL
+  /// is off); exposes durable_seq/fsyncs/records/bytes telemetry.
+  BasicWalWriter<Failpoints>* wal_writer() { return owned_wal_.get(); }
+  const BasicWalWriter<Failpoints>* wal_writer() const {
+    return owned_wal_.get();
+  }
 
   /// Stats merged across all workers. Call only while no transaction is
   /// in flight (workers mutate their stats without synchronization).
@@ -1121,6 +1191,7 @@ class TuFastScheduler {
       if (status.ok()) {
         const OCommitResult result = w.state.otxn.CommitSoftware();
         if (result == OCommitResult::kOk) {
+          AccountWalCommit(w, WalRecorderFor(w));  // Ack: locks released.
           const TxnClass cls =
               first_attempt ? TxnClass::kO : TxnClass::kOPlus;
           w.state.monitor.RecordAttempt(w.state.otxn.ops(), /*aborted=*/false);
@@ -1171,6 +1242,8 @@ class TuFastScheduler {
   const uint32_t max_period_;
   ProgressGuard progress_guard_;
   std::unique_ptr<Mvcc> mvcc_;
+  std::unique_ptr<BasicWalWriter<Failpoints>> owned_wal_;
+  WalSink* wal_sink_ = nullptr;
   std::unique_ptr<ShardRuntime> sharding_;
   std::unique_ptr<CombinerRuntime> combining_;
   Runtime runtime_;

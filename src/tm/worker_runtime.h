@@ -9,6 +9,7 @@
 #include "common/failpoints.h"
 #include "common/rng.h"
 #include "common/spin.h"
+#include "durability/wal.h"
 #include "htm/abort.h"
 #include "htm/htm_config.h"
 #include "mvcc/version_store.h"
@@ -425,6 +426,7 @@ RunOutcome RunLockTxnLoop(Worker& w, LockTxn& ltxn, Fn& fn, TxnClass cls,
       fn(ltxn);
       ltxn.CommitApplyAndRelease();
       release.Dismiss();  // Commit already released everything.
+      AccountWalCommitFromTxn(w, ltxn);  // Ack barrier: no locks held.
       BeatCommit(w);
       w.stats.RecordCommit(cls, ltxn.ops());
       w.telemetry.TxnCommit(cls, ltxn.ops());
@@ -454,42 +456,92 @@ template <typename Htm>
 inline constexpr bool kHtmTxHasCommitHooks =
     requires(typename Htm::Tx& tx) { tx.SetHooks(typename Htm::Tx::Hooks{}); };
 
-/// HTM-path MVCC plumbing, shared by every scheduler whose hardware
-/// commits publish through Tx commit hooks (TuFast H mode, HSync, H-TO):
-/// the hardware context records (vertex, addr) on every Write and these
-/// hooks turn the recording into version-chain nodes — pre-images are
-/// read from live memory between pre_publish and the write-back flush,
-/// when the region is doomed-checked but not yet published. on_begin
-/// clears residue from aborted attempts; the empty-recording check makes
-/// commits that wrote nothing (and O-mode segment commits, which share
-/// the Tx) free.
+/// HTM-path commit plumbing, shared by every scheduler whose hardware
+/// commits publish through Tx commit hooks (TuFast H mode, HSync, H-TO).
+/// Two independent consumers hang off the same three hook points:
+///
+///  - MVCC (store + recorder non-null): the hardware context records
+///    (vertex, addr) on every Write and pre_publish turns the recording
+///    into version-chain nodes — pre-images are read from live memory
+///    between pre_publish and the write-back flush, when the region is
+///    doomed-checked but not yet published.
+///  - WAL (wal non-null): transaction bodies Note() their graph
+///    mutations and post_publish appends them to the log's group-commit
+///    buffer as one record — after the write-back flush (so waiting on
+///    the log mutex never widens the window where a committed
+///    transaction's values are still buffered and invisible to software
+///    peers) but still inside the ownership window (conflicting
+///    transactions wait for the full release), so log order matches
+///    commit order. The recorder's hw_armed flag scopes this to hardware
+///    transactions: O mode shares the same Tx for its segment commits,
+///    and those must neither clear nor publish the software
+///    transaction's staged notes.
+///
+/// on_begin clears residue from aborted attempts; the empty checks make
+/// commits that wrote nothing free. Hooks are installed only when at
+/// least one consumer is on, so the off-configuration stays bit-identical
+/// to a build with no hooks at all.
 template <typename Store>
-struct MvccHookCtx {
-  Store* store = nullptr;
-  MvccRecorder* recorder = nullptr;
+struct CommitHookCtx {
+  Store* store = nullptr;           // MVCC: null = off
+  MvccRecorder* recorder = nullptr; // non-null iff store is
+  WalRecorder* wal = nullptr;       // WAL: null = off
   int slot = 0;
 };
 
 template <typename Tx, typename Store>
-inline void InstallMvccCommitHooks(Tx& htx, MvccHookCtx<Store>& ctx) {
+inline void InstallCommitHooks(Tx& htx, CommitHookCtx<Store>& ctx) {
   typename Tx::Hooks hooks;
   hooks.on_begin = [](void* c) {
-    static_cast<MvccHookCtx<Store>*>(c)->recorder->Clear();
+    auto* h = static_cast<CommitHookCtx<Store>*>(c);
+    if (h->recorder != nullptr) h->recorder->Clear();
+    if (h->wal != nullptr && h->wal->hw_armed) h->wal->Clear();
   };
   hooks.pre_publish = [](void* c) {
-    auto* h = static_cast<MvccHookCtx<Store>*>(c);
-    if (!h->recorder->empty()) {
+    auto* h = static_cast<CommitHookCtx<Store>*>(c);
+    if (h->store != nullptr && !h->recorder->empty()) {
       h->store->BeginInstall(h->slot, h->recorder->writes(),
                              [](const MvccWrite& w) { return w; });
     }
   };
   hooks.post_publish = [](void* c) {
-    auto* h = static_cast<MvccHookCtx<Store>*>(c);
-    h->store->EndInstall(h->slot);
-    h->recorder->Clear();
+    auto* h = static_cast<CommitHookCtx<Store>*>(c);
+    if (h->store != nullptr) {
+      h->store->EndInstall(h->slot);
+      h->recorder->Clear();
+    }
+    if (h->wal != nullptr && h->wal->hw_armed && !h->wal->empty()) {
+      h->wal->Publish();
+    }
   };
   hooks.ctx = &ctx;
   htx.SetHooks(hooks);
+}
+
+/// Group-commit acknowledgment + stats drain for one committed
+/// transaction that published WAL records. Runs after every lock /
+/// ownership release but before Run() returns: the fsync is the slow
+/// part, and group commit exists precisely so contending workers never
+/// serialize on it — Commit() returns immediately when another worker's
+/// flush already covered this sequence number.
+template <typename Worker>
+inline void AccountWalCommit(Worker& w, WalRecorder* wal) {
+  if (wal == nullptr || wal->published_records == 0) return;
+  if (wal->sink() != nullptr) wal->sink()->Commit(wal->last_seq);
+  w.stats.wal_records += wal->published_records;
+  w.stats.wal_bytes += wal->published_bytes;
+  wal->published_records = 0;
+  wal->published_bytes = 0;
+}
+
+/// Same, reaching through a transaction context that may or may not
+/// carry a WAL recorder (baseline txn types grow one only when the
+/// scheduler supports EnableWal).
+template <typename Worker, typename Txn>
+inline void AccountWalCommitFromTxn(Worker& w, Txn& txn) {
+  if constexpr (requires { txn.wal_recorder(); }) {
+    AccountWalCommit(w, txn.wal_recorder());
+  }
 }
 
 /// MVCC read-only runner shared by every scheduler's RunReadOnly() once
@@ -537,6 +589,7 @@ RunOutcome RunOptimisticRetryLoop(Worker& w, Txn& txn, Fn& fn, ResetFn reset,
     try {
       fn(txn);
       if (try_commit(txn)) {
+        AccountWalCommitFromTxn(w, txn);  // Ack barrier: locks released.
         BeatCommit(w);
         w.stats.RecordCommit(TxnClass::kO, txn.ops());
         w.telemetry.TxnCommit(TxnClass::kO, txn.ops());

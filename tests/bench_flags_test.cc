@@ -201,6 +201,41 @@ TEST(BenchFlagsTest, CombineIsAPlainSwitch) {
   EXPECT_FALSE(flags.combine);
 }
 
+TEST(BenchFlagsTest, WalFlagsParse) {
+  const BenchFlags flags =
+      ParseArgs({"--wal", "--crash-chaos", "--checkpoint-every=8"});
+  EXPECT_TRUE(flags.wal);
+  EXPECT_TRUE(flags.crash_chaos);
+  EXPECT_EQ(flags.checkpoint_every, 8u);
+}
+
+TEST(BenchFlagsTest, WalDefaults) {
+  const BenchFlags flags = ParseArgs({"--threads=2"});
+  EXPECT_FALSE(flags.wal);
+  EXPECT_FALSE(flags.crash_chaos);
+  EXPECT_EQ(flags.checkpoint_every, 0u);  // 0 = never checkpoint.
+}
+
+TEST(BenchFlagsDeathTest, RejectsMalformedCheckpointEvery) {
+  EXPECT_EXIT(ParseArgs({"--checkpoint-every="}), ::testing::ExitedWithCode(2),
+              "missing value");
+  EXPECT_EXIT(ParseArgs({"--checkpoint-every=8x"}),
+              ::testing::ExitedWithCode(2), "not an integer");
+  EXPECT_EXIT(ParseArgs({"--checkpoint-every=2.5"}),
+              ::testing::ExitedWithCode(2), "not an integer");
+  EXPECT_EXIT(ParseArgs({"--checkpoint-every=-1"}),
+              ::testing::ExitedWithCode(2), "must be >= 0");
+}
+
+TEST(BenchFlagsTest, WalSwitchesAreExactMatches) {
+  // "--wal=yes" / "--crash-chaos=yes" are not the plain switches; a typo'd
+  // value must not silently enable durability (the overhead column would
+  // then measure a run the user didn't ask for).
+  const BenchFlags flags = ParseArgs({"--wal=yes", "--crash-chaos=yes"});
+  EXPECT_FALSE(flags.wal);
+  EXPECT_FALSE(flags.crash_chaos);
+}
+
 TEST(BenchFlagsDeathTest, ExistingFlagsStayStrict) {
   EXPECT_EXIT(ParseArgs({"--threads=0"}), ::testing::ExitedWithCode(2),
               "must be in");

@@ -3,6 +3,12 @@
 // engines must produce the same answers as the sequential references —
 // they are slower architectures, not different algorithms.
 
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -139,6 +145,64 @@ TEST_F(EnginesTest, OocMisAndTriangle) {
   OocEngine tri_engine(pool_, undirected_, {.num_intervals = 4});
   EXPECT_EQ(OocTriangleCount(tri_engine, undirected_),
             ReferenceTriangleCount(undirected_));
+}
+
+// ---------------------------------------------------------------------------
+// OocEngine shard-file lifecycle: a dedicated scratch directory makes
+// the files countable, so leaks are observable directly.
+
+std::vector<std::string> ShardFilesIn(const std::string& dir) {
+  std::vector<std::string> files;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return files;
+  while (struct dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.find("tufast_ooc_") != std::string::npos) {
+      files.push_back(dir + "/" + name);
+    }
+  }
+  closedir(d);
+  return files;
+}
+
+TEST_F(EnginesTest, OocShardFilesRemovedOnDestruction) {
+  const std::string dir = ::testing::TempDir() + "/ooc_lifecycle";
+  mkdir(dir.c_str(), 0755);
+  ASSERT_TRUE(ShardFilesIn(dir).empty());
+  {
+    OocEngine engine(pool_, graph_, {.num_intervals = 4, .tmp_dir = dir});
+    EXPECT_EQ(ShardFilesIn(dir).size(), 4u);
+  }
+  EXPECT_TRUE(ShardFilesIn(dir).empty());
+}
+
+TEST_F(EnginesTest, OocDeletedShardThrowsAndStillCleansUp) {
+  const std::string dir = ::testing::TempDir() + "/ooc_vanished";
+  mkdir(dir.c_str(), 0755);
+  {
+    OocEngine engine(pool_, graph_, {.num_intervals = 4, .tmp_dir = dir});
+    const auto files = ShardFilesIn(dir);
+    ASSERT_EQ(files.size(), 4u);
+    // Simulate an external tmp reaper racing the run: the iteration must
+    // surface a typed error, not abort or read garbage.
+    ASSERT_EQ(std::remove(files[1].c_str()), 0);
+    EXPECT_THROW(engine.RunIteration(
+                     [](TmWord, TmWord incoming, EdgeId) { return incoming; },
+                     [](VertexId, TmWord, bool) { return TmWord{0}; }),
+                 std::runtime_error);
+  }
+  // Pre-fix regression: the abort-on-error path (and any exception route
+  // around the destructor) stranded the surviving shard files.
+  EXPECT_TRUE(ShardFilesIn(dir).empty());
+}
+
+TEST_F(EnginesTest, OocConstructorFailureThrowsNotAborts) {
+  const std::string dir = ::testing::TempDir() + "/ooc_missing_dir/nope";
+  // tmp_dir does not exist, so the very first shard write fails; the
+  // constructor must throw (destructor never runs) without leaking.
+  EXPECT_THROW(
+      OocEngine(pool_, graph_, {.num_intervals = 4, .tmp_dir = dir}),
+      std::runtime_error);
 }
 
 }  // namespace

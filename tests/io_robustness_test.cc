@@ -95,7 +95,7 @@ TEST(EdgeListLongLines, AbsurdlyLongLineIsRejectedNotBuffered) {
 // Corrupt binary files: the header must be validated against the actual
 // file size BEFORE any allocation happens.
 
-constexpr uint64_t kMagic = 0x7475466173744731ULL;  // "tuFastG1"
+constexpr uint64_t kMagic = 0x7475466173744731ULL;  // "tuFastG1" (legacy)
 
 std::string PackU64(std::initializer_list<uint64_t> words) {
   std::string out;
@@ -165,6 +165,97 @@ TEST(BinaryGraphCorruption, OutOfRangeTargetRejected) {
 TEST(BinaryGraphCorruption, BadWeightedFlagRejected) {
   const std::string path = TempPath("bad_flag.bin");
   WriteFile(path, PackU64({kMagic, 1, 0, 7}) + PackU64({0, 0}));
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Version-2 checksum footer: a current SaveBinary file must detect any
+// bit flip or truncation at load; version-1 files (no footer) must keep
+// loading, unchecked, for old caches.
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::string out(static_cast<size_t>(std::ftell(f)), '\0');
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(out.data(), 1, out.size(), f), out.size());
+  std::fclose(f);
+  return out;
+}
+
+TEST(BinaryChecksum, LegacyV1FileStillLoads) {
+  const std::string path = TempPath("legacy_v1.bin");
+  // A valid version-1 file, written by hand: no CRC footer at all.
+  WriteFile(path, PackU64({kMagic, 2, 2, 0}) + PackU64({0, 1, 2}) +
+                      PackU32({1, 0}));
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumVertices(), 2u);
+  EXPECT_EQ(loaded.value().OutNeighbors(0)[0], 1u);
+  EXPECT_EQ(loaded.value().OutNeighbors(1)[0], 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryChecksum, BitFlipInBodyRejected) {
+  const std::string path = TempPath("flip_body.bin");
+  const Graph g = GenerateErdosRenyi(200, 1000, 7, /*weighted=*/false);
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  std::string bytes = ReadFile(path);
+  // Flip one bit in the middle of the targets array. The size checks and
+  // CSR validation can't see this; only the checksum can.
+  bytes[bytes.size() / 2] ^= 0x10;
+  WriteFile(path, bytes);
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("checksum"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryChecksum, BitFlipInWeightsRejected) {
+  const std::string path = TempPath("flip_weights.bin");
+  const Graph g = GenerateErdosRenyi(100, 500, 11, /*weighted=*/true);
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  std::string bytes = ReadFile(path);
+  // Last body byte before the 4-byte footer lands in the weights array —
+  // a corrupt weight is invisible to every structural check.
+  bytes[bytes.size() - 5] ^= 0x01;
+  WriteFile(path, bytes);
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().ToString().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryChecksum, TruncatedFileRejected) {
+  const std::string path = TempPath("truncated_v2.bin");
+  const Graph g = GenerateErdosRenyi(200, 1000, 9, /*weighted=*/true);
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  const std::string bytes = ReadFile(path);
+  // Every truncation point must fail cleanly: mid-footer, exactly at the
+  // footer boundary (body intact, checksum gone), and mid-body.
+  for (const size_t keep :
+       {bytes.size() - 1, bytes.size() - 4, bytes.size() / 2}) {
+    WriteFile(path, bytes.substr(0, keep));
+    auto loaded = LoadBinary(path);
+    EXPECT_FALSE(loaded.ok()) << "truncated to " << keep << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryChecksum, FlippedHeaderCountCaughtBySizeOrChecksum) {
+  const std::string path = TempPath("flip_header.bin");
+  const Graph g = GenerateErdosRenyi(64, 256, 3, /*weighted=*/false);
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[8] ^= 0x01;  // Low byte of the vertex count.
+  WriteFile(path, bytes);
   auto loaded = LoadBinary(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
